@@ -1,0 +1,58 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. Eq. 1's log score vs raw counts in tag extraction — the log keeps a
+   single chatty client from hijacking a port's tag.
+2. Clist size L — the resolver-efficiency knee (Sec. 6).
+3. Last-written-wins labels — the confusion cost of the paper's design.
+"""
+
+import pytest
+
+from repro.analytics.tags import ServiceTagExtractor
+from repro.experiments.datasets import get_result, get_trace
+from repro.experiments.dimensioning import confusion_rate, resolver_efficiency
+
+
+@pytest.fixture(scope="module")
+def ftth_db(warm_datasets):
+    return get_result("EU1-FTTH").database
+
+
+def test_bench_ablation_log_score(benchmark, ftth_db):
+    extractor = ServiceTagExtractor(ftth_db, use_log_score=True)
+    tags = benchmark(extractor.extract, 25, 9)
+    assert tags
+
+
+def test_bench_ablation_raw_score(benchmark, ftth_db):
+    """Raw counts: same cost, different (worse) ranking robustness."""
+    extractor = ServiceTagExtractor(ftth_db, use_log_score=False)
+    tags = benchmark(extractor.extract, 25, 9)
+    assert tags
+
+
+def test_bench_ablation_clist_small(benchmark, warm_datasets):
+    """An undersized Clist (L=500): cheap but leaky (Sec. 6)."""
+    trace = get_trace("EU1-FTTH")
+    efficiency = benchmark.pedantic(
+        resolver_efficiency, args=(trace, 500), rounds=2, iterations=1
+    )
+    assert efficiency < 0.97
+
+
+def test_bench_ablation_clist_large(benchmark, warm_datasets):
+    """A well-sized Clist (L=50k): same pass, near-perfect efficiency."""
+    trace = get_trace("EU1-FTTH")
+    efficiency = benchmark.pedantic(
+        resolver_efficiency, args=(trace, 50_000), rounds=2, iterations=1
+    )
+    assert efficiency > 0.85
+
+
+def test_bench_dimensioning_confusion(benchmark, warm_datasets):
+    """Last-written-wins labeling: measure the confusion rate cost."""
+    trace = get_trace("EU1-FTTH")
+    confusion = benchmark.pedantic(
+        confusion_rate, args=(trace,), rounds=2, iterations=1
+    )
+    assert confusion < 0.15

@@ -1,0 +1,77 @@
+"""Benchmarks regenerating every figure of the paper (Fig. 3-14)."""
+
+from benchmarks.conftest import LIVE_DAYS, LIVE_SEED
+from repro.experiments import (
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+)
+
+
+def test_bench_fig3_tangle_cdfs(benchmark, warm_datasets):
+    result = benchmark(fig3.run)
+    assert result.data["single_fqdn"] > 0.5
+
+
+def test_bench_fig4_servers_per_domain(benchmark, warm_datasets):
+    result = benchmark(fig4.run)
+    assert result.data["fbcdn.net"]
+
+
+def test_bench_fig5_fqdns_per_cdn(benchmark, warm_datasets):
+    result = benchmark(fig5.run)
+    assert result.data["totals"]["amazon"] > 0
+
+
+def test_bench_fig6_birth_processes(benchmark, warm_datasets):
+    result = benchmark(fig6.run, days=LIVE_DAYS, seed=LIVE_SEED)
+    assert result.data["fqdn"][-1][1] > result.data["sld"][-1][1]
+
+
+def test_bench_fig7_linkedin_tree(benchmark, warm_datasets):
+    result = benchmark(fig7.run)
+    assert "edgecast" in result.data
+
+
+def test_bench_fig8_zynga_tree(benchmark, warm_datasets):
+    result = benchmark(fig8.run)
+    assert "amazon" in result.data
+
+
+def test_bench_fig9_geography_matrix(benchmark, warm_datasets):
+    result = benchmark(fig9.run)
+    assert "facebook.com" in result.data
+
+
+def test_bench_fig10_word_cloud(benchmark, warm_datasets):
+    result = benchmark(fig10.run, days=LIVE_DAYS, seed=LIVE_SEED)
+    assert result.data
+
+
+def test_bench_fig11_tracker_timeline(benchmark, warm_datasets):
+    result = benchmark(fig11.run, days=LIVE_DAYS, seed=LIVE_SEED)
+    assert len(result.data["timelines"]) > 20
+
+
+def test_bench_fig12_first_flow_delay(benchmark, warm_datasets):
+    result = benchmark(fig12.run)
+    assert "EU1-FTTH" in result.data
+
+
+def test_bench_fig13_any_flow_gap(benchmark, warm_datasets):
+    result = benchmark(fig13.run)
+    assert "EU1-ADSL1" in result.data
+
+
+def test_bench_fig14_dns_rate(benchmark, warm_datasets):
+    result = benchmark(fig14.run)
+    assert result.data

@@ -1,0 +1,64 @@
+"""Benchmarks regenerating every table of the paper (Tab. 1-9).
+
+Each benchmark reruns the experiment's analysis over the cached labeled
+flow databases — the cost of producing the table from DN-Hunter's
+output, as the off-line analyzer would.
+"""
+
+from benchmarks.conftest import LIVE_DAYS, LIVE_SEED
+from repro.experiments import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+
+
+def test_bench_table1_dataset_description(benchmark, warm_datasets):
+    result = benchmark(table1.run)
+    assert len(result.data) == 5
+
+
+def test_bench_table2_hit_ratio(benchmark, warm_datasets):
+    result = benchmark(table2.run)
+    assert result.data["EU1-FTTH"]["http"][0] > 0.7
+
+
+def test_bench_table3_reverse_lookup(benchmark, warm_datasets):
+    result = benchmark(table3.run)
+    assert result.data["Same FQDN"] < 0.3
+
+
+def test_bench_table4_certificate_inspection(benchmark, warm_datasets):
+    result = benchmark(table4.run)
+    assert result.data["No certificate"] > 0.1
+
+
+def test_bench_table5_amazon_domains(benchmark, warm_datasets):
+    result = benchmark(table5.run)
+    assert any(d == "cloudfront.net" for d, _ in result.data["EU"])
+
+
+def test_bench_table6_well_known_ports(benchmark, warm_datasets):
+    result = benchmark(table6.run)
+    assert "MISS" not in result.notes
+
+
+def test_bench_table7_frequent_ports(benchmark, warm_datasets):
+    result = benchmark(table7.run)
+    assert "MISS" not in result.notes
+
+
+def test_bench_table8_appspot_breakdown(benchmark, warm_datasets):
+    result = benchmark(table8.run, days=LIVE_DAYS, seed=LIVE_SEED)
+    assert result.data["trackers"]["flows"] > 0
+
+
+def test_bench_table9_useless_dns(benchmark, warm_datasets):
+    result = benchmark(table9.run)
+    assert 0 < result.data["US-3G"] < 1

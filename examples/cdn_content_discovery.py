@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Untangling the web: spatial + content discovery (Sec. 4.1/4.2).
+
+Two directions of the same question:
+  * spatial — given an organization, which CDNs/servers deliver it?
+  * content — given a CDN, which organizations does it host?
+"""
+
+from repro.analytics.content import ContentDiscovery
+from repro.analytics.domain_tree import build_domain_tree
+from repro.analytics.spatial import SpatialDiscovery
+from repro.analytics.database import FlowDatabase
+from repro.simulation import build_trace
+from repro.sniffer import SnifferPipeline
+
+
+def main() -> None:
+    print("Building US-3G trace...")
+    trace = build_trace("US-3G", seed=7)
+    pipeline = SnifferPipeline(clist_size=100_000)
+    pipeline.process_trace(trace)
+    database = FlowDatabase.from_flows(pipeline.tagged_flows)
+    ipdb = trace.internet.ipdb
+
+    # -- Spatial discovery: who serves zynga.com? ---------------------------
+    spatial = SpatialDiscovery(database, ipdb)
+    report = spatial.discover("zynga.com")
+    print(f"\nzynga.com is delivered by {len(report.server_set)} servers:")
+    for share in report.ranked_cdns():
+        print(
+            f"  {share.organization:10s} {share.server_count:3d} servers, "
+            f"{report.flow_share(share.organization):5.0%} of flows"
+        )
+
+    # -- The Fig. 8 token tree ----------------------------------------------
+    tree = build_domain_tree(database, "zynga.com", ipdb)
+    print("\nDomain structure (Fig. 8 style):")
+    print(tree.render(max_depth=2))
+
+    # -- Content discovery: what does Amazon EC2 host? ----------------------
+    content = ContentDiscovery(database, ipdb)
+    print("\nTop-10 organizations hosted on Amazon EC2 (Tab. 5 style):")
+    for share in content.hosted_domains_of_cdn("amazon", k=10):
+        print(
+            f"  {share.domain:25s} {share.share:5.0%} of EC2 flows "
+            f"({share.fqdn_count} FQDNs)"
+        )
+
+    common = content.common_domains(
+        [s for s in database.servers() if ipdb.lookup(s) == "amazon"],
+        [s for s in database.servers() if ipdb.lookup(s) == "akamai"],
+    )
+    print(f"\nOrganizations using BOTH Amazon and Akamai: {sorted(common)}")
+
+
+if __name__ == "__main__":
+    main()

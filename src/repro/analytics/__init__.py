@@ -1,0 +1,47 @@
+"""DN-Hunter's off-line analyzer (Sec. 4 and 5 of the paper).
+
+The analyzer mines the labeled-flows database the sniffer produced:
+
+* :mod:`~repro.analytics.database` — the flow store with the query
+  surface Algorithms 2–4 assume;
+* :mod:`~repro.analytics.spatial` — Spatial Discovery (Alg. 2): which
+  servers/CDNs deliver a domain;
+* :mod:`~repro.analytics.content` — Content Discovery (Alg. 3): which
+  domains a CDN serves;
+* :mod:`~repro.analytics.tags` — Automatic Service Tag Extraction
+  (Alg. 4, eq. 1): what runs on a port;
+* :mod:`~repro.analytics.tokens` — the FQDN tokenizer shared by the two
+  modules above;
+* :mod:`~repro.analytics.tangle`, :mod:`~repro.analytics.temporal`,
+  :mod:`~repro.analytics.birth`, :mod:`~repro.analytics.domain_tree`,
+  :mod:`~repro.analytics.trackers`, :mod:`~repro.analytics.wordcloud` —
+  the measurement analytics behind Figures 3–11;
+* :mod:`~repro.analytics.anomaly` — FQDN→serverIP change detection, the
+  DNS-poisoning extension the paper sketches in Sec. 4.1.
+"""
+
+from repro.analytics.database import FlowDatabase
+from repro.analytics.tokens import tokenize_fqdn, tokenize_label
+from repro.analytics.tags import ServiceTagExtractor, TagScore
+from repro.analytics.spatial import SpatialDiscovery, SpatialReport
+from repro.analytics.content import ContentDiscovery, DomainShare
+from repro.analytics.tangle import fanin_distribution, fanout_distribution
+from repro.analytics.domain_tree import DomainTokenTree, build_domain_tree
+from repro.analytics.anomaly import MappingAnomalyDetector
+
+__all__ = [
+    "FlowDatabase",
+    "tokenize_fqdn",
+    "tokenize_label",
+    "ServiceTagExtractor",
+    "TagScore",
+    "SpatialDiscovery",
+    "SpatialReport",
+    "ContentDiscovery",
+    "DomainShare",
+    "fanout_distribution",
+    "fanin_distribution",
+    "DomainTokenTree",
+    "build_domain_tree",
+    "MappingAnomalyDetector",
+]

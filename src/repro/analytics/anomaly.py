@@ -1,0 +1,120 @@
+"""FQDN→serverIP mapping anomaly detection (Sec. 4.1 extension).
+
+The paper sketches this application: "consider the case of DNS cache
+poisoning where a response for certain FQDN suddenly changes and is
+different from what was seen by DN-Hunter in the past.  We can easily
+flag this scenario as an anomaly."
+
+The detector keeps, per FQDN, the set of organizations (per the IP→org
+database) and address prefixes that historically served it.  A response
+whose answers fall entirely outside the history — after a learning
+period — raises an alert.  CDN churn inside the same organization does
+not alert, which is what makes the signal usable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.flow import DnsObservation
+from repro.net.ip import ip_to_str
+from repro.orgdb.ipdb import IpOrganizationDb
+
+
+@dataclass(frozen=True, slots=True)
+class MappingAlert:
+    """One raised anomaly."""
+
+    timestamp: float
+    fqdn: str
+    new_answers: tuple[int, ...]
+    known_orgs: frozenset[str]
+    observed_org: Optional[str]
+
+    def describe(self) -> str:
+        addresses = ", ".join(ip_to_str(a) for a in self.new_answers)
+        return (
+            f"[{self.timestamp:.0f}s] {self.fqdn}: answers ({addresses}) "
+            f"from {self.observed_org or 'unknown'} — history: "
+            f"{sorted(self.known_orgs) or ['<none>']}"
+        )
+
+
+@dataclass
+class _History:
+    organizations: set[str] = field(default_factory=set)
+    prefixes: set[int] = field(default_factory=set)  # /16 prefixes
+    observations: int = 0
+
+
+class MappingAnomalyDetector:
+    """Alert when a FQDN's answers leave its historical footprint.
+
+    Args:
+        ipdb: IP→organization database; answers mapping to a known org
+            for this FQDN never alert.
+        min_history: observations required before alerts can fire
+            (learning period).
+        prefix_bits: fallback granularity when an address has no org —
+            a new answer sharing a known /``prefix_bits`` prefix is
+            considered consistent.
+    """
+
+    def __init__(
+        self,
+        ipdb: Optional[IpOrganizationDb] = None,
+        min_history: int = 3,
+        prefix_bits: int = 16,
+    ):
+        if not 0 < prefix_bits <= 32:
+            raise ValueError("prefix_bits must be in (0, 32]")
+        self.ipdb = ipdb
+        self.min_history = min_history
+        self.prefix_shift = 32 - prefix_bits
+        self._history: dict[str, _History] = {}
+        self.alerts: list[MappingAlert] = []
+
+    def _org_of(self, address: int) -> Optional[str]:
+        return self.ipdb.lookup(address) if self.ipdb else None
+
+    def observe(self, observation: DnsObservation) -> Optional[MappingAlert]:
+        """Feed one DNS response; return an alert if it is anomalous."""
+        fqdn = observation.fqdn.lower()
+        history = self._history.get(fqdn)
+        if history is None:
+            history = _History()
+            self._history[fqdn] = history
+        answer_orgs = {
+            org
+            for address in observation.answers
+            if (org := self._org_of(address)) is not None
+        }
+        answer_prefixes = {
+            address >> self.prefix_shift for address in observation.answers
+        }
+        alert = None
+        mature = history.observations >= self.min_history
+        if mature and observation.answers:
+            org_consistent = bool(answer_orgs & history.organizations)
+            prefix_consistent = bool(answer_prefixes & history.prefixes)
+            if not org_consistent and not prefix_consistent:
+                alert = MappingAlert(
+                    timestamp=observation.timestamp,
+                    fqdn=fqdn,
+                    new_answers=tuple(observation.answers),
+                    known_orgs=frozenset(history.organizations),
+                    observed_org=next(iter(answer_orgs), None),
+                )
+                self.alerts.append(alert)
+        # Learn from every observation, including anomalous ones —
+        # a real poisoning is transient; a legitimate migration should
+        # stop alerting once seen.
+        history.organizations |= answer_orgs
+        history.prefixes |= answer_prefixes
+        history.observations += 1
+        return alert
+
+    def history_size(self) -> int:
+        """Number of FQDNs with learned state."""
+        return len(self._history)

@@ -1,0 +1,146 @@
+"""Content Discovery (Sec. 4.2, Algorithm 3).
+
+The inverse of spatial discovery: start from a set of server addresses
+(e.g. everything MaxMind attributes to Amazon EC2) and rank what they
+serve — whole organizations, FQDNs, or service tokens.  Tab. 5 ("top-10
+domains hosted on Amazon EC2") is this module's output.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.analytics.database import FlowDatabase
+from repro.analytics.tokens import tokenize_fqdn
+from repro.dns.name import second_level_domain
+from repro.orgdb.ipdb import IpOrganizationDb
+
+
+@dataclass(frozen=True, slots=True)
+class DomainShare:
+    """One hosted domain with its share of the address set's flows."""
+
+    domain: str
+    flows: int
+    share: float
+    fqdn_count: int
+
+
+class ContentDiscovery:
+    """Algorithm 3 over the flow database.
+
+    Args:
+        database: labeled flow store.
+        ipdb: optional address→organization database; needed only for the
+            convenience entry point that starts from a CDN *name* rather
+            than an explicit address set.
+    """
+
+    def __init__(
+        self, database: FlowDatabase, ipdb: Optional[IpOrganizationDb] = None
+    ):
+        self.database = database
+        self.ipdb = ipdb
+
+    def _servers_of_cdn(self, cdn: str) -> list[int]:
+        if self.ipdb is None:
+            raise ValueError("an IpOrganizationDb is required to resolve CDN names")
+        cdn_lower = cdn.lower()
+        return [
+            server
+            for server in self.database.servers()
+            if (owner := self.ipdb.lookup(server)) and owner.lower() == cdn_lower
+        ]
+
+    # -- Algorithm 3 ------------------------------------------------------
+
+    def hosted_domains(
+        self, servers: Iterable[int], k: int = 10
+    ) -> list[DomainShare]:
+        """Top-``k`` second-level domains served by ``servers`` (Tab. 5)."""
+        flows = self.database.query_by_servers(servers)
+        flow_counts: dict[str, int] = defaultdict(int)
+        fqdn_sets: dict[str, set[str]] = defaultdict(set)
+        total = 0
+        for flow in flows:
+            if not flow.fqdn:
+                continue
+            domain = second_level_domain(flow.fqdn)
+            flow_counts[domain] += 1
+            fqdn_sets[domain].add(flow.fqdn.lower())
+            total += 1
+        ranked = sorted(
+            flow_counts.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [
+            DomainShare(
+                domain=domain,
+                flows=count,
+                share=count / total if total else 0.0,
+                fqdn_count=len(fqdn_sets[domain]),
+            )
+            for domain, count in ranked[:k]
+        ]
+
+    def hosted_domains_of_cdn(self, cdn: str, k: int = 10) -> list[DomainShare]:
+        """Tab. 5 entry point: rank domains hosted by a named CDN/cloud."""
+        return self.hosted_domains(self._servers_of_cdn(cdn), k=k)
+
+    def hosted_fqdns(self, servers: Iterable[int]) -> set[str]:
+        """All FQDNs delivered by the address set (Alg. 3 line 4)."""
+        return self.database.fqdns_for_servers(servers)
+
+    def hosted_service_tokens(
+        self, servers: Iterable[int], k: int = 20
+    ) -> list[tuple[str, float]]:
+        """Rank sub-domain tokens served by the address set.
+
+        Uses the same log score as Alg. 4 so one chatty client cannot
+        dominate; this is the "if only service tokens are used" variant
+        of Alg. 3, and the word-cloud input for Fig. 10.
+        """
+        flows = self.database.query_by_servers(servers)
+        per_client: dict[str, dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        for flow in flows:
+            if not flow.fqdn:
+                continue
+            for token in set(tokenize_fqdn(flow.fqdn)):
+                per_client[token][flow.fid.client_ip] += 1
+        scored = [
+            (
+                token,
+                sum(math.log(count + 1) for count in clients.values()),
+            )
+            for token, clients in per_client.items()
+        ]
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored[:k]
+
+    def common_domains(
+        self, servers_a: Iterable[int], servers_b: Iterable[int]
+    ) -> set[str]:
+        """Domains hosted on *both* address sets (Sec. 4.2 question iii)."""
+        domains_a = {
+            second_level_domain(f) for f in self.hosted_fqdns(servers_a)
+        }
+        domains_b = {
+            second_level_domain(f) for f in self.hosted_fqdns(servers_b)
+        }
+        return domains_a & domains_b
+
+    def cdn_popularity(
+        self, cdns: Iterable[str]
+    ) -> dict[str, tuple[int, int]]:
+        """(distinct FQDNs, flows) per CDN — the Fig. 5 aggregate."""
+        out: dict[str, tuple[int, int]] = {}
+        for cdn in cdns:
+            servers = self._servers_of_cdn(cdn)
+            flows = self.database.query_by_servers(servers)
+            fqdns = {f.fqdn.lower() for f in flows if f.fqdn}
+            out[cdn] = (len(fqdns), len(flows))
+        return out

@@ -1,0 +1,157 @@
+"""Spatial Discovery of Servers (Sec. 4.1, Algorithm 2).
+
+Given a FQDN (or a whole organization), report every server address that
+delivered its content, grouped by the CDN/cloud operating each address,
+with flow shares — the data behind Fig. 7/8/9 of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analytics.database import FlowDatabase
+from repro.dns.name import second_level_domain
+from repro.orgdb.ipdb import IpOrganizationDb
+
+SELF_LABEL = "SELF"
+UNKNOWN_LABEL = "unknown"
+
+
+@dataclass(slots=True)
+class CdnShare:
+    """One hosting organization's share of a domain's traffic."""
+
+    organization: str
+    servers: set[int] = field(default_factory=set)
+    flows: int = 0
+
+    @property
+    def server_count(self) -> int:
+        return len(self.servers)
+
+
+@dataclass(slots=True)
+class SpatialReport:
+    """Output of Algorithm 2 for one target domain.
+
+    ``per_fqdn`` maps each FQDN under the organization to its server
+    set; ``per_cdn`` groups servers and flow counts by hosting
+    organization (content owner itself = ``SELF``).
+    """
+
+    target: str
+    organization: str
+    server_set: set[int] = field(default_factory=set)
+    per_fqdn: dict[str, set[int]] = field(default_factory=dict)
+    per_cdn: dict[str, CdnShare] = field(default_factory=dict)
+    total_flows: int = 0
+
+    def flow_share(self, organization: str) -> float:
+        """Fraction of the domain's flows served by ``organization``."""
+        share = self.per_cdn.get(organization)
+        if share is None or self.total_flows == 0:
+            return 0.0
+        return share.flows / self.total_flows
+
+    def ranked_cdns(self) -> list[CdnShare]:
+        """Hosting organizations by descending flow count."""
+        return sorted(
+            self.per_cdn.values(), key=lambda s: (-s.flows, s.organization)
+        )
+
+
+class SpatialDiscovery:
+    """Algorithm 2 over the flow database plus the IP→org database.
+
+    Args:
+        database: labeled flow store.
+        ipdb: address→organization mapping (the MaxMind substitute).
+            When an address maps to the content owner's own organization
+            name it is reported as ``SELF``, matching Fig. 9.
+    """
+
+    def __init__(
+        self, database: FlowDatabase, ipdb: Optional[IpOrganizationDb] = None
+    ):
+        self.database = database
+        self.ipdb = ipdb
+
+    def _owner_of(self, address: int, content_org: str) -> str:
+        if self.ipdb is None:
+            return UNKNOWN_LABEL
+        owner = self.ipdb.lookup(address)
+        if owner is None:
+            return UNKNOWN_LABEL
+        if owner.lower() == content_org.lower():
+            return SELF_LABEL
+        return owner
+
+    def discover(self, target: str) -> SpatialReport:
+        """Run Algorithm 2 for ``target`` (a FQDN or a 2LD).
+
+        Lines 4-5: extract the 2LD and pull every flow of the
+        organization; lines 6-9: per-FQDN server sets; the CDN grouping
+        implements the "which CDNs handle the queries" analysis of
+        Sec. 4.1/5.3.
+        """
+        organization = second_level_domain(target)
+        flows = self.database.query_by_domain(organization)
+        report = SpatialReport(target=target, organization=organization)
+        org_short = organization.split(".")[0]
+        per_fqdn: dict[str, set[int]] = defaultdict(set)
+        for flow in flows:
+            server = flow.fid.server_ip
+            report.server_set.add(server)
+            per_fqdn[flow.fqdn.lower()].add(server)
+            owner = self._owner_of(server, org_short)
+            share = report.per_cdn.get(owner)
+            if share is None:
+                share = CdnShare(organization=owner)
+                report.per_cdn[owner] = share
+            share.servers.add(server)
+            share.flows += 1
+            report.total_flows += 1
+        report.per_fqdn = dict(per_fqdn)
+        return report
+
+    def server_access_matrix(
+        self, target: str
+    ) -> dict[str, dict[int, float]]:
+        """Fig. 9 view: per hosting org, per serverIP flow fraction.
+
+        The gray level of each cell in Fig. 9 is the fraction of the
+        domain's flows a particular serverIP carried.
+        """
+        report = self.discover(target)
+        matrix: dict[str, dict[int, float]] = {}
+        if report.total_flows == 0:
+            return matrix
+        counts: dict[str, dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        organization = report.organization.split(".")[0]
+        for flow in self.database.query_by_domain(report.organization):
+            owner = self._owner_of(flow.fid.server_ip, organization)
+            counts[owner][flow.fid.server_ip] += 1
+        for owner, servers in counts.items():
+            matrix[owner] = {
+                server: count / report.total_flows
+                for server, count in servers.items()
+            }
+        return matrix
+
+    def track_changes(
+        self, fqdn: str, bin_seconds: float = 600.0
+    ) -> list[tuple[float, set[int]]]:
+        """Server set per time bin for one FQDN — the "track over time"
+        capability of Sec. 4.1 (and the anomaly-detection feed)."""
+        flows = self.database.query_by_fqdn(fqdn)
+        bins: dict[int, set[int]] = defaultdict(set)
+        for flow in flows:
+            bins[int(flow.start // bin_seconds)].add(flow.fid.server_ip)
+        return [
+            (index * bin_seconds, servers)
+            for index, servers in sorted(bins.items())
+        ]

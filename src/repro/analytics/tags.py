@@ -1,0 +1,112 @@
+"""Automatic Service Tag Extraction (Sec. 4.3, Algorithm 4, Equation 1).
+
+Given a layer-4 port, rank the sub-domain tokens of the FQDNs observed on
+that port.  The score damps heavy single clients logarithmically:
+
+    score(X) = sum over clients c of log(N_X(c) + 1)
+
+where ``N_X(c)`` is the number of flows from client ``c`` whose label
+contains token ``X``.  Tables 6 and 7 of the paper are outputs of this
+module.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analytics.database import FlowDatabase
+from repro.analytics.tokens import tokenize_fqdn
+
+
+@dataclass(frozen=True, slots=True)
+class TagScore:
+    """One ranked token: the tag text and its Eq. 1 score."""
+
+    token: str
+    score: float
+    client_count: int
+    flow_count: int
+
+
+class ServiceTagExtractor:
+    """Algorithm 4 over a :class:`FlowDatabase`.
+
+    Args:
+        database: labeled flow store.
+        use_log_score: when False, rank by raw flow counts instead of
+            Eq. 1 — the ablation showing why the log matters (a single
+            chatty client otherwise hijacks the port's tag).
+    """
+
+    def __init__(self, database: FlowDatabase, use_log_score: bool = True):
+        self.database = database
+        self.use_log_score = use_log_score
+
+    def extract(self, dst_port: int, k: int = 10) -> list[TagScore]:
+        """Return the top-``k`` tags for ``dst_port`` ranked by score."""
+        flows = self.database.query_by_port(dst_port)
+        # token -> client -> flow count  (N_X(c) of Eq. 1)
+        per_client: dict[str, dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        for flow in flows:
+            if not flow.fqdn:
+                continue
+            for token in set(tokenize_fqdn(flow.fqdn)):
+                per_client[token][flow.fid.client_ip] += 1
+        scored: list[TagScore] = []
+        for token, clients in per_client.items():
+            if self.use_log_score:
+                score = sum(
+                    math.log(count + 1) for count in clients.values()
+                )
+            else:
+                score = float(sum(clients.values()))
+            scored.append(
+                TagScore(
+                    token=token,
+                    score=score,
+                    client_count=len(clients),
+                    flow_count=sum(clients.values()),
+                )
+            )
+        scored.sort(key=lambda tag: (-tag.score, tag.token))
+        return scored[:k]
+
+    def extract_all_ports(
+        self, k: int = 5, min_flows: int = 10
+    ) -> dict[int, list[TagScore]]:
+        """Tag every port with at least ``min_flows`` flows."""
+        out: dict[int, list[TagScore]] = {}
+        for port in self.database.ports():
+            if len(self.database.query_by_port(port)) >= min_flows:
+                tags = self.extract(port, k=k)
+                if tags:
+                    out[port] = tags
+        return out
+
+    def top_fraction(
+        self, dst_port: int, fraction: float = 0.95
+    ) -> list[TagScore]:
+        """Tokens whose cumulative score reaches ``fraction`` of the total.
+
+        The paper notes the score distribution is very skewed; this
+        selection rule ("the subset that sums to the n-th percentile")
+        typically returns only a handful of tokens.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        ranked = self.extract(dst_port, k=10**9)
+        total = sum(tag.score for tag in ranked)
+        if total == 0:
+            return []
+        out: list[TagScore] = []
+        cumulative = 0.0
+        for tag in ranked:
+            out.append(tag)
+            cumulative += tag.score
+            if cumulative >= fraction * total:
+                break
+        return out

@@ -1,0 +1,84 @@
+"""The tangle metrics of Fig. 3: FQDN↔serverIP fan-out and fan-in.
+
+Fig. 3 top: for each FQDN, how many distinct serverIPs deliver it.
+Fig. 3 bottom: for each serverIP, how many distinct FQDNs it serves.
+Both are reported as CDFs; the paper finds 82% of FQDNs map to one
+serverIP and 73% of serverIPs serve one FQDN, with heavy tails.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.database import FlowDatabase
+
+
+@dataclass(frozen=True, slots=True)
+class Cdf:
+    """An empirical CDF over positive integer counts."""
+
+    values: tuple[int, ...]
+
+    @classmethod
+    def from_counts(cls, counts: list[int]) -> "Cdf":
+        return cls(values=tuple(sorted(counts)))
+
+    def at(self, x: float) -> float:
+        """P(value <= x)."""
+        if not self.values:
+            return 0.0
+        return float(
+            np.searchsorted(np.asarray(self.values), x, side="right")
+        ) / len(self.values)
+
+    def percentile(self, q: float) -> int:
+        """The smallest value v with CDF(v) >= q."""
+        if not self.values:
+            raise ValueError("empty CDF")
+        if not 0 < q <= 1:
+            raise ValueError("q must be in (0, 1]")
+        index = int(np.ceil(q * len(self.values))) - 1
+        return self.values[max(index, 0)]
+
+    @property
+    def max(self) -> int:
+        return self.values[-1] if self.values else 0
+
+    def points(self) -> list[tuple[int, float]]:
+        """(value, CDF) pairs at each distinct value, for plotting."""
+        if not self.values:
+            return []
+        array = np.asarray(self.values)
+        distinct = np.unique(array)
+        return [
+            (int(v), float(np.searchsorted(array, v, side="right")) / len(array))
+            for v in distinct
+        ]
+
+
+def fanout_distribution(database: FlowDatabase) -> Cdf:
+    """Fig. 3 top: distinct serverIP count per FQDN."""
+    counts = [
+        len(database.servers_for_fqdn(fqdn)) for fqdn in database.fqdns()
+    ]
+    return Cdf.from_counts(counts)
+
+
+def fanin_distribution(database: FlowDatabase) -> Cdf:
+    """Fig. 3 bottom: distinct FQDN count per serverIP."""
+    per_server: dict[int, set[str]] = defaultdict(set)
+    for flow in database:
+        if flow.fqdn:
+            per_server[flow.fid.server_ip].add(flow.fqdn.lower())
+    return Cdf.from_counts([len(v) for v in per_server.values()])
+
+
+def single_mapping_fractions(database: FlowDatabase) -> tuple[float, float]:
+    """(fraction of FQDNs on one serverIP, fraction of serverIPs with one
+    FQDN) — the headline numbers the paper quotes for Fig. 3 (82%/73%)."""
+    fanout = fanout_distribution(database)
+    fanin = fanin_distribution(database)
+    return fanout.at(1), fanin.at(1)

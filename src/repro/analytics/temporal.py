@@ -1,0 +1,141 @@
+"""Time-binned analytics behind Figures 4, 5 and 14.
+
+* Fig. 4 — number of distinct serverIPs serving a 2LD per 10-minute bin;
+* Fig. 5 — number of distinct FQDNs served by each CDN per bin;
+* Fig. 14 — DNS responses observed per bin.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Optional, Sequence
+
+from repro.analytics.database import FlowDatabase
+from repro.dns.name import second_level_domain
+from repro.net.flow import DnsObservation
+from repro.orgdb.ipdb import IpOrganizationDb
+
+
+class TimeBins:
+    """A labeled series of counts over fixed-width time bins."""
+
+    def __init__(self, bin_seconds: float, start: float = 0.0):
+        if bin_seconds <= 0:
+            raise ValueError("bin_seconds must be positive")
+        self.bin_seconds = bin_seconds
+        self.start = start
+        self._bins: dict[int, int] = defaultdict(int)
+
+    def index_of(self, timestamp: float) -> int:
+        return int((timestamp - self.start) // self.bin_seconds)
+
+    def add(self, timestamp: float, count: int = 1) -> None:
+        self._bins[self.index_of(timestamp)] += count
+
+    def series(self) -> list[tuple[float, int]]:
+        """(bin start time, count) in time order, gaps filled with 0."""
+        if not self._bins:
+            return []
+        lo, hi = min(self._bins), max(self._bins)
+        return [
+            (self.start + i * self.bin_seconds, self._bins.get(i, 0))
+            for i in range(lo, hi + 1)
+        ]
+
+    def peak(self) -> tuple[float, int]:
+        """(bin start, count) of the highest bin."""
+        if not self._bins:
+            return (self.start, 0)
+        index, count = max(self._bins.items(), key=lambda kv: kv[1])
+        return (self.start + index * self.bin_seconds, count)
+
+
+def servers_per_domain_series(
+    database: FlowDatabase,
+    domains: Sequence[str],
+    bin_seconds: float = 600.0,
+) -> dict[str, list[tuple[float, int]]]:
+    """Fig. 4: distinct serverIPs observed per 2LD per time bin."""
+    # domain -> bin -> set of servers
+    sets: dict[str, dict[int, set[int]]] = {
+        domain.lower(): defaultdict(set) for domain in domains
+    }
+    for domain in sets:
+        for flow in database.query_by_domain(domain):
+            sets[domain][int(flow.start // bin_seconds)].add(
+                flow.fid.server_ip
+            )
+    out: dict[str, list[tuple[float, int]]] = {}
+    for domain, bins in sets.items():
+        if not bins:
+            out[domain] = []
+            continue
+        lo, hi = min(bins), max(bins)
+        out[domain] = [
+            (i * bin_seconds, len(bins.get(i, set())))
+            for i in range(lo, hi + 1)
+        ]
+    return out
+
+
+def fqdns_per_cdn_series(
+    database: FlowDatabase,
+    ipdb: IpOrganizationDb,
+    cdns: Sequence[str],
+    bin_seconds: float = 600.0,
+) -> dict[str, list[tuple[float, int]]]:
+    """Fig. 5: distinct active FQDNs per CDN per time bin."""
+    wanted = {cdn.lower() for cdn in cdns}
+    sets: dict[str, dict[int, set[str]]] = {
+        cdn.lower(): defaultdict(set) for cdn in cdns
+    }
+    for flow in database:
+        if not flow.fqdn:
+            continue
+        owner = ipdb.lookup(flow.fid.server_ip)
+        if owner is None:
+            continue
+        owner = owner.lower()
+        if owner in wanted:
+            sets[owner][int(flow.start // bin_seconds)].add(
+                flow.fqdn.lower()
+            )
+    out: dict[str, list[tuple[float, int]]] = {}
+    for cdn, bins in sets.items():
+        if not bins:
+            out[cdn] = []
+            continue
+        lo, hi = min(bins), max(bins)
+        out[cdn] = [
+            (i * bin_seconds, len(bins.get(i, set())))
+            for i in range(lo, hi + 1)
+        ]
+    return out
+
+
+def total_fqdns_per_cdn(
+    database: FlowDatabase, ipdb: IpOrganizationDb, cdn: str
+) -> int:
+    """Whole-trace FQDN count for one CDN (the paper: Amazon served 7995
+    FQDNs over the day)."""
+    cdn_lower = cdn.lower()
+    fqdns: set[str] = set()
+    for flow in database:
+        if not flow.fqdn:
+            continue
+        owner = ipdb.lookup(flow.fid.server_ip)
+        if owner and owner.lower() == cdn_lower:
+            fqdns.add(flow.fqdn.lower())
+    return len(fqdns)
+
+
+def dns_response_rate(
+    observations: Iterable[DnsObservation],
+    bin_seconds: float = 600.0,
+    start: float = 0.0,
+) -> TimeBins:
+    """Fig. 14: DNS responses per time bin."""
+    bins = TimeBins(bin_seconds=bin_seconds, start=start)
+    for observation in observations:
+        bins.add(observation.timestamp)
+    return bins

@@ -1,0 +1,84 @@
+"""Text word cloud (Fig. 10).
+
+Fig. 10 is a word cloud of the services hosted on appspot.com, sized by
+popularity.  In a terminal reproduction the "cloud" is a ranked list
+with font-size buckets; the scoring reuses the Alg. 4 log score so one
+heavy client does not dominate.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analytics.database import FlowDatabase
+from repro.dns.name import DomainName, DomainNameError
+
+
+@dataclass(frozen=True, slots=True)
+class CloudEntry:
+    """One cloud word with its weight and display bucket (1=small...5=huge)."""
+
+    word: str
+    weight: float
+    bucket: int
+
+
+def _service_name(fqdn: str, domain: str) -> str | None:
+    """The service label directly under the hosting domain.
+
+    ``open-tracker.appspot.com`` → ``open-tracker``; names not under
+    ``domain`` (or equal to it) return None.
+    """
+    try:
+        name = DomainName(fqdn)
+    except DomainNameError:
+        return None
+    if not name.is_subdomain_of(domain) or name.fqdn == domain.lower():
+        return None
+    suffix_len = domain.count(".") + 1
+    labels = name.labels
+    return labels[len(labels) - suffix_len - 1]
+
+
+def build_word_cloud(
+    database: FlowDatabase,
+    domain: str,
+    max_words: int = 40,
+    buckets: int = 5,
+) -> list[CloudEntry]:
+    """Score every service under ``domain`` and bucket by weight."""
+    per_client: dict[str, dict[int, int]] = defaultdict(
+        lambda: defaultdict(int)
+    )
+    for flow in database.query_by_domain(domain):
+        service = _service_name(flow.fqdn, domain)
+        if service is None:
+            continue
+        per_client[service][flow.fid.client_ip] += 1
+    weights = {
+        service: sum(math.log(count + 1) for count in clients.values())
+        for service, clients in per_client.items()
+    }
+    ranked = sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
+    ranked = ranked[:max_words]
+    if not ranked:
+        return []
+    top_weight = ranked[0][1]
+    entries = []
+    for word, weight in ranked:
+        bucket = 1 + int((buckets - 1) * (weight / top_weight)) if top_weight else 1
+        entries.append(
+            CloudEntry(word=word, weight=weight, bucket=min(bucket, buckets))
+        )
+    return entries
+
+
+def render_word_cloud(entries: Iterable[CloudEntry]) -> str:
+    """ASCII rendering: bigger bucket = more emphasis."""
+    marks = {5: "### {} ###", 4: "## {} ##", 3: "# {} #", 2: "+ {} +", 1: "{}"}
+    return "  ".join(
+        marks[entry.bucket].format(entry.word) for entry in entries
+    )

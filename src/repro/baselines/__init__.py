@@ -1,0 +1,33 @@
+"""Baseline comparators the paper evaluates DN-Hunter against.
+
+* :mod:`~repro.baselines.reverse_dns` — active PTR lookups on server
+  addresses (Tab. 3: only 9% match the FQDN DN-Hunter recovers);
+* :mod:`~repro.baselines.tls_cert` — server-name extraction from TLS
+  certificates (Tab. 4: 18% exact, 19% generic, 40% different, 23% none);
+* :mod:`~repro.baselines.dpi` — a signature-based deep-packet-inspection
+  engine: the ground-truth source for cleartext protocols and the tool
+  that goes blind on encrypted flows (Sec. 1).
+"""
+
+from repro.baselines.reverse_dns import (
+    MatchCategory,
+    ReverseLookupComparison,
+    compare_reverse_lookup,
+)
+from repro.baselines.tls_cert import (
+    CertCategory,
+    CertInspectionComparison,
+    compare_certificate_inspection,
+)
+from repro.baselines.dpi import DpiEngine, Signature
+
+__all__ = [
+    "MatchCategory",
+    "ReverseLookupComparison",
+    "compare_reverse_lookup",
+    "CertCategory",
+    "CertInspectionComparison",
+    "compare_certificate_inspection",
+    "DpiEngine",
+    "Signature",
+]

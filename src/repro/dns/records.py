@@ -1,0 +1,133 @@
+"""DNS resource records and the record types the system handles."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.net.ip import ip_from_str, ip_to_str
+
+
+class RRType(enum.IntEnum):
+    """Record types supported by the codec and server simulation."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+
+
+class RRClass(enum.IntEnum):
+    """Only IN is used; the codec still validates the field."""
+
+    IN = 1
+
+
+@dataclass(frozen=True, slots=True)
+class MxData:
+    """MX rdata: preference plus exchange host."""
+
+    preference: int
+    exchange: str
+
+
+@dataclass(frozen=True, slots=True)
+class SoaData:
+    """SOA rdata (only the fields the server simulation needs)."""
+
+    mname: str
+    rname: str
+    serial: int = 1
+    refresh: int = 3600
+    retry: int = 600
+    expire: int = 86400
+    minimum: int = 60
+
+
+RData = Union[int, str, bytes, MxData, SoaData]
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRecord:
+    """One DNS resource record.
+
+    ``rdata`` is typed per record: ``int`` (IPv4) for A, ``str`` for
+    CNAME/NS/PTR, ``bytes`` for TXT/AAAA, :class:`MxData` for MX and
+    :class:`SoaData` for SOA.
+    """
+
+    name: str
+    rtype: RRType
+    ttl: int
+    rdata: RData
+    rclass: RRClass = RRClass.IN
+
+    def __post_init__(self) -> None:
+        if self.ttl < 0:
+            raise ValueError("negative TTL")
+        expected = _RDATA_TYPES.get(self.rtype)
+        if expected is not None and not isinstance(self.rdata, expected):
+            raise TypeError(
+                f"{self.rtype.name} rdata must be {expected}, "
+                f"got {type(self.rdata).__name__}"
+            )
+
+    @property
+    def address(self) -> int:
+        """The IPv4 address for an A record."""
+        if self.rtype is not RRType.A:
+            raise TypeError(f"{self.rtype.name} record has no address")
+        assert isinstance(self.rdata, int)
+        return self.rdata
+
+    @property
+    def target(self) -> str:
+        """The target name for CNAME/NS/PTR records."""
+        if self.rtype not in (RRType.CNAME, RRType.NS, RRType.PTR):
+            raise TypeError(f"{self.rtype.name} record has no target name")
+        assert isinstance(self.rdata, str)
+        return self.rdata
+
+    def describe(self) -> str:
+        """Zone-file style one-liner, for debugging and reports."""
+        if self.rtype is RRType.A:
+            rdata = ip_to_str(self.address)
+        elif isinstance(self.rdata, bytes):
+            rdata = self.rdata.hex()
+        else:
+            rdata = str(self.rdata)
+        return f"{self.name} {self.ttl} IN {self.rtype.name} {rdata}"
+
+
+_RDATA_TYPES: dict[RRType, type | tuple[type, ...]] = {
+    RRType.A: int,
+    RRType.NS: str,
+    RRType.CNAME: str,
+    RRType.PTR: str,
+    RRType.TXT: bytes,
+    RRType.AAAA: bytes,
+    RRType.MX: MxData,
+    RRType.SOA: SoaData,
+}
+
+
+def a_record(name: str, address: int | str, ttl: int = 300) -> ResourceRecord:
+    """Convenience A-record constructor accepting int or dotted-quad."""
+    if isinstance(address, str):
+        address = ip_from_str(address)
+    return ResourceRecord(name=name, rtype=RRType.A, ttl=ttl, rdata=address)
+
+
+def cname_record(name: str, target: str, ttl: int = 300) -> ResourceRecord:
+    """Convenience CNAME constructor."""
+    return ResourceRecord(name=name, rtype=RRType.CNAME, ttl=ttl, rdata=target)
+
+
+def ptr_record(name: str, target: str, ttl: int = 3600) -> ResourceRecord:
+    """Convenience PTR constructor."""
+    return ResourceRecord(name=name, rtype=RRType.PTR, ttl=ttl, rdata=target)

@@ -1,0 +1,260 @@
+"""RFC 1035 wire-format encoder/decoder with name compression.
+
+The DNS response sniffer decodes raw UDP payloads with this codec, so the
+packet-level pipeline parses exactly what a real capture would contain.
+Compression pointers are emitted on encode (first occurrence wins) and
+followed on decode with loop protection.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.dns.message import DnsHeader, DnsMessage, Question
+from repro.dns.name import MAX_LABEL_LENGTH
+from repro.dns.records import (
+    MxData,
+    ResourceRecord,
+    RRClass,
+    RRType,
+    SoaData,
+)
+
+_HEADER_FMT = struct.Struct("!HHHHHH")
+_RR_FIXED_FMT = struct.Struct("!HHIH")
+_POINTER_MASK = 0xC000
+MAX_POINTER_HOPS = 64
+
+
+class DnsWireError(ValueError):
+    """Raised when a buffer is not a well-formed DNS message."""
+
+
+class _NameEncoder:
+    """Encode names with compression against a shared offset table."""
+
+    def __init__(self) -> None:
+        self._offsets: dict[str, int] = {}
+
+    def encode(self, name: str, at_offset: int) -> bytes:
+        labels = name.rstrip(".").lower().split(".") if name else []
+        out = bytearray()
+        for index in range(len(labels)):
+            suffix = ".".join(labels[index:])
+            known = self._offsets.get(suffix)
+            if known is not None:
+                out += struct.pack("!H", _POINTER_MASK | known)
+                return bytes(out)
+            current = at_offset + len(out)
+            if current < _POINTER_MASK:  # pointers only address 14 bits
+                self._offsets[suffix] = current
+            label = labels[index].encode("ascii")
+            if len(label) > MAX_LABEL_LENGTH:
+                raise DnsWireError(f"label too long: {labels[index]!r}")
+            out.append(len(label))
+            out += label
+        out.append(0)
+        return bytes(out)
+
+
+def _decode_name(data: bytes, offset: int) -> tuple[str, int]:
+    """Decode a possibly-compressed name; return (name, next offset)."""
+    labels: list[str] = []
+    jumped = False
+    next_offset = offset
+    hops = 0
+    while True:
+        if offset >= len(data):
+            raise DnsWireError("name runs past end of message")
+        length = data[offset]
+        if length & 0xC0 == 0xC0:
+            if offset + 1 >= len(data):
+                raise DnsWireError("truncated compression pointer")
+            pointer = ((length & 0x3F) << 8) | data[offset + 1]
+            if not jumped:
+                next_offset = offset + 2
+                jumped = True
+            hops += 1
+            if hops > MAX_POINTER_HOPS:
+                raise DnsWireError("compression pointer loop")
+            if pointer >= offset and not labels and hops == 1 and pointer >= len(data):
+                raise DnsWireError("pointer outside message")
+            offset = pointer
+            continue
+        if length & 0xC0:
+            raise DnsWireError(f"reserved label type {length:#x}")
+        offset += 1
+        if length == 0:
+            break
+        if offset + length > len(data):
+            raise DnsWireError("label runs past end of message")
+        labels.append(data[offset:offset + length].decode("ascii", "replace"))
+        offset += length
+    if not jumped:
+        next_offset = offset
+    return ".".join(labels), next_offset
+
+
+def _encode_rdata(
+    rr: ResourceRecord, encoder: _NameEncoder, at_offset: int
+) -> bytes:
+    if rr.rtype is RRType.A:
+        assert isinstance(rr.rdata, int)
+        return rr.rdata.to_bytes(4, "big")
+    if rr.rtype in (RRType.CNAME, RRType.NS, RRType.PTR):
+        assert isinstance(rr.rdata, str)
+        return encoder.encode(rr.rdata, at_offset)
+    if rr.rtype is RRType.MX:
+        assert isinstance(rr.rdata, MxData)
+        pref = struct.pack("!H", rr.rdata.preference)
+        return pref + encoder.encode(rr.rdata.exchange, at_offset + 2)
+    if rr.rtype is RRType.SOA:
+        assert isinstance(rr.rdata, SoaData)
+        soa = rr.rdata
+        mname = encoder.encode(soa.mname, at_offset)
+        rname = encoder.encode(soa.rname, at_offset + len(mname))
+        tail = struct.pack(
+            "!IIIII", soa.serial, soa.refresh, soa.retry, soa.expire,
+            soa.minimum,
+        )
+        return mname + rname + tail
+    if rr.rtype is RRType.TXT:
+        assert isinstance(rr.rdata, bytes)
+        if len(rr.rdata) > 255:
+            raise DnsWireError("TXT string too long")
+        return bytes([len(rr.rdata)]) + rr.rdata
+    if rr.rtype is RRType.AAAA:
+        assert isinstance(rr.rdata, bytes)
+        if len(rr.rdata) != 16:
+            raise DnsWireError("AAAA rdata must be 16 bytes")
+        return rr.rdata
+    raise DnsWireError(f"cannot encode rdata for {rr.rtype!r}")
+
+
+def _decode_rdata(
+    data: bytes, rtype: int, rdata_start: int, rdata_len: int
+) -> object:
+    end = rdata_start + rdata_len
+    blob = data[rdata_start:end]
+    if rtype == RRType.A:
+        if rdata_len != 4:
+            raise DnsWireError("A rdata must be 4 bytes")
+        return int.from_bytes(blob, "big")
+    if rtype in (RRType.CNAME, RRType.NS, RRType.PTR):
+        name, _ = _decode_name(data, rdata_start)
+        return name
+    if rtype == RRType.MX:
+        if rdata_len < 3:
+            raise DnsWireError("truncated MX rdata")
+        preference = struct.unpack_from("!H", data, rdata_start)[0]
+        exchange, _ = _decode_name(data, rdata_start + 2)
+        return MxData(preference, exchange)
+    if rtype == RRType.SOA:
+        mname, offset = _decode_name(data, rdata_start)
+        rname, offset = _decode_name(data, offset)
+        if offset + 20 > len(data):
+            raise DnsWireError("truncated SOA rdata")
+        serial, refresh, retry, expire, minimum = struct.unpack_from(
+            "!IIIII", data, offset
+        )
+        return SoaData(mname, rname, serial, refresh, retry, expire, minimum)
+    if rtype == RRType.TXT:
+        if not blob:
+            return b""
+        length = blob[0]
+        return blob[1:1 + length]
+    if rtype == RRType.AAAA:
+        if rdata_len != 16:
+            raise DnsWireError("AAAA rdata must be 16 bytes")
+        return blob
+    return blob  # unknown types carried opaquely
+
+
+def encode_message(message: DnsMessage) -> bytes:
+    """Serialize ``message`` to wire format with name compression."""
+    out = bytearray()
+    out += _HEADER_FMT.pack(
+        message.header.ident,
+        message.header.flags_word(),
+        len(message.questions),
+        len(message.answers),
+        len(message.authority),
+        len(message.additional),
+    )
+    encoder = _NameEncoder()
+    for question in message.questions:
+        out += encoder.encode(question.name, len(out))
+        out += struct.pack("!HH", int(question.qtype), int(question.qclass))
+    for rr in (*message.answers, *message.authority, *message.additional):
+        out += encoder.encode(rr.name, len(out))
+        fixed_at = len(out)
+        out += _RR_FIXED_FMT.pack(int(rr.rtype), int(rr.rclass), rr.ttl, 0)
+        rdata = _encode_rdata(rr, encoder, len(out))
+        if len(rdata) > 0xFFFF:
+            raise DnsWireError("rdata too long")
+        struct.pack_into("!H", out, fixed_at + 8, len(rdata))
+        out += rdata
+    return bytes(out)
+
+
+def _decode_rr(data: bytes, offset: int) -> tuple[ResourceRecord, int]:
+    name, offset = _decode_name(data, offset)
+    if offset + _RR_FIXED_FMT.size > len(data):
+        raise DnsWireError("truncated resource record")
+    rtype_raw, rclass_raw, ttl, rdata_len = _RR_FIXED_FMT.unpack_from(
+        data, offset
+    )
+    offset += _RR_FIXED_FMT.size
+    if offset + rdata_len > len(data):
+        raise DnsWireError("rdata runs past end of message")
+    try:
+        rtype = RRType(rtype_raw)
+    except ValueError as exc:
+        raise DnsWireError(f"unsupported record type {rtype_raw}") from exc
+    try:
+        rclass = RRClass(rclass_raw)
+    except ValueError as exc:
+        raise DnsWireError(f"unsupported record class {rclass_raw}") from exc
+    rdata = _decode_rdata(data, rtype, offset, rdata_len)
+    record = ResourceRecord(
+        name=name, rtype=rtype, ttl=ttl, rdata=rdata, rclass=rclass
+    )
+    return record, offset + rdata_len
+
+
+def decode_message(data: bytes) -> DnsMessage:
+    """Parse a wire-format DNS message."""
+    if len(data) < _HEADER_FMT.size:
+        raise DnsWireError("truncated DNS header")
+    ident, flags, qd, an, ns, ar = _HEADER_FMT.unpack_from(data)
+    try:
+        header = DnsHeader.from_flags_word(ident, flags)
+    except ValueError as exc:  # reserved RCODE values
+        raise DnsWireError(str(exc)) from exc
+    message = DnsMessage(header=header)
+    offset = _HEADER_FMT.size
+    for _ in range(qd):
+        name, offset = _decode_name(data, offset)
+        if offset + 4 > len(data):
+            raise DnsWireError("truncated question")
+        qtype_raw, qclass_raw = struct.unpack_from("!HH", data, offset)
+        offset += 4
+        try:
+            qtype = RRType(qtype_raw)
+            qclass = RRClass(qclass_raw)
+        except ValueError as exc:
+            raise DnsWireError(
+                f"unsupported question type/class {qtype_raw}/{qclass_raw}"
+            ) from exc
+        message.questions.append(
+            Question(name=name, qtype=qtype, qclass=qclass)
+        )
+    for section, count in (
+        (message.answers, an),
+        (message.authority, ns),
+        (message.additional, ar),
+    ):
+        for _ in range(count):
+            record, offset = _decode_rr(data, offset)
+            section.append(record)
+    return message

@@ -1,0 +1,14 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(...) -> ExperimentResult``; the registry in
+:mod:`~repro.experiments.runner` maps experiment ids ("table2", "fig12",
+...) to them, and the ``repro-exp`` console script runs them from the
+command line.  Generated traces are cached per process in
+:mod:`~repro.experiments.datasets` so a full sweep builds each trace
+once.
+"""
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import REGISTRY, run_experiment
+
+__all__ = ["ExperimentResult", "REGISTRY", "run_experiment"]

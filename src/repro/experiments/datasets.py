@@ -1,0 +1,69 @@
+"""Per-process dataset cache.
+
+Experiments and benchmarks share traces: building EU1-ADSL1 takes a few
+seconds, so each (name, seed) is generated once and the sniffer pipeline
+run once; downstream analytics operate on the cached labeled database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.analytics.database import FlowDatabase
+from repro.simulation.trace import (
+    LiveDeployment,
+    Trace,
+    build_live_deployment,
+    build_trace,
+)
+from repro.sniffer.pipeline import SnifferPipeline
+
+DEFAULT_SEED = 7
+STANDARD_TRACES = (
+    "US-3G", "EU2-ADSL", "EU1-ADSL1", "EU1-ADSL2", "EU1-FTTH",
+)
+DEFAULT_CLIST = 200_000
+
+
+@dataclass
+class TraceResult:
+    """A trace plus everything the sniffer derived from it."""
+
+    trace: Trace
+    pipeline: SnifferPipeline
+    database: FlowDatabase
+
+
+@lru_cache(maxsize=None)
+def get_trace(name: str, seed: int = DEFAULT_SEED) -> Trace:
+    """Build (once) and return a standard trace."""
+    return build_trace(name, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def get_result(name: str, seed: int = DEFAULT_SEED) -> TraceResult:
+    """Trace + pipeline run + labeled flow database, cached."""
+    trace = get_trace(name, seed)
+    pipeline = SnifferPipeline(clist_size=DEFAULT_CLIST)
+    pipeline.process_trace(trace)
+    database = FlowDatabase.from_flows(pipeline.tagged_flows)
+    return TraceResult(trace=trace, pipeline=pipeline, database=database)
+
+
+@lru_cache(maxsize=None)
+def get_live(
+    days: int = 18, seed: int = 11, n_clients: int = 50
+) -> tuple[LiveDeployment, FlowDatabase]:
+    """The 18-day live deployment stream plus its flow database."""
+    live = build_live_deployment(days=days, seed=seed, n_clients=n_clients)
+    return live, FlowDatabase.from_flows(live.flows)
+
+
+@lru_cache(maxsize=None)
+def get_delays(name: str, seed: int = DEFAULT_SEED):
+    """DNS-to-flow delay analysis for one trace (Tab. 9, Fig. 12/13)."""
+    from repro.analytics.delays import analyze_delays
+
+    result = get_result(name, seed)
+    return analyze_delays(result.trace.observations, result.trace.flows)

@@ -1,0 +1,46 @@
+"""Figure 11 — BitTorrent tracker activity timeline on appspot.
+
+Paper (18 days, 4-hour bins, 45 trackers): ~33% stay active the whole
+window, a group (ids 26-31) shows synchronized on-off behaviour, the
+rest are transient zombies.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.trackers import TrackerActivityAnalysis
+from repro.experiments.datasets import get_live
+from repro.experiments.result import ExperimentResult
+
+
+def run(days: int = 18, seed: int = 11) -> ExperimentResult:
+    live, _database = get_live(days=days, seed=seed)
+    tracker_set = set(live.tracker_fqdns)
+    analysis = TrackerActivityAnalysis(
+        bin_seconds=4 * 3600.0,
+        classifier=lambda fqdn: fqdn in tracker_set,
+    )
+    analysis.observe_all(live.flows)
+    rendered = analysis.render(width_bins=days * 6 - 1)
+    timelines = analysis.timelines()
+    always = analysis.always_on(threshold=0.85)
+    groups = analysis.synchronized_groups(min_size=3, min_overlap=0.6)
+    notes = (
+        f"Shape check — {len(timelines)} trackers observed (paper 45); "
+        f"{len(always)} always-on ({len(always)/max(len(timelines),1):.0%}; "
+        f"paper ~33%); synchronized groups found: "
+        f"{[len(g) for g in groups]} (paper: ids 26-31 move together)."
+    )
+    return ExperimentResult(
+        exp_id="fig11",
+        title="Tracker activity timeline (live deployment)",
+        data={
+            "timelines": {
+                t.service: sorted(t.active_bins) for t in timelines
+            },
+            "always_on": [t.service for t in always],
+            "synchronized": groups,
+        },
+        rendered=rendered,
+        notes=notes,
+        paper_reference="Fig. 11",
+    )

@@ -1,0 +1,52 @@
+"""Figure 13 — CDF of the gap between a DNS response and *any* later flow.
+
+Paper: the head follows the first-flow delay, but the tail stretches to
+hours — client caches keep serving flows long after the response, so a
+Clist covering ~1 hour of responses resolves ~98% of flows (Sec. 6).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.datasets import DEFAULT_SEED, STANDARD_TRACES, get_delays
+from repro.experiments.report import render_table
+from repro.experiments.result import ExperimentResult
+
+SAMPLE_POINTS = (0.1, 1.0, 10.0, 300.0, 1800.0, 3600.0, 7200.0)
+
+
+def run(seed: int = DEFAULT_SEED) -> ExperimentResult:
+    analyses = {
+        name: get_delays(name, seed) for name in STANDARD_TRACES
+    }
+    rows = []
+    for point in SAMPLE_POINTS:
+        row = [f"<= {point:g}s"]
+        for name in STANDARD_TRACES:
+            row.append(
+                f"{analyses[name].fraction_within(point, which='any'):.0%}"
+            )
+        rows.append(row)
+    rendered = render_table(
+        ["Gap", *STANDARD_TRACES],
+        rows,
+        title="Fig. 13: CDF of time between DNS response and any flow",
+    )
+    hour_coverage = {
+        name: analyses[name].fraction_within(3600.0, which="any")
+        for name in STANDARD_TRACES
+    }
+    notes = (
+        "Shape check — a 1-hour window covers nearly all flows "
+        f"(paper ~98%): { {k: f'{v:.0%}' for k, v in hour_coverage.items()} }"
+    )
+    return ExperimentResult(
+        exp_id="fig13",
+        title="DNS-to-any-flow gap CDF",
+        data={
+            name: analysis.cdf_points("any", SAMPLE_POINTS)
+            for name, analysis in analyses.items()
+        },
+        rendered=rendered,
+        notes=notes,
+        paper_reference="Fig. 13",
+    )

@@ -1,0 +1,62 @@
+"""Figure 5 — active FQDNs per CDN over the day.
+
+Paper (EU1-ADSL2, 10-min bins): Amazon serves the most distinct FQDNs
+(>600 per bin at peak, 7995 over the day), Akamai and Microsoft follow,
+EdgeCast serves <20.  The reproduced ordering should match.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.temporal import fqdns_per_cdn_series, total_fqdns_per_cdn
+from repro.experiments.datasets import DEFAULT_SEED, get_result
+from repro.experiments.report import hours_fmt
+from repro.experiments.result import ExperimentResult
+
+CDNS = (
+    "akamai", "amazon", "google", "level 3", "leaseweb", "cotendo",
+    "edgecast", "microsoft",
+)
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    trace: str = "EU1-ADSL2-24H",
+    bin_seconds: float = 600.0,
+) -> ExperimentResult:
+    result = get_result(trace, seed)
+    ipdb = result.trace.internet.ipdb
+    series = fqdns_per_cdn_series(
+        result.database, ipdb, CDNS, bin_seconds=bin_seconds
+    )
+    totals = {
+        cdn: total_fqdns_per_cdn(result.database, ipdb, cdn) for cdn in CDNS
+    }
+    sections = []
+    for cdn in CDNS:
+        data = series[cdn]
+        if not data:
+            sections.append(f"{cdn}: (no labeled flows)")
+            continue
+        rows = [
+            f"{hours_fmt(t)} |{'#' * min(v, 70)}| {v}"
+            for t, v in data[:: max(1, len(data) // 16)]
+        ]
+        sections.append(
+            f"{cdn} — active FQDNs per {bin_seconds/60:.0f}min bin "
+            f"(day total {totals[cdn]})\n" + "\n".join(rows)
+        )
+    rendered = "\n\n".join(sections)
+    ranked = sorted(totals, key=totals.get, reverse=True)
+    notes = (
+        "Shape check — big hosters serve far more distinct names than "
+        f"niche CDNs: day totals {totals}; ordering {' > '.join(ranked[:4])}; "
+        f"edgecast small ({totals['edgecast']}) as in the paper (<20/bin)."
+    )
+    return ExperimentResult(
+        exp_id="fig5",
+        title="FQDNs served per CDN over time",
+        data={"series": series, "totals": totals},
+        rendered=rendered,
+        notes=notes,
+        paper_reference="Fig. 5",
+    )

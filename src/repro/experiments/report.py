@@ -1,0 +1,69 @@
+"""Plain-text rendering helpers: tables and CDF/series plots."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(separator)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_cdf(
+    points: Sequence[tuple[float, float]],
+    title: str = "",
+    width: int = 50,
+    x_label: str = "x",
+) -> str:
+    """Horizontal-bar CDF: one row per sampled x, bar length = CDF."""
+    lines = [title] if title else []
+    for x, y in points:
+        bar = "#" * int(round(y * width))
+        lines.append(f"{x:>10.3g} {x_label:<4s} |{bar:<{width}}| {y:6.1%}")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Sequence[tuple[float, float]],
+    title: str = "",
+    width: int = 50,
+    max_rows: int = 48,
+    x_format: str = "{:.0f}",
+) -> str:
+    """Horizontal-bar time series, downsampled to ``max_rows`` rows."""
+    lines = [title] if title else []
+    if not series:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    step = max(1, len(series) // max_rows)
+    sampled = list(series)[::step]
+    peak = max(value for _, value in sampled) or 1
+    for x, value in sampled:
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{x_format.format(x):>10} |{bar:<{width}}| {value}")
+    return "\n".join(lines)
+
+
+def hours_fmt(seconds: float) -> str:
+    """Format trace-time seconds as HH:MM."""
+    total_minutes = int(seconds // 60)
+    return f"{(total_minutes // 60) % 24:02d}:{total_minutes % 60:02d}"

@@ -1,0 +1,34 @@
+"""Common result container for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes:
+        exp_id: registry id, e.g. ``"table5"``.
+        title: what the paper calls it.
+        data: structured result (rows, series, ...) for programmatic use.
+        rendered: human-readable text (the regenerated table/figure).
+        notes: qualitative expectations and observations.
+    """
+
+    exp_id: str
+    title: str
+    data: Any
+    rendered: str
+    notes: str = ""
+    paper_reference: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        header = f"== {self.exp_id}: {self.title} =="
+        parts = [header, self.rendered]
+        if self.notes:
+            parts.append(f"[notes] {self.notes}")
+        return "\n".join(parts)

@@ -1,0 +1,41 @@
+"""Network substrate: IPv4 utilities, packet headers, flows, TCP, pcap I/O.
+
+This package provides the low-level plumbing DN-Hunter's sniffer consumes:
+an integer-based IPv4 representation tuned for high-rate lookups, binary
+encode/decode for Ethernet/IPv4/UDP/TCP headers, a five-tuple flow model,
+a TCP connection tracker, and a classic-pcap reader/writer so synthetic
+traces can round-trip through real capture files.
+"""
+
+from repro.net.ip import (
+    IPv4Network,
+    IPv4Pool,
+    ip_from_str,
+    ip_to_str,
+    is_private,
+)
+from repro.net.flow import FiveTuple, FlowRecord, Protocol, TransportProto
+from repro.net.packet import (
+    EthernetHeader,
+    IPv4Header,
+    Packet,
+    TcpHeader,
+    UdpHeader,
+)
+
+__all__ = [
+    "IPv4Network",
+    "IPv4Pool",
+    "ip_from_str",
+    "ip_to_str",
+    "is_private",
+    "FiveTuple",
+    "FlowRecord",
+    "Protocol",
+    "TransportProto",
+    "EthernetHeader",
+    "IPv4Header",
+    "TcpHeader",
+    "UdpHeader",
+    "Packet",
+]

@@ -1,0 +1,320 @@
+"""Binary packet headers: Ethernet II, IPv4, UDP, TCP.
+
+The synthetic traces can be rendered to real byte-level packets (and pcap
+files) and parsed back, so the sniffer's packet path is exercised against
+genuine wire formats rather than mock objects.  Only the fields the system
+needs are modelled; options beyond the fixed headers are carried as opaque
+bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.flow import TransportProto
+
+ETHERTYPE_IPV4 = 0x0800
+_ETH_FMT = struct.Struct("!6s6sH")
+_IPV4_FMT = struct.Struct("!BBHHHBBH4s4s")
+_UDP_FMT = struct.Struct("!HHHH")
+_TCP_FMT = struct.Struct("!HHIIBBHHH")
+
+# TCP flag bits
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+
+
+class PacketDecodeError(ValueError):
+    """Raised when a buffer cannot be parsed as the expected header."""
+
+
+def checksum16(data: bytes) -> int:
+    """RFC 1071 ones'-complement checksum over ``data``."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+@dataclass(frozen=True, slots=True)
+class EthernetHeader:
+    """Ethernet II header (no VLAN tags)."""
+
+    dst_mac: bytes
+    src_mac: bytes
+    ethertype: int = ETHERTYPE_IPV4
+
+    def encode(self) -> bytes:
+        return _ETH_FMT.pack(self.dst_mac, self.src_mac, self.ethertype)
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["EthernetHeader", bytes]:
+        if len(data) < _ETH_FMT.size:
+            raise PacketDecodeError("truncated Ethernet header")
+        dst, src, etype = _ETH_FMT.unpack_from(data)
+        return cls(dst, src, etype), data[_ETH_FMT.size:]
+
+
+@dataclass(frozen=True, slots=True)
+class IPv4Header:
+    """IPv4 header without options."""
+
+    src: int
+    dst: int
+    proto: int
+    total_length: int = 0
+    ttl: int = 64
+    ident: int = 0
+
+    HEADER_LEN = _IPV4_FMT.size
+
+    def encode(self, payload_len: int) -> bytes:
+        total = self.HEADER_LEN + payload_len
+        head = _IPV4_FMT.pack(
+            (4 << 4) | 5,  # version 4, IHL 5 words
+            0,
+            total,
+            self.ident,
+            0,  # flags/fragment offset: never fragmented in our traces
+            self.ttl,
+            self.proto,
+            0,  # checksum placeholder
+            self.src.to_bytes(4, "big"),
+            self.dst.to_bytes(4, "big"),
+        )
+        csum = checksum16(head)
+        return head[:10] + struct.pack("!H", csum) + head[12:]
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["IPv4Header", bytes]:
+        if len(data) < cls.HEADER_LEN:
+            raise PacketDecodeError("truncated IPv4 header")
+        (
+            ver_ihl,
+            _tos,
+            total,
+            ident,
+            _frag,
+            ttl,
+            proto,
+            _csum,
+            src,
+            dst,
+        ) = _IPV4_FMT.unpack_from(data)
+        version = ver_ihl >> 4
+        if version != 4:
+            raise PacketDecodeError(f"not IPv4 (version={version})")
+        ihl = (ver_ihl & 0x0F) * 4
+        if ihl < cls.HEADER_LEN or len(data) < ihl:
+            raise PacketDecodeError("bad IPv4 header length")
+        if total < ihl or total > len(data):
+            raise PacketDecodeError("bad IPv4 total length")
+        header = cls(
+            src=int.from_bytes(src, "big"),
+            dst=int.from_bytes(dst, "big"),
+            proto=proto,
+            total_length=total,
+            ttl=ttl,
+            ident=ident,
+        )
+        return header, data[ihl:total]
+
+
+@dataclass(frozen=True, slots=True)
+class UdpHeader:
+    """UDP header; checksum left zero (legal for IPv4)."""
+
+    src_port: int
+    dst_port: int
+
+    HEADER_LEN = _UDP_FMT.size
+
+    def encode(self, payload_len: int) -> bytes:
+        return _UDP_FMT.pack(
+            self.src_port, self.dst_port, self.HEADER_LEN + payload_len, 0
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["UdpHeader", bytes]:
+        if len(data) < cls.HEADER_LEN:
+            raise PacketDecodeError("truncated UDP header")
+        sport, dport, length, _csum = _UDP_FMT.unpack_from(data)
+        if length < cls.HEADER_LEN or length > len(data):
+            raise PacketDecodeError("bad UDP length")
+        return cls(sport, dport), data[cls.HEADER_LEN:length]
+
+
+@dataclass(frozen=True, slots=True)
+class TcpHeader:
+    """TCP header without options; checksum not computed (passive sniffer)."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+
+    HEADER_LEN = _TCP_FMT.size
+
+    def encode(self) -> bytes:
+        return _TCP_FMT.pack(
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            (5 << 4),  # data offset 5 words, no options
+            self.flags,
+            self.window,
+            0,
+            0,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["TcpHeader", bytes]:
+        if len(data) < cls.HEADER_LEN:
+            raise PacketDecodeError("truncated TCP header")
+        (
+            sport,
+            dport,
+            seq,
+            ack,
+            offset_rsvd,
+            flags,
+            window,
+            _csum,
+            _urg,
+        ) = _TCP_FMT.unpack_from(data)
+        offset = (offset_rsvd >> 4) * 4
+        if offset < cls.HEADER_LEN or len(data) < offset:
+            raise PacketDecodeError("bad TCP data offset")
+        header = cls(sport, dport, seq, ack, flags, window)
+        return header, data[offset:]
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & TCP_SYN) and not self.flags & TCP_ACK
+
+    @property
+    def is_synack(self) -> bool:
+        return bool(self.flags & TCP_SYN) and bool(self.flags & TCP_ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & TCP_FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.flags & TCP_RST)
+
+
+@dataclass(slots=True)
+class Packet:
+    """A decoded packet: timestamp plus parsed layer headers and payload."""
+
+    timestamp: float
+    ipv4: IPv4Header
+    udp: Optional[UdpHeader] = None
+    tcp: Optional[TcpHeader] = None
+    payload: bytes = b""
+    eth: Optional[EthernetHeader] = field(default=None, repr=False)
+
+    @property
+    def transport(self) -> Optional[TransportProto]:
+        """Which transport this packet carries, if one we model."""
+        if self.tcp is not None:
+            return TransportProto.TCP
+        if self.udp is not None:
+            return TransportProto.UDP
+        return None
+
+    @property
+    def src_port(self) -> int:
+        head = self.tcp or self.udp
+        if head is None:
+            raise ValueError("packet has no transport header")
+        return head.src_port
+
+    @property
+    def dst_port(self) -> int:
+        head = self.tcp or self.udp
+        if head is None:
+            raise ValueError("packet has no transport header")
+        return head.dst_port
+
+
+_BROADCAST = b"\xff" * 6
+_LOCAL_MAC = b"\x02\x00\x00\x00\x00\x01"
+
+
+def build_udp_packet(
+    timestamp: float,
+    src: int,
+    dst: int,
+    src_port: int,
+    dst_port: int,
+    payload: bytes,
+    with_ethernet: bool = True,
+) -> bytes:
+    """Encode a full UDP-in-IPv4(-in-Ethernet) frame."""
+    udp = UdpHeader(src_port, dst_port)
+    segment = udp.encode(len(payload)) + payload
+    ip = IPv4Header(src=src, dst=dst, proto=TransportProto.UDP)
+    datagram = ip.encode(len(segment)) + segment
+    if not with_ethernet:
+        return datagram
+    return EthernetHeader(_BROADCAST, _LOCAL_MAC).encode() + datagram
+
+
+def build_tcp_packet(
+    timestamp: float,
+    src: int,
+    dst: int,
+    src_port: int,
+    dst_port: int,
+    flags: int,
+    seq: int = 0,
+    ack: int = 0,
+    payload: bytes = b"",
+    with_ethernet: bool = True,
+) -> bytes:
+    """Encode a full TCP-in-IPv4(-in-Ethernet) frame."""
+    tcp = TcpHeader(src_port, dst_port, seq=seq, ack=ack, flags=flags)
+    segment = tcp.encode() + payload
+    ip = IPv4Header(src=src, dst=dst, proto=TransportProto.TCP)
+    datagram = ip.encode(len(segment)) + segment
+    if not with_ethernet:
+        return datagram
+    return EthernetHeader(_BROADCAST, _LOCAL_MAC).encode() + datagram
+
+
+def decode_frame(
+    timestamp: float, data: bytes, with_ethernet: bool = True
+) -> Packet:
+    """Decode a raw frame into a :class:`Packet`.
+
+    Non-IPv4 ethertypes and transports other than TCP/UDP raise
+    :class:`PacketDecodeError`; a capture loop is expected to skip those.
+    """
+    eth = None
+    if with_ethernet:
+        eth, data = EthernetHeader.decode(data)
+        if eth.ethertype != ETHERTYPE_IPV4:
+            raise PacketDecodeError(f"unsupported ethertype {eth.ethertype:#x}")
+    ipv4, rest = IPv4Header.decode(data)
+    packet = Packet(timestamp=timestamp, ipv4=ipv4, eth=eth)
+    if ipv4.proto == TransportProto.UDP:
+        packet.udp, packet.payload = UdpHeader.decode(rest)
+    elif ipv4.proto == TransportProto.TCP:
+        packet.tcp, packet.payload = TcpHeader.decode(rest)
+    else:
+        raise PacketDecodeError(f"unsupported IP protocol {ipv4.proto}")
+    return packet

@@ -1,0 +1,146 @@
+"""Classic libpcap file format reader/writer.
+
+Synthetic traces can be persisted as standard ``.pcap`` files (magic
+0xA1B2C3D4, microsecond timestamps, LINKTYPE_ETHERNET or LINKTYPE_RAW) so
+they can be inspected with external tools and re-read by the sniffer,
+proving the packet path works on genuine capture files.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW = 101
+
+_GLOBAL_FMT = struct.Struct("<IHHiIII")
+_RECORD_FMT = struct.Struct("<IIII")
+
+
+class PcapFormatError(ValueError):
+    """Raised on malformed pcap input."""
+
+
+@dataclass(frozen=True, slots=True)
+class PcapRecord:
+    """One captured frame: timestamp (float seconds) and raw bytes."""
+
+    timestamp: float
+    data: bytes
+
+
+class PcapWriter:
+    """Stream frames into a classic pcap file.
+
+    Usage::
+
+        with PcapWriter(open(path, "wb"), linktype=LINKTYPE_ETHERNET) as out:
+            out.write(timestamp, frame_bytes)
+    """
+
+    def __init__(
+        self,
+        fileobj: BinaryIO,
+        linktype: int = LINKTYPE_ETHERNET,
+        snaplen: int = 65535,
+    ):
+        self._file = fileobj
+        self._file.write(
+            _GLOBAL_FMT.pack(PCAP_MAGIC, 2, 4, 0, 0, snaplen, linktype)
+        )
+        self.count = 0
+
+    def write(self, timestamp: float, data: bytes) -> None:
+        """Append one frame."""
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1_000_000))
+        if micros >= 1_000_000:  # guard against rounding to the next second
+            seconds += 1
+            micros -= 1_000_000
+        self._file.write(
+            _RECORD_FMT.pack(seconds, micros, len(data), len(data))
+        )
+        self._file.write(data)
+        self.count += 1
+
+    def write_all(self, records: Iterable[PcapRecord]) -> None:
+        """Append many frames."""
+        for record in records:
+            self.write(record.timestamp, record.data)
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Iterate frames out of a classic pcap file, handling byte order."""
+
+    def __init__(self, fileobj: BinaryIO):
+        self._file = fileobj
+        header = fileobj.read(_GLOBAL_FMT.size)
+        if len(header) < _GLOBAL_FMT.size:
+            raise PcapFormatError("truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == PCAP_MAGIC:
+            self._endian = "<"
+        elif magic == PCAP_MAGIC_SWAPPED:
+            self._endian = ">"
+        else:
+            raise PcapFormatError(f"bad pcap magic {magic:#x}")
+        fields = struct.unpack(self._endian + "IHHiIII", header)
+        self.version = (fields[1], fields[2])
+        self.snaplen = fields[5]
+        self.linktype = fields[6]
+        self._record = struct.Struct(self._endian + "IIII")
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        while True:
+            head = self._file.read(self._record.size)
+            if not head:
+                return
+            if len(head) < self._record.size:
+                raise PcapFormatError("truncated pcap record header")
+            seconds, micros, caplen, origlen = self._record.unpack(head)
+            if caplen > origlen or caplen > self.snaplen + 65535:
+                raise PcapFormatError("implausible pcap record length")
+            data = self._file.read(caplen)
+            if len(data) < caplen:
+                raise PcapFormatError("truncated pcap record body")
+            yield PcapRecord(seconds + micros / 1_000_000, data)
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_pcap(
+    path: str,
+    records: Iterable[PcapRecord],
+    linktype: int = LINKTYPE_ETHERNET,
+) -> int:
+    """Write ``records`` to ``path``; return the number written."""
+    with open(path, "wb") as handle:
+        writer = PcapWriter(handle, linktype=linktype)
+        writer.write_all(records)
+        return writer.count
+
+
+def read_pcap(path: str) -> list[PcapRecord]:
+    """Read every record of the pcap file at ``path``."""
+    with open(path, "rb") as handle:
+        return list(PcapReader(handle))

@@ -1,0 +1,192 @@
+"""TCP connection tracking: reconstruct layer-4 flows from segments.
+
+The flow sniffer (Sec. 3.1) "reconstructs layer-4 flows by aggregating
+packets based on the 5-tuple".  This module implements the per-connection
+state machine used on the packet path: handshake detection fixes which
+endpoint is the client, payload bytes are accumulated per direction, and
+FIN/RST or an idle timeout closes the flow.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.net.flow import FiveTuple, FlowRecord, Protocol, TransportProto
+from repro.net.packet import Packet
+
+
+class TcpState(enum.Enum):
+    """Connection lifecycle as observed by a passive monitor."""
+
+    SYN_SEEN = "syn-seen"
+    ESTABLISHED = "established"
+    CLOSING = "closing"
+    CLOSED = "closed"
+
+
+@dataclass
+class TcpConnection:
+    """Book-keeping for one tracked connection."""
+
+    fid: FiveTuple
+    state: TcpState
+    start: float
+    last_seen: float
+    bytes_up: int = 0
+    bytes_down: int = 0
+    packets: int = 0
+    fin_up: bool = False
+    fin_down: bool = False
+    first_payload: bytes = b""
+
+    def to_record(self) -> FlowRecord:
+        """Freeze the connection into an immutable flow record."""
+        return FlowRecord(
+            fid=self.fid,
+            start=self.start,
+            end=self.last_seen,
+            bytes_up=self.bytes_up,
+            bytes_down=self.bytes_down,
+            packets=self.packets,
+        )
+
+
+class TcpFlowTracker:
+    """Track concurrent TCP connections and emit completed flow records.
+
+    Connections are keyed by the normalized five-tuple.  A connection whose
+    first observed segment is a SYN gets its client side from the SYN
+    sender; mid-stream pickups (trace started after the handshake) fall
+    back to "lower port is the server" heuristics, mirroring what passive
+    monitors such as Tstat do.
+
+    Args:
+        idle_timeout: seconds of silence after which a connection is
+            considered finished and flushed.
+        capture_payload: bytes of the first client payload to retain for
+            DPI baselines (0 disables).
+    """
+
+    def __init__(self, idle_timeout: float = 300.0, capture_payload: int = 64):
+        self.idle_timeout = idle_timeout
+        self.capture_payload = capture_payload
+        self._active: dict[FiveTuple, TcpConnection] = {}
+        self._completed: list[FlowRecord] = []
+        self.stats = {"packets": 0, "midstream": 0, "flows": 0}
+
+    def _normalize(self, packet: Packet) -> tuple[FiveTuple, bool]:
+        """Return (five-tuple in client->server orientation, is_upstream)."""
+        assert packet.tcp is not None
+        src = packet.ipv4.src
+        dst = packet.ipv4.dst
+        sport = packet.tcp.src_port
+        dport = packet.tcp.dst_port
+        forward = FiveTuple(src, dst, sport, dport, TransportProto.TCP)
+        reverse = FiveTuple(dst, src, dport, sport, TransportProto.TCP)
+        if forward in self._active:
+            return forward, True
+        if reverse in self._active:
+            return reverse, False
+        if packet.tcp.is_syn:
+            return forward, True
+        if packet.tcp.is_synack:
+            return reverse, False
+        # Mid-stream: guess that the numerically lower port is the server.
+        self.stats["midstream"] += 1
+        if dport <= sport:
+            return forward, True
+        return reverse, False
+
+    def feed(self, packet: Packet) -> Optional[FlowRecord]:
+        """Consume one TCP packet; return a flow record if one completed."""
+        if packet.tcp is None:
+            raise ValueError("TcpFlowTracker.feed expects TCP packets")
+        self.stats["packets"] += 1
+        fid, upstream = self._normalize(packet)
+        conn = self._active.get(fid)
+        if conn is None:
+            state = (
+                TcpState.SYN_SEEN if packet.tcp.is_syn else TcpState.ESTABLISHED
+            )
+            conn = TcpConnection(
+                fid=fid,
+                state=state,
+                start=packet.timestamp,
+                last_seen=packet.timestamp,
+            )
+            self._active[fid] = conn
+        conn.last_seen = packet.timestamp
+        conn.packets += 1
+        if conn.state is TcpState.SYN_SEEN and packet.tcp.is_synack:
+            conn.state = TcpState.ESTABLISHED
+        if packet.payload:
+            if upstream:
+                if not conn.first_payload and self.capture_payload:
+                    conn.first_payload = packet.payload[: self.capture_payload]
+                conn.bytes_up += len(packet.payload)
+            else:
+                conn.bytes_down += len(packet.payload)
+        if packet.tcp.is_rst:
+            return self._finish(fid)
+        if packet.tcp.is_fin:
+            if upstream:
+                conn.fin_up = True
+            else:
+                conn.fin_down = True
+            if conn.fin_up and conn.fin_down:
+                return self._finish(fid)
+            conn.state = TcpState.CLOSING
+        return None
+
+    def _finish(self, fid: FiveTuple) -> FlowRecord:
+        conn = self._active.pop(fid)
+        conn.state = TcpState.CLOSED
+        record = conn.to_record()
+        self.stats["flows"] += 1
+        self._completed.append(record)
+        return record
+
+    def expire(self, now: float) -> list[FlowRecord]:
+        """Flush connections idle longer than ``idle_timeout``."""
+        stale = [
+            fid
+            for fid, conn in self._active.items()
+            if now - conn.last_seen > self.idle_timeout
+        ]
+        return [self._finish(fid) for fid in stale]
+
+    def flush(self) -> list[FlowRecord]:
+        """Close every remaining connection (end of trace)."""
+        return [self._finish(fid) for fid in list(self._active)]
+
+    @property
+    def active_count(self) -> int:
+        """Connections currently being tracked."""
+        return len(self._active)
+
+    def completed(self) -> Iterator[FlowRecord]:
+        """Iterate flow records completed so far."""
+        return iter(self._completed)
+
+
+def classify_port(dst_port: int, has_tls: bool = False) -> Protocol:
+    """Rough layer-7 classification by destination port.
+
+    Used as a fallback when no DPI ground truth is attached; the real
+    classification in experiments comes from the simulator's labels.
+    """
+    if has_tls or dst_port in (443, 995, 993, 465, 5223):
+        return Protocol.TLS
+    if dst_port in (80, 8080, 3128):
+        return Protocol.HTTP
+    if dst_port in (25, 110, 143, 587):
+        return Protocol.MAIL
+    if dst_port in (1863, 5050, 5190, 5222, 5228):
+        return Protocol.CHAT
+    if dst_port in (554, 1935):
+        return Protocol.STREAMING
+    if dst_port == 53:
+        return Protocol.DNS
+    return Protocol.OTHER

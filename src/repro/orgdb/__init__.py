@@ -1,0 +1,18 @@
+"""IP-to-organization database (the paper's MaxMind/whois substitute).
+
+The content-discovery analytics (Sec. 4.2, Fig. 5, Tab. 5) need to map a
+server address to the CDN or cloud provider operating it.  The paper used
+the MaxMind organization database; we provide the same query surface
+backed by the simulated internet's address plan.
+"""
+
+from repro.orgdb.ipdb import IpOrganizationDb, IpRange
+from repro.orgdb.whois import OrgKind, OrgRecord, WhoisRegistry
+
+__all__ = [
+    "IpOrganizationDb",
+    "IpRange",
+    "OrgRecord",
+    "OrgKind",
+    "WhoisRegistry",
+]

@@ -1,0 +1,851 @@
+"""The concrete tangled-web catalog.
+
+Organizations, CDNs and services are modelled on the ones the paper's
+evaluation names: Zynga on Amazon EC2 + Akamai (Fig. 8), LinkedIn across
+Akamai/CDNetworks/EdgeCast (Fig. 7), Facebook static content on Akamai's
+fbcdn.net, Twitter leaning on Akamai only in Europe, Dailymotion on
+Dedibox (Fig. 9), Amazon-hosted ad networks (Tab. 5), mail and messaging
+services on their well-known ports (Tab. 6/7), and BitTorrent trackers
+squatting on Google appspot (Fig. 10/11, Tab. 8).
+
+Server counts are scaled ~1:10 from the paper so the traces stay
+laptop-sized; flow-share *ratios* follow the figures.
+"""
+
+from __future__ import annotations
+
+from repro.net.flow import Protocol
+from repro.simulation.entities import (
+    Cdn,
+    CertPolicy,
+    Deployment,
+    Organization,
+    PtrStyle,
+    Service,
+)
+
+EU = "EU"
+US = "US"
+GEOGRAPHIES = (EU, US)
+
+# Organizations whose services are page assets: browsing sessions pull
+# embedded fetches from these alongside the primary page.
+ASSET_DOMAINS = frozenset(
+    {"fbcdn.net", "cloudfront.net", "ytimg.com", "twimg.com",
+     "sharethis.com", "invitemedia.com", "rubiconproject.com"}
+)
+
+
+def build_cdns() -> list[Cdn]:
+    """The infrastructure operators with per-geography address blocks."""
+    return [
+        Cdn(
+            name="akamai",
+            cidrs_by_geo={EU: ["2.16.0.0/20"], US: ["2.32.0.0/20"]},
+            ptr_style=PtrStyle.CDN_INFRA,
+            ptr_template="a{ip}.deploy.akamaitechnologies.com",
+            ptr_coverage=0.75,
+            default_ttl=20,
+        ),
+        Cdn(
+            name="amazon",
+            cidrs_by_geo={EU: ["46.51.0.0/20"], US: ["54.224.0.0/20"]},
+            ptr_style=PtrStyle.CDN_INFRA,
+            ptr_template="ec2-{ip}.compute-1.amazonaws.com",
+            ptr_coverage=0.85,
+            default_ttl=60,
+        ),
+        Cdn(
+            name="google",
+            cidrs_by_geo={EU: ["173.194.0.0/20"], US: ["74.125.0.0/20"]},
+            ptr_style=PtrStyle.CDN_INFRA,
+            ptr_template="cache-{ip}.1e100.net",
+            ptr_coverage=0.9,
+            default_ttl=300,
+        ),
+        Cdn(
+            name="level 3",
+            cidrs_by_geo={EU: ["8.252.0.0/21"], US: ["8.254.0.0/21"]},
+            ptr_style=PtrStyle.CDN_INFRA,
+            ptr_template="cds{ip}.footprint.net",
+            ptr_coverage=0.4,
+            default_ttl=60,
+        ),
+        Cdn(
+            name="leaseweb",
+            cidrs_by_geo={EU: ["85.17.0.0/21"], US: ["85.25.0.0/21"]},
+            ptr_style=PtrStyle.CDN_INFRA,
+            ptr_template="{ip}.hosted-by.leaseweb.com",
+            ptr_coverage=0.8,
+            default_ttl=300,
+        ),
+        Cdn(
+            name="cotendo",
+            cidrs_by_geo={EU: ["12.129.0.0/22"], US: ["12.130.0.0/22"]},
+            ptr_style=PtrStyle.NONE,
+            ptr_coverage=0.0,
+            default_ttl=30,
+        ),
+        Cdn(
+            name="edgecast",
+            cidrs_by_geo={EU: ["93.184.216.0/22"], US: ["68.232.32.0/22"]},
+            ptr_style=PtrStyle.CDN_INFRA,
+            ptr_template="{ip}.edgecastcdn.net",
+            ptr_coverage=0.6,
+            default_ttl=60,
+        ),
+        Cdn(
+            name="microsoft",
+            cidrs_by_geo={EU: ["94.245.64.0/21"], US: ["65.52.0.0/21"]},
+            ptr_style=PtrStyle.CDN_INFRA,
+            ptr_template="{ip}.msedge.net",
+            ptr_coverage=0.5,
+            default_ttl=120,
+        ),
+        Cdn(
+            name="cdnetworks",
+            cidrs_by_geo={EU: ["95.211.0.0/22"], US: ["120.29.144.0/22"]},
+            ptr_style=PtrStyle.CDN_INFRA,
+            ptr_template="{ip}.cdngc.net",
+            ptr_coverage=0.5,
+            default_ttl=30,
+        ),
+        Cdn(
+            name="dedibox",
+            cidrs_by_geo={EU: ["88.190.0.0/21"], US: ["88.191.0.0/21"]},
+            ptr_style=PtrStyle.CDN_INFRA,
+            ptr_template="{ip}.poneytelecom.eu",
+            ptr_coverage=0.7,
+            default_ttl=120,
+        ),
+        Cdn(
+            name="meta",
+            cidrs_by_geo={EU: ["174.138.0.0/22"], US: ["174.137.0.0/22"]},
+            ptr_style=PtrStyle.NONE,
+            ptr_coverage=0.0,
+            default_ttl=60,
+        ),
+        Cdn(
+            name="ntt",
+            cidrs_by_geo={EU: ["129.251.0.0/22"], US: ["129.250.0.0/22"]},
+            ptr_style=PtrStyle.CDN_INFRA,
+            ptr_template="{ip}.gin.ntt.net",
+            ptr_coverage=0.6,
+            default_ttl=300,
+        ),
+    ]
+
+
+def _blog_names(count: int = 150) -> list[str]:
+    stems = [
+        "cucina", "viaggi", "moda", "tech", "photo", "music", "cars",
+        "sport", "news", "craft", "garden", "money", "movie", "game",
+        "style",
+    ]
+    return [f"{stems[i % len(stems)]}{i // len(stems)}" for i in range(count)]
+
+
+def _appspot_apps(count: int = 400) -> list[str]:
+    stems = [
+        "notes", "chess", "budget", "recipe", "quiz", "poll", "wiki",
+        "paste", "chart", "todo", "meet", "shorten", "translate", "feed",
+        "album", "forum",
+    ]
+    return [f"{stems[i % len(stems)]}-app{i // len(stems)}" for i in range(count)]
+
+
+APPSPOT_TRACKERS = [
+    "open-tracker", "rlskingbt", "exodus-tracker", "genesis-bt",
+    "bt-announce", "swarm-tracker", "peertracker", "freetracker",
+    "megatracker", "publict0rrent",
+] + [f"tracker-zone{i}" for i in range(10)]
+
+
+def build_organizations() -> list[Organization]:
+    """Every content owner in the synthetic web."""
+    orgs: list[Organization] = []
+
+    # ------------------------------------------------------------------
+    # Google properties (WILDCARD certs — the paper's *.google.com case).
+    orgs.append(
+        Organization(
+            domain="google.com",
+            cert_policy=CertPolicy.WILDCARD,
+            dns_ttl=300,
+            services=[
+                Service("www", 80, Protocol.HTTP,
+                        [Deployment("google", 16)], popularity=9.0,
+                        answer_list_size=8),
+                Service("mail", 443, Protocol.TLS,
+                        [Deployment("google", 12)], popularity=4.0,
+                        answer_list_size=8),
+                Service("docs", 443, Protocol.TLS,
+                        [Deployment("google", 8)], popularity=0.8),
+                Service("accounts", 443, Protocol.TLS,
+                        [Deployment("google", 6)], popularity=1.0),
+                Service("scholar", 80, Protocol.HTTP,
+                        [Deployment("google", 4)], popularity=0.5),
+                # Mail exchange names (Tab. 6 port 25 tokens).
+                Service("aspmx.l", 25, Protocol.MAIL,
+                        [Deployment("google", 4)], popularity=0.8),
+                Service("gmail-smtp-in.l", 25, Protocol.MAIL,
+                        [Deployment("google", 4)], popularity=0.7),
+                # Messaging (Tab. 7: gtalk on 5222, Android Market 5228).
+                Service("chat", 5222, Protocol.CHAT,
+                        [Deployment("google", 4)], popularity=1.2,
+                        popularity_by_geo={US: 2.5}),
+                Service("mtalk", 5228, Protocol.CHAT,
+                        [Deployment("google", 4)], popularity=0.6,
+                        popularity_by_geo={US: 3.0}),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="youtube.com",
+            cert_policy=CertPolicy.WILDCARD,
+            dns_ttl=120,
+            services=[
+                Service("www", 80, Protocol.HTTP,
+                        [Deployment("google", 10)], popularity=7.0,
+                        bytes_down=60_000, embedded=("ytimg.com",),
+                        answer_list_size=3),
+                Service("v{n}.lscache{n}", 80, Protocol.HTTP,
+                        [Deployment("google", 40, diurnal_scaling=True)],
+                        popularity=6.0, n_range=(1, 8),
+                        bytes_down=400_000, answer_list_size=4),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="ytimg.com",
+            cert_policy=CertPolicy.ORG_GENERIC,
+            services=[
+                Service("s", 80, Protocol.HTTP, [Deployment("google", 6)],
+                        popularity=2.0, bytes_down=8_000),
+                Service("i{n}", 80, Protocol.HTTP, [Deployment("google", 8)],
+                        popularity=2.0, n_range=(1, 4), bytes_down=5_000),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="blogspot.com",
+            cert_policy=CertPolicy.ORG_GENERIC,
+            dns_ttl=600,
+            services=[
+                Service("{name}", 80, Protocol.HTTP,
+                        [Deployment("google", 12)], popularity=3.5,
+                        name_pool=_blog_names(90), bytes_down=25_000,
+                        answer_list_size=2),
+            ],
+        )
+    )
+    # Appspot: legit apps + the BitTorrent trackers of Sec. 5.6.
+    orgs.append(
+        Organization(
+            domain="appspot.com",
+            cert_policy=CertPolicy.WILDCARD,
+            dns_ttl=300,
+            services=[
+                Service("{name}", 80, Protocol.HTTP,
+                        [Deployment("google", 8)], popularity=1.2,
+                        name_pool=_appspot_apps(), bytes_up=400,
+                        bytes_down=6_500),
+                Service("{name}", 80, Protocol.P2P,
+                        [Deployment("google", 8)], popularity=0.15,
+                        popularity_by_geo={EU: 0.25},
+                        name_pool=APPSPOT_TRACKERS, bytes_up=1_200,
+                        bytes_down=2_200),
+            ],
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Facebook: mostly SELF, static content on Akamai's fbcdn.net.
+    orgs.append(
+        Organization(
+            domain="facebook.com",
+            cert_policy=CertPolicy.WILDCARD,
+            self_cidrs_by_geo={EU: ["66.220.144.0/22"],
+                               US: ["69.171.224.0/22"]},
+            dns_ttl=300,
+            services=[
+                Service("www", 80, Protocol.HTTP,
+                        [Deployment("SELF", 10, weight=0.92),
+                         Deployment("akamai", 4, weight=0.08)],
+                        popularity=10.0, embedded=("fbcdn.net",),
+                        answer_list_size=4),
+                Service("login", 443, Protocol.TLS,
+                        [Deployment("SELF", 4)], popularity=2.5),
+                Service("apps", 80, Protocol.HTTP,
+                        [Deployment("SELF", 6, weight=0.9),
+                         Deployment("akamai", 2, weight=0.1)],
+                        popularity=3.0),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="fbcdn.net",
+            cert_policy=CertPolicy.CDN_NAME,
+            cert_cdn_name="a248.e.akamai.net",
+            dns_ttl=20,
+            services=[
+                Service("photos-{name}", 80, Protocol.HTTP,
+                        [Deployment("akamai", 60, diurnal_scaling=True)],
+                        popularity=8.0,
+                        name_pool=[chr(c) for c in range(ord("a"), ord("z") + 1)],
+                        bytes_down=30_000, answer_list_size=4),
+                Service("static", 80, Protocol.HTTP,
+                        [Deployment("akamai", 20, diurnal_scaling=True)],
+                        popularity=4.0, bytes_down=10_000,
+                        answer_list_size=3),
+                Service("profile", 80, Protocol.HTTP,
+                        [Deployment("akamai", 20, diurnal_scaling=True)],
+                        popularity=3.0, bytes_down=6_000,
+                        answer_list_size=3),
+            ],
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Twitter: SELF in the US, leans on Akamai in Europe (Fig. 9).
+    orgs.append(
+        Organization(
+            domain="twitter.com",
+            cert_policy=CertPolicy.EXACT,
+            self_cidrs_by_geo={EU: ["199.59.148.0/22"],
+                               US: ["199.16.156.0/22"]},
+            dns_ttl=30,
+            services=[
+                Service("www", 80, Protocol.HTTP,
+                        [Deployment("SELF", 6, weight=0.6),
+                         Deployment("akamai", 8, weight=0.4,
+                                    geographies=(EU,)),
+                         Deployment("SELF", 2, weight=0.4,
+                                    geographies=(US,))],
+                        popularity=5.0, embedded=("twimg.com",)),
+                Service("api", 443, Protocol.TLS,
+                        [Deployment("SELF", 4, weight=0.7),
+                         Deployment("akamai", 4, weight=0.3,
+                                    geographies=(EU,)),
+                         Deployment("SELF", 2, weight=0.3,
+                                    geographies=(US,))],
+                        popularity=3.0),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="twimg.com",
+            cert_policy=CertPolicy.CDN_NAME,
+            cert_cdn_name="cloudfront.net",
+            services=[
+                Service("a{n}", 80, Protocol.HTTP,
+                        [Deployment("amazon", 6)], popularity=2.0,
+                        popularity_by_geo={EU: 3.0}, n_range=(0, 3),
+                        bytes_down=8_000),
+            ],
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Dailymotion: Dedibox everywhere, extra US mirrors (Fig. 9 bottom).
+    orgs.append(
+        Organization(
+            domain="dailymotion.com",
+            cert_policy=CertPolicy.EXACT,
+            self_cidrs_by_geo={EU: ["195.8.212.0/22"], US: ["195.8.216.0/22"]},
+            dns_ttl=60,
+            services=[
+                Service("www", 80, Protocol.HTTP,
+                        [Deployment("dedibox", 10, weight=0.8),
+                         Deployment("edgecast", 2, weight=0.2,
+                                    geographies=(EU,)),
+                         Deployment("SELF", 3, weight=0.1,
+                                    geographies=(US,)),
+                         Deployment("meta", 3, weight=0.06,
+                                    geographies=(US,)),
+                         Deployment("ntt", 2, weight=0.04,
+                                    geographies=(US,))],
+                        popularity=3.0, bytes_down=50_000),
+                Service("proxy-{n}", 80, Protocol.STREAMING,
+                        [Deployment("dedibox", 12, weight=0.9),
+                         Deployment("meta", 3, weight=0.1,
+                                    geographies=(US,))],
+                        popularity=2.0, n_range=(1, 20),
+                        bytes_down=500_000),
+            ],
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Zynga (Fig. 8): games on Amazon EC2, static on Akamai, corp on SELF.
+    amazon_games = [
+        "cityville", "frontierville", "petville", "fishville.facebook",
+        "treasure", "cafe", "fish", "frontier", "support", "static",
+        "toolbar", "rewards", "sslrewards", "zbar", "accounts",
+        "iphone.stats", "glb.zyngawithfriends",
+    ]
+    akamai_static = [
+        "assets", "avatars", "zgn", "zpay", "zbar.cdn", "{n}",
+        "fb_client_{n}", "fb_{n}", "dev{n}.cclough", "myspace.esp",
+        "facebook{n}", "facebook.cdn", "mobile",
+    ]
+    zynga_self = [
+        "www", "mwms", "nav{n}", "zpay{n}", "forum", "secure{n}",
+        "track", "streetracing.myspace{n}", "mafiawars", "vampires",
+        "poker",
+    ]
+    zynga_services: list[Service] = []
+    for sub in amazon_games:
+        zynga_services.append(
+            Service(sub, 443, Protocol.TLS,
+                    [Deployment("amazon", 12)], popularity=0.86 / len(amazon_games) * 10,
+                    n_range=(1, 4), bytes_down=15_000, answer_list_size=3)
+        )
+    for sub in akamai_static:
+        zynga_services.append(
+            Service(sub, 80, Protocol.HTTP,
+                    [Deployment("akamai", 5)], popularity=0.07 / len(akamai_static) * 10,
+                    n_range=(1, 4), bytes_down=9_000)
+        )
+    for sub in zynga_self:
+        zynga_services.append(
+            Service(sub, 80, Protocol.HTTP,
+                    [Deployment("SELF", 5)], popularity=0.07 / len(zynga_self) * 10,
+                    n_range=(1, 4), bytes_down=7_000)
+        )
+    orgs.append(
+        Organization(
+            domain="zynga.com",
+            cert_policy=CertPolicy.CDN_NAME,
+            cert_cdn_name="a248.e.akamai.net",
+            self_cidrs_by_geo={EU: ["64.210.0.0/22"], US: ["64.211.0.0/22"]},
+            dns_ttl=60,
+            services=zynga_services,
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # LinkedIn (Fig. 7): four hosting arrangements with the paper's shares.
+    orgs.append(
+        Organization(
+            domain="linkedin.com",
+            cert_policy=CertPolicy.EXACT,
+            self_cidrs_by_geo={EU: ["108.174.0.0/22"], US: ["108.175.0.0/22"]},
+            dns_ttl=300,
+            services=[
+                Service("media{n}", 80, Protocol.HTTP,
+                        [Deployment("akamai", 2)], popularity=0.17 * 10,
+                        n_range=(1, 6), bytes_down=12_000),
+                Service("media", 80, Protocol.HTTP,
+                        [Deployment("cdnetworks", 8)], popularity=0.015 * 10),
+                Service("static{n}", 80, Protocol.HTTP,
+                        [Deployment("cdnetworks", 7)], popularity=0.015 * 10,
+                        n_range=(1, 5)),
+                Service("media{n}platform", 80, Protocol.HTTP,
+                        [Deployment("edgecast", 1)], popularity=0.59 * 10,
+                        n_range=(1, 4), bytes_down=15_000),
+                Service("www", 80, Protocol.HTTP,
+                        [Deployment("SELF", 3)], popularity=0.16 * 10),
+                Service("www{n}", 443, Protocol.TLS,
+                        [Deployment("SELF", 3)], popularity=0.06 * 10,
+                        n_range=(6, 8)),
+            ],
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Dropbox on Amazon (the paper's QoS example; encrypted).
+    orgs.append(
+        Organization(
+            domain="dropbox.com",
+            # Served straight off the hosting cloud's certificate — the
+            # paper's "a248.akamai.net serving Zynga" situation.
+            cert_policy=CertPolicy.CDN_NAME,
+            cert_cdn_name="s3.amazonaws.com",
+            dns_ttl=60,
+            services=[
+                Service("www", 443, Protocol.TLS, [Deployment("amazon", 6)],
+                        popularity=1.5),
+                Service("client", 443, Protocol.TLS,
+                        [Deployment("amazon", 10)], popularity=2.0,
+                        bytes_up=50_000, bytes_down=50_000),
+            ],
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # The Amazon-hosted long tail of Tab. 5 (geo-dependent popularity).
+    def amazon_org(domain, subdomain, pop_eu, pop_us, protocol=Protocol.HTTP,
+                   servers=4, name_pool=(), n_range=(1, 8), cert=CertPolicy.EXACT):
+        return Organization(
+            domain=domain,
+            cert_policy=cert,
+            dns_ttl=60,
+            services=[
+                Service(subdomain, 443 if protocol is Protocol.TLS else 80,
+                        protocol, [Deployment("amazon", servers)],
+                        popularity=pop_eu,
+                        popularity_by_geo={EU: pop_eu, US: pop_us},
+                        name_pool=name_pool, n_range=n_range,
+                        bytes_down=6_000, answer_list_size=2),
+            ],
+        )
+
+    cloudfront_ids = [f"d{i}hx{i%7}q" for i in range(60)]
+    orgs.extend(
+        [
+            amazon_org("cloudfront.net", "{name}", 4.0, 2.0,
+                       servers=12, name_pool=cloudfront_ids),
+            amazon_org("playfish.com", "cdn.game{n}", 3.2, 0.2, servers=6,
+                       n_range=(1, 20)),
+            amazon_org("sharethis.com", "w{n}", 1.0, 1.0),
+            amazon_org("invitemedia.com", "ads{n}", 0.4, 2.0),
+            amazon_org("rubiconproject.com", "optimized-by{n}", 0.4, 1.4),
+            amazon_org("amazonaws.com", "s3-{n}", 0.8, 0.6, servers=8,
+                       n_range=(1, 30)),
+            amazon_org("amazon.com", "www", 0.4, 1.4, servers=6),
+            amazon_org("andomedia.com", "ando{n}", 0.0, 1.0),
+            amazon_org("admarvel.com", "api{n}", 0.0, 0.7),
+            amazon_org("mobclix.com", "data{n}", 0.0, 0.9),
+            amazon_org("imdb.com", "www", 0.25, 0.1),
+        ]
+    )
+
+    # ------------------------------------------------------------------
+    # Mail providers (Tab. 6: ports 25/110/143/554/587/995).
+    orgs.append(
+        Organization(
+            domain="altn.it",
+            cert_policy=CertPolicy.EXACT,
+            self_cidrs_by_geo={EU: ["62.149.128.0/22"], US: ["62.149.132.0/22"]},
+            dns_ttl=600,
+            services=[
+                Service("smtp{n}.mail", 25, Protocol.MAIL,
+                        [Deployment("SELF", 3)], popularity=1.6,
+                        popularity_by_geo={US: 0.2}, n_range=(1, 4),
+                        bytes_up=8_000, bytes_down=600),
+                Service("mx{n}", 25, Protocol.MAIL, [Deployment("SELF", 2)],
+                        popularity=0.7, popularity_by_geo={US: 0.1},
+                        n_range=(1, 3), bytes_up=6_000, bytes_down=500),
+                Service("altn.mailin", 25, Protocol.MAIL,
+                        [Deployment("SELF", 2)], popularity=0.5,
+                        popularity_by_geo={US: 0.1}),
+                Service("pop.mail", 110, Protocol.MAIL,
+                        [Deployment("SELF", 3)], popularity=1.8,
+                        popularity_by_geo={US: 0.2}, bytes_up=400,
+                        bytes_down=20_000),
+                Service("pop{n}.mail", 110, Protocol.MAIL,
+                        [Deployment("SELF", 3)], popularity=0.9,
+                        popularity_by_geo={US: 0.1}, n_range=(1, 5)),
+                Service("imap.mail", 143, Protocol.MAIL,
+                        [Deployment("SELF", 2)], popularity=0.8,
+                        popularity_by_geo={US: 0.1}),
+                Service("smtp.submit", 587, Protocol.MAIL,
+                        [Deployment("SELF", 2)], popularity=0.5,
+                        popularity_by_geo={US: 0.05}),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="fastmail.com",
+            cert_policy=CertPolicy.EXACT,
+            self_cidrs_by_geo={EU: ["66.111.4.0/24"], US: ["66.111.5.0/24"]},
+            services=[
+                Service("mailin{n}", 25, Protocol.MAIL,
+                        [Deployment("SELF", 2)], popularity=0.6,
+                        n_range=(1, 3), bytes_up=5_000, bytes_down=400),
+                Service("pop.mailbus", 110, Protocol.MAIL,
+                        [Deployment("SELF", 2)], popularity=0.7,
+                        bytes_down=15_000),
+                Service("mail{n}", 25, Protocol.MAIL,
+                        [Deployment("SELF", 2)], popularity=0.9,
+                        n_range=(1, 4)),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="live.com",
+            cert_policy=CertPolicy.ORG_GENERIC,
+            dns_ttl=300,
+            services=[
+                Service("pop{n}.glbdns.hot", 995, Protocol.TLS,
+                        [Deployment("microsoft", 4)], popularity=1.2,
+                        popularity_by_geo={US: 0.4}, n_range=(1, 4),
+                        bytes_down=18_000),
+                Service("mail.glbdns.hot", 995, Protocol.TLS,
+                        [Deployment("microsoft", 3)], popularity=0.7,
+                        popularity_by_geo={US: 0.3}),
+                # MSN messenger (Tab. 6 port 1863).
+                Service("messenger.relay.edge", 1863, Protocol.CHAT,
+                        [Deployment("microsoft", 4)], popularity=1.3,
+                        bytes_up=2_000, bytes_down=2_000),
+                Service("voice.messenger", 1863, Protocol.CHAT,
+                        [Deployment("microsoft", 2)], popularity=0.4),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="msn.com",
+            cert_policy=CertPolicy.ORG_GENERIC,
+            services=[
+                Service("messenger.emea", 1863, Protocol.CHAT,
+                        [Deployment("microsoft", 2)], popularity=0.5,
+                        popularity_by_geo={US: 0.1}),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="aruba.it",
+            cert_policy=CertPolicy.EXACT,
+            self_cidrs_by_geo={EU: ["212.48.0.0/22"], US: ["212.48.4.0/22"]},
+            services=[
+                Service("pop.pec", 995, Protocol.TLS,
+                        [Deployment("SELF", 2)], popularity=0.6,
+                        popularity_by_geo={US: 0.02}, bytes_down=9_000),
+                Service("pec.mail", 995, Protocol.TLS,
+                        [Deployment("SELF", 2)], popularity=0.3,
+                        popularity_by_geo={US: 0.02}),
+            ],
+        )
+    )
+    # Apple: IMAP + push notifications + RTSP trailers (Tab. 6/7).
+    orgs.append(
+        Organization(
+            domain="apple.com",
+            cert_policy=CertPolicy.EXACT,
+            self_cidrs_by_geo={EU: ["17.0.0.0/21"], US: ["17.8.0.0/21"]},
+            dns_ttl=600,
+            services=[
+                Service("apple.imap.mail", 143, Protocol.MAIL,
+                        [Deployment("SELF", 2)], popularity=0.4,
+                        bytes_down=12_000),
+                Service("courier.push", 5223, Protocol.TLS,
+                        [Deployment("SELF", 4)], popularity=0.5,
+                        popularity_by_geo={US: 2.2}, bytes_up=500,
+                        bytes_down=500),
+                Service("streaming.qtv", 554, Protocol.STREAMING,
+                        [Deployment("SELF", 2)], popularity=0.15,
+                        bytes_down=200_000),
+                Service("itunes", 80, Protocol.HTTP,
+                        [Deployment("akamai", 6)], popularity=1.2,
+                        bytes_down=40_000),
+            ],
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Messaging / niche services of Tab. 7 (US-3G heavy).
+    orgs.append(
+        Organization(
+            domain="yahoo.com",
+            cert_policy=CertPolicy.ORG_GENERIC,
+            self_cidrs_by_geo={EU: ["87.248.112.0/21"], US: ["98.136.0.0/21"]},
+            services=[
+                Service("msg.webcs", 5050, Protocol.CHAT,
+                        [Deployment("SELF", 3)], popularity=0.4,
+                        popularity_by_geo={US: 1.6}),
+                Service("sip.voipa", 5050, Protocol.CHAT,
+                        [Deployment("SELF", 2)], popularity=0.2,
+                        popularity_by_geo={US: 0.6}),
+                Service("www", 80, Protocol.HTTP, [Deployment("SELF", 4)],
+                        popularity=2.0),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="aol.com",
+            cert_policy=CertPolicy.ORG_GENERIC,
+            self_cidrs_by_geo={EU: ["205.189.0.0/22"], US: ["205.188.0.0/22"]},
+            services=[
+                Service("americaonline", 5190, Protocol.CHAT,
+                        [Deployment("SELF", 2)], popularity=0.15,
+                        popularity_by_geo={US: 0.7}),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="opera-mini.net",
+            cert_policy=CertPolicy.EXACT,
+            self_cidrs_by_geo={EU: ["195.189.142.0/23"], US: ["141.0.8.0/22"]},
+            services=[
+                Service("opera.mini{n}", 1080, Protocol.HTTP,
+                        [Deployment("SELF", 4)], popularity=0.1,
+                        popularity_by_geo={US: 2.0}, n_range=(1, 6),
+                        bytes_down=9_000),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="lindenlab.com",
+            cert_policy=CertPolicy.EXACT,
+            self_cidrs_by_geo={EU: ["216.83.0.0/21"], US: ["216.82.0.0/21"]},
+            services=[
+                Service("sim{n}.agni", 12043, Protocol.OTHER,
+                        [Deployment("SELF", 6)], popularity=0.05,
+                        popularity_by_geo={US: 0.8}, n_range=(1, 30),
+                        bytes_up=30_000, bytes_down=80_000),
+                Service("sim{n}.agni", 12046, Protocol.OTHER,
+                        [Deployment("SELF", 6)], popularity=0.04,
+                        popularity_by_geo={US: 0.5}, n_range=(1, 30)),
+            ],
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # BitTorrent tracker domains (Tab. 7 ports 1337/2710/6969/18182).
+    orgs.append(
+        Organization(
+            domain="1337x.org",
+            cert_policy=CertPolicy.EXACT,
+            self_cidrs_by_geo={EU: ["91.121.0.0/22"], US: ["91.122.0.0/22"]},
+            dns_ttl=1800,
+            services=[
+                Service("exodus", 1337, Protocol.P2P,
+                        [Deployment("SELF", 2)], popularity=0.04,
+                        popularity_by_geo={US: 0.45}, bytes_up=900,
+                        bytes_down=1_500),
+                Service("genesis", 1337, Protocol.P2P,
+                        [Deployment("SELF", 2)], popularity=0.02,
+                        popularity_by_geo={US: 0.22}),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="openbittorrent.com",
+            cert_policy=CertPolicy.EXACT,
+            self_cidrs_by_geo={EU: ["188.165.0.0/22"], US: ["188.166.0.0/22"]},
+            dns_ttl=1800,
+            services=[
+                Service("tracker", 2710, Protocol.P2P,
+                        [Deployment("SELF", 2)], popularity=0.05,
+                        popularity_by_geo={US: 0.30}, bytes_up=800,
+                        bytes_down=1_400),
+                Service("www", 2710, Protocol.HTTP,
+                        [Deployment("SELF", 1)], popularity=0.01,
+                        popularity_by_geo={US: 0.05}),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="publicbt.com",
+            cert_policy=CertPolicy.EXACT,
+            self_cidrs_by_geo={EU: ["188.164.0.0/22"], US: ["188.167.0.0/22"]},
+            dns_ttl=1800,
+            services=[
+                Service("tracker", 6969, Protocol.P2P,
+                        [Deployment("SELF", 2)], popularity=0.08,
+                        popularity_by_geo={US: 0.40}, bytes_up=800,
+                        bytes_down=1_400),
+                Service("tracker{n}", 6969, Protocol.P2P,
+                        [Deployment("SELF", 2)], popularity=0.03,
+                        popularity_by_geo={US: 0.16}, n_range=(1, 4)),
+                Service("torrent", 6969, Protocol.P2P,
+                        [Deployment("SELF", 1)], popularity=0.02,
+                        popularity_by_geo={US: 0.10}),
+                Service("exodus.bt", 6969, Protocol.P2P,
+                        [Deployment("SELF", 1)], popularity=0.02,
+                        popularity_by_geo={US: 0.08}),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="snakeoil-tracker.net",
+            cert_policy=CertPolicy.EXACT,
+            self_cidrs_by_geo={EU: ["178.32.0.0/22"], US: ["178.33.0.0/22"]},
+            dns_ttl=1800,
+            services=[
+                Service("useful.broker", 18182, Protocol.P2P,
+                        [Deployment("SELF", 2)], popularity=0.03,
+                        popularity_by_geo={US: 0.30}, bytes_up=900,
+                        bytes_down=1_500),
+            ],
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Generic long-tail web (keeps the FQDN universe diverse).
+    orgs.append(
+        Organization(
+            domain="wikipedia.org",
+            cert_policy=CertPolicy.EXACT,
+            self_cidrs_by_geo={EU: ["91.198.174.0/24"], US: ["208.80.152.0/22"]},
+            services=[
+                Service("{name}", 80, Protocol.HTTP,
+                        [Deployment("SELF", 4)], popularity=3.0,
+                        name_pool=["en", "it", "fr", "de", "es", "commons"],
+                        bytes_down=20_000),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="bbc.co.uk",
+            cert_policy=CertPolicy.EXACT,
+            services=[
+                Service("www", 80, Protocol.HTTP,
+                        [Deployment("level 3", 4, weight=0.5),
+                         Deployment("akamai", 4, weight=0.5)],
+                        popularity=1.6, popularity_by_geo={US: 0.4},
+                        bytes_down=25_000),
+                Service("news", 80, Protocol.HTTP,
+                        [Deployment("akamai", 4)], popularity=1.0,
+                        popularity_by_geo={US: 0.3}),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="leasehost.net",
+            cert_policy=CertPolicy.EXACT,
+            services=[
+                Service("{name}", 80, Protocol.HTTP,
+                        [Deployment("leaseweb", 10)], popularity=1.2,
+                        name_pool=[f"site{i}" for i in range(40)],
+                        bytes_down=10_000),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="cotendo-shop.com",
+            cert_policy=CertPolicy.EXACT,
+            services=[
+                Service("shop{n}", 80, Protocol.HTTP,
+                        [Deployment("cotendo", 4)], popularity=0.5,
+                        n_range=(1, 10), bytes_down=12_000),
+            ],
+        )
+    )
+    orgs.append(
+        Organization(
+            domain="windowsupdate.com",
+            cert_policy=CertPolicy.ORG_GENERIC,
+            services=[
+                Service("download.update{n}", 80, Protocol.HTTP,
+                        [Deployment("microsoft", 6)], popularity=1.4,
+                        n_range=(1, 6), bytes_down=150_000),
+            ],
+        )
+    )
+
+    return orgs
+
+
+def build_catalog() -> tuple[list[Cdn], list[Organization]]:
+    """The full synthetic-web catalog: (CDNs, organizations)."""
+    return build_cdns(), build_organizations()

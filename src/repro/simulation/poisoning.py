@@ -1,0 +1,73 @@
+"""DNS cache-poisoning injection (Sec. 4.1's anomaly-detection scenario).
+
+"Consider the case of DNS cache poisoning where a response for certain
+FQDN suddenly changes and is different from what was seen by DN-Hunter
+in the past.  We can easily flag this scenario as an anomaly."
+
+:func:`inject_poisoning` rewrites a fraction of a trace's DNS responses
+for one target FQDN to point at attacker-controlled addresses, giving
+the :class:`~repro.analytics.anomaly.MappingAnomalyDetector` a ground
+truth to detect.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.flow import DnsObservation
+from repro.net.ip import IPv4Network
+
+# Attacker infrastructure: a block no legitimate operator announces.
+ATTACKER_BLOCK = IPv4Network.parse("203.0.113.0/24")  # TEST-NET-3
+
+
+@dataclass
+class PoisoningCampaign:
+    """Record of the injected attack, for evaluating the detector."""
+
+    target_fqdn: str
+    start: float
+    end: float
+    attacker_addresses: list[int] = field(default_factory=list)
+    poisoned_observations: int = 0
+
+    def covers(self, timestamp: float) -> bool:
+        return self.start <= timestamp <= self.end
+
+
+def inject_poisoning(
+    observations: list[DnsObservation],
+    target_fqdn: str,
+    start: float,
+    end: float,
+    seed: int = 99,
+    attacker_servers: int = 3,
+) -> PoisoningCampaign:
+    """Rewrite responses for ``target_fqdn`` inside [start, end].
+
+    Mutates the observation list in place (answers only; timestamps and
+    clients stay, as real poisoned responses would) and returns the
+    campaign record.
+    """
+    if end < start:
+        raise ValueError("campaign end before start")
+    rng = random.Random(seed)
+    attacker = [
+        ATTACKER_BLOCK.address(rng.randrange(ATTACKER_BLOCK.size))
+        for _ in range(attacker_servers)
+    ]
+    campaign = PoisoningCampaign(
+        target_fqdn=target_fqdn.lower(),
+        start=start,
+        end=end,
+        attacker_addresses=attacker,
+    )
+    for observation in observations:
+        if observation.fqdn.lower() != campaign.target_fqdn:
+            continue
+        if not campaign.covers(observation.timestamp):
+            continue
+        observation.answers = [rng.choice(attacker)]
+        campaign.poisoned_observations += 1
+    return campaign

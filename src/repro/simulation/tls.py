@@ -1,0 +1,45 @@
+"""TLS certificate behaviour (the Tab. 4 driver).
+
+Each organization has a certificate policy (exact name, wildcard,
+organization-generic, or the hosting CDN's own certificate), and a
+fraction of TLS sessions are resumed without any certificate exchange —
+the paper's four outcome classes emerge from these two mechanisms.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.dns.name import second_level_domain
+from repro.simulation.entities import CertPolicy, Organization
+
+# Fraction of TLS flows that resume a session and show no certificate
+# ("Certificate exchange might happen only the first time ... all other
+# flows following that will share the trust", Sec. 5.2.1).
+DEFAULT_RESUME_PROBABILITY = 0.23
+
+
+def certificate_name(
+    organization: Organization,
+    fqdn: str,
+    rng: random.Random,
+    resume_probability: float = DEFAULT_RESUME_PROBABILITY,
+) -> Optional[str]:
+    """The server name a passive monitor would read from this TLS flow.
+
+    Returns None for resumed sessions (no certificate on the wire).
+    """
+    if rng.random() < resume_probability:
+        return None
+    sld = second_level_domain(fqdn)
+    policy = organization.cert_policy
+    if policy is CertPolicy.EXACT:
+        return fqdn.lower()
+    if policy is CertPolicy.WILDCARD:
+        return f"*.{sld}"
+    if policy is CertPolicy.ORG_GENERIC:
+        return f"www.{sld}"
+    if policy is CertPolicy.CDN_NAME:
+        return organization.cert_cdn_name or "edge.cdn.example.net"
+    raise ValueError(f"unhandled certificate policy {policy!r}")

@@ -1,0 +1,107 @@
+"""DNS response sniffer: from wire bytes (or events) into the resolver.
+
+The sniffer watches UDP port 53 traffic, decodes response messages, and
+feeds (clientIP, FQDN, answer list) into the :class:`DnsResolver`.  The
+FQDN recorded is the **queried** name (the question section), not any
+CNAME target — that is what makes DN-Hunter labels more specific than
+reverse lookups (Sec. 3.1.3): the client asked for
+``mail.google.com`` even if the answer chain ends at a CDN node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dns.wire import DnsWireError, decode_message
+from repro.net.flow import DnsObservation
+from repro.net.packet import Packet
+from repro.sniffer.resolver import DnsResolver
+
+DNS_PORT = 53
+
+
+class DnsResponseSniffer:
+    """Decode DNS responses and maintain the resolver replica.
+
+    Args:
+        resolver: the shared :class:`DnsResolver` instance.
+        monitored_clients: optional set of client addresses; responses to
+            other destinations are ignored (a PoP monitor only replicates
+            the caches of its own customers).
+    """
+
+    def __init__(
+        self,
+        resolver: DnsResolver,
+        monitored_clients: Optional[set[int]] = None,
+    ):
+        self.resolver = resolver
+        self.monitored_clients = monitored_clients
+        self.stats = {
+            "packets": 0,
+            "decoded": 0,
+            "queries_ignored": 0,
+            "decode_errors": 0,
+            "foreign_client": 0,
+            "empty_answers": 0,
+        }
+
+    def feed_packet(self, packet: Packet) -> Optional[DnsObservation]:
+        """Consume one UDP packet; return the observation if it was a
+        response we recorded."""
+        if packet.udp is None:
+            return None
+        if packet.udp.src_port != DNS_PORT and packet.udp.dst_port != DNS_PORT:
+            return None
+        self.stats["packets"] += 1
+        try:
+            message = decode_message(packet.payload)
+        except DnsWireError:
+            self.stats["decode_errors"] += 1
+            return None
+        self.stats["decoded"] += 1
+        if not message.header.is_response:
+            self.stats["queries_ignored"] += 1
+            return None
+        client_ip = packet.ipv4.dst  # responses flow server -> client
+        if (
+            self.monitored_clients is not None
+            and client_ip not in self.monitored_clients
+        ):
+            self.stats["foreign_client"] += 1
+            return None
+        try:
+            fqdn = message.question_name
+        except ValueError:
+            self.stats["decode_errors"] += 1
+            return None
+        addresses = message.a_addresses()
+        observation = DnsObservation(
+            timestamp=packet.timestamp,
+            client_ip=client_ip,
+            fqdn=fqdn,
+            answers=addresses,
+            ttl=message.min_answer_ttl(),
+        )
+        return self.feed_observation(observation)
+
+    def feed_observation(
+        self, observation: DnsObservation
+    ) -> Optional[DnsObservation]:
+        """Fast path: consume an already-decoded response."""
+        if (
+            self.monitored_clients is not None
+            and observation.client_ip not in self.monitored_clients
+        ):
+            self.stats["foreign_client"] += 1
+            return None
+        if not observation.answers:
+            self.stats["empty_answers"] += 1
+            return None
+        self.resolver.insert(
+            client_ip=observation.client_ip,
+            fqdn=observation.fqdn,
+            answers=observation.answers,
+            timestamp=observation.timestamp,
+        )
+        return observation

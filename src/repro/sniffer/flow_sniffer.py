@@ -1,0 +1,110 @@
+"""Flow sniffer: layer-4 flow reconstruction (Sec. 3.1).
+
+Wraps the TCP connection tracker and adds UDP flow aggregation so the
+pipeline sees one :class:`FlowRecord` per five-tuple regardless of
+transport.  DNS-over-UDP traffic is excluded — it belongs to the DNS
+response sniffer, not the flow database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.flow import FiveTuple, FlowRecord, TransportProto
+from repro.net.packet import Packet
+from repro.net.tcp import TcpFlowTracker
+
+DNS_PORT = 53
+
+
+@dataclass
+class _UdpFlow:
+    record: FlowRecord
+    last_seen: float
+
+
+class FlowSniffer:
+    """Aggregate packets into flow records.
+
+    TCP flows follow the full state machine in :mod:`repro.net.tcp`;
+    UDP flows are grouped by five-tuple with an idle timeout, client side
+    chosen by the first packet's source (UDP has no handshake).
+    """
+
+    def __init__(self, idle_timeout: float = 300.0):
+        self.idle_timeout = idle_timeout
+        self._tcp = TcpFlowTracker(idle_timeout=idle_timeout)
+        self._udp: dict[FiveTuple, _UdpFlow] = {}
+        self.stats = {"packets": 0, "skipped_dns": 0, "udp_flows": 0}
+
+    def feed(self, packet: Packet) -> Optional[FlowRecord]:
+        """Consume one packet; return a completed flow record, if any."""
+        self.stats["packets"] += 1
+        if packet.tcp is not None:
+            return self._tcp.feed(packet)
+        if packet.udp is not None:
+            if DNS_PORT in (packet.udp.src_port, packet.udp.dst_port):
+                self.stats["skipped_dns"] += 1
+                return None
+            self._feed_udp(packet)
+        return None
+
+    def _feed_udp(self, packet: Packet) -> None:
+        forward = FiveTuple(
+            packet.ipv4.src,
+            packet.ipv4.dst,
+            packet.udp.src_port,
+            packet.udp.dst_port,
+            TransportProto.UDP,
+        )
+        reverse = FiveTuple(
+            packet.ipv4.dst,
+            packet.ipv4.src,
+            packet.udp.dst_port,
+            packet.udp.src_port,
+            TransportProto.UDP,
+        )
+        flow = self._udp.get(forward)
+        upstream = True
+        if flow is None and reverse in self._udp:
+            flow = self._udp[reverse]
+            upstream = False
+        if flow is None:
+            flow = _UdpFlow(
+                record=FlowRecord(fid=forward, start=packet.timestamp),
+                last_seen=packet.timestamp,
+            )
+            self._udp[forward] = flow
+            self.stats["udp_flows"] += 1
+        flow.last_seen = packet.timestamp
+        flow.record.end = packet.timestamp
+        flow.record.packets += 1
+        if upstream:
+            flow.record.bytes_up += len(packet.payload)
+        else:
+            flow.record.bytes_down += len(packet.payload)
+
+    def expire(self, now: float) -> list[FlowRecord]:
+        """Flush idle TCP connections and UDP flows."""
+        finished = self._tcp.expire(now)
+        stale = [
+            fid
+            for fid, flow in self._udp.items()
+            if now - flow.last_seen > self.idle_timeout
+        ]
+        for fid in stale:
+            finished.append(self._udp.pop(fid).record)
+        return finished
+
+    def flush(self) -> list[FlowRecord]:
+        """Close everything still open (end of trace)."""
+        finished = self._tcp.flush()
+        finished.extend(flow.record for flow in self._udp.values())
+        self._udp.clear()
+        return finished
+
+    @property
+    def active_count(self) -> int:
+        """Currently-open flows across both transports."""
+        return self._tcp.active_count + len(self._udp)

@@ -1,0 +1,96 @@
+"""Client-sharded resolver (Sec. 3.1.1 scaling note).
+
+"When the number of monitored clients increase, several load balancing
+strategies can be used.  For example, two resolvers can be maintained
+for odd and even fourth octet value in the client IP-address."
+
+:class:`ShardedResolver` implements exactly that generalized to N
+shards, presenting the same insert/lookup surface as a single
+:class:`DnsResolver` so the tagger and pipeline need no changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sniffer.resolver import DnsResolver, ResolverStats
+
+
+class ShardedResolver:
+    """N independent resolvers keyed by the client address' low octet.
+
+    Args:
+        shards: number of shards (2 = the paper's odd/even example).
+        clist_size: total Clist budget, split evenly across shards.
+        multi_label_depth: forwarded to each shard.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        clist_size: int = 100_000,
+        multi_label_depth: int = 0,
+    ):
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        per_shard = max(1, clist_size // shards)
+        self.shards = [
+            DnsResolver(
+                clist_size=per_shard, multi_label_depth=multi_label_depth
+            )
+            for _ in range(shards)
+        ]
+
+    def _shard_for(self, client_ip: int) -> DnsResolver:
+        return self.shards[(client_ip & 0xFF) % len(self.shards)]
+
+    def insert(
+        self,
+        client_ip: int,
+        fqdn: str,
+        answers: list[int],
+        timestamp: float = 0.0,
+    ) -> None:
+        """Route the response to the owning shard."""
+        self._shard_for(client_ip).insert(
+            client_ip, fqdn, answers, timestamp
+        )
+
+    def lookup(self, client_ip: int, server_ip: int) -> Optional[str]:
+        """Look up in the owning shard only."""
+        return self._shard_for(client_ip).lookup(client_ip, server_ip)
+
+    def peek(self, client_ip: int, server_ip: int) -> Optional[str]:
+        return self._shard_for(client_ip).peek(client_ip, server_ip)
+
+    def lookup_all(self, client_ip: int, server_ip: int) -> list[str]:
+        return self._shard_for(client_ip).lookup_all(client_ip, server_ip)
+
+    @property
+    def stats(self) -> ResolverStats:
+        """Aggregated counters across shards."""
+        total = ResolverStats()
+        for shard in self.shards:
+            total.responses += shard.stats.responses
+            total.answers += shard.stats.answers
+            total.lookups += shard.stats.lookups
+            total.hits += shard.stats.hits
+            total.replacements += shard.stats.replacements
+            total.overwrites += shard.stats.overwrites
+        return total
+
+    @property
+    def client_count(self) -> int:
+        return sum(shard.client_count for shard in self.shards)
+
+    @property
+    def live_entries(self) -> int:
+        return sum(shard.live_entries for shard in self.shards)
+
+    def shard_balance(self) -> list[int]:
+        """Clients per shard — how even the paper's octet split is."""
+        return [shard.client_count for shard in self.shards]
+
+    def check_invariants(self) -> None:
+        for shard in self.shards:
+            shard.check_invariants()

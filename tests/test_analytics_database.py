@@ -1,0 +1,113 @@
+"""Tests for the labeled-flows database."""
+
+import pytest
+
+from repro.analytics.database import FlowDatabase
+from repro.net.flow import FiveTuple, FlowRecord, Protocol, TransportProto
+
+C1, C2 = 101, 102
+S1, S2, S3 = 201, 202, 203
+
+
+def _flow(client=C1, server=S1, dport=80, fqdn=None, start=0.0, end=None,
+          proto=Protocol.HTTP, up=100, down=1000):
+    return FlowRecord(
+        fid=FiveTuple(client, server, 40000, dport, TransportProto.TCP),
+        start=start,
+        end=start + 1.0 if end is None else end,
+        protocol=proto,
+        bytes_up=up,
+        bytes_down=down,
+        fqdn=fqdn,
+    )
+
+
+@pytest.fixture
+def db():
+    database = FlowDatabase()
+    database.add_all(
+        [
+            _flow(fqdn="www.google.com", server=S1, start=0.0),
+            _flow(fqdn="mail.google.com", server=S2, start=5.0),
+            _flow(fqdn="www.zynga.com", server=S3, dport=443, start=10.0,
+                  proto=Protocol.TLS),
+            _flow(fqdn="farm.zynga.com", server=S3, dport=443, start=12.0,
+                  client=C2, proto=Protocol.TLS),
+            _flow(fqdn=None, server=S1, dport=51413, start=20.0,
+                  proto=Protocol.P2P),
+        ]
+    )
+    return database
+
+
+class TestQueries:
+    def test_by_fqdn(self, db):
+        assert len(db.query_by_fqdn("www.google.com")) == 1
+        assert len(db.query_by_fqdn("WWW.GOOGLE.COM")) == 1
+        assert db.query_by_fqdn("nothing.com") == []
+
+    def test_by_domain(self, db):
+        google = db.query_by_domain("google.com")
+        assert {f.fqdn for f in google} == {"www.google.com", "mail.google.com"}
+        zynga = db.query_by_domain("zynga.com")
+        assert len(zynga) == 2
+
+    def test_by_servers(self, db):
+        assert len(db.query_by_servers([S3])) == 2
+        assert len(db.query_by_servers([S1, S2])) == 3  # incl. untagged
+        assert db.query_by_servers([999]) == []
+
+    def test_by_port(self, db):
+        assert len(db.query_by_port(443)) == 2
+        assert len(db.query_by_port(80)) == 2
+        assert db.query_by_port(8080) == []
+
+
+class TestAggregates:
+    def test_fqdns_slds_servers_ports(self, db):
+        assert set(db.fqdns()) == {
+            "www.google.com", "mail.google.com", "www.zynga.com",
+            "farm.zynga.com",
+        }
+        assert set(db.slds()) == {"google.com", "zynga.com"}
+        assert set(db.servers()) == {S1, S2, S3}
+        assert set(db.ports()) == {80, 443, 51413}
+
+    def test_servers_for_fqdn_and_domain(self, db):
+        assert db.servers_for_fqdn("www.zynga.com") == {S3}
+        assert db.servers_for_domain("google.com") == {S1, S2}
+        assert db.servers_for_domain("missing.com") == set()
+
+    def test_fqdns_for_servers(self, db):
+        assert db.fqdns_for_servers([S3]) == {"www.zynga.com", "farm.zynga.com"}
+        # untagged flow on S1 contributes nothing
+        assert db.fqdns_for_servers([S1]) == {"www.google.com"}
+
+    def test_fqdns_for_domain(self, db):
+        assert db.fqdns_for_domain("zynga.com") == {
+            "www.zynga.com", "farm.zynga.com",
+        }
+
+    def test_counts(self, db):
+        assert len(db) == 5
+        assert db.tagged_count == 4
+        by_proto = db.count_by_protocol()
+        assert by_proto[Protocol.HTTP] == 2
+        assert by_proto[Protocol.TLS] == 2
+        assert by_proto[Protocol.P2P] == 1
+
+    def test_time_span(self, db):
+        start, end = db.time_span()
+        assert start == 0.0
+        assert end == 21.0
+
+    def test_time_span_empty(self):
+        assert FlowDatabase().time_span() == (0.0, 0.0)
+
+    def test_iteration(self, db):
+        assert sum(1 for _ in db) == 5
+
+    def test_from_flows_classmethod(self):
+        database = FlowDatabase.from_flows([_flow(fqdn="a.b.com")])
+        assert len(database) == 1
+        assert database.tagged_count == 1

@@ -1,0 +1,208 @@
+"""Tests for the RFC 1035 wire codec: round-trips, compression, errors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.message import DnsHeader, DnsMessage, Question, ResponseCode
+from repro.dns.records import (
+    MxData,
+    ResourceRecord,
+    RRType,
+    SoaData,
+    a_record,
+    cname_record,
+    ptr_record,
+)
+from repro.dns.wire import DnsWireError, decode_message, encode_message
+from repro.net.ip import ip_from_str
+
+
+def _roundtrip(message):
+    return decode_message(encode_message(message))
+
+
+class TestQueryRoundtrip:
+    def test_simple_query(self):
+        query = DnsMessage.query(0x1234, "www.example.com")
+        out = _roundtrip(query)
+        assert out.header.ident == 0x1234
+        assert not out.header.is_response
+        assert out.question_name == "www.example.com"
+        assert out.questions[0].qtype is RRType.A
+
+    def test_ptr_query(self):
+        query = DnsMessage.query(7, "4.3.2.1.in-addr.arpa", qtype=RRType.PTR)
+        out = _roundtrip(query)
+        assert out.questions[0].qtype is RRType.PTR
+
+
+class TestResponseRoundtrip:
+    def test_a_records(self):
+        query = DnsMessage.query(42, "cdn.example.com")
+        answers = [
+            a_record("cdn.example.com", ip_from_str("93.184.216.34"), ttl=60),
+            a_record("cdn.example.com", ip_from_str("93.184.216.35"), ttl=60),
+        ]
+        response = DnsMessage.response_to(query, answers)
+        out = _roundtrip(response)
+        assert out.header.is_response
+        assert out.header.rcode is ResponseCode.NOERROR
+        assert out.a_addresses() == [
+            ip_from_str("93.184.216.34"),
+            ip_from_str("93.184.216.35"),
+        ]
+        assert out.min_answer_ttl() == 60
+
+    def test_cname_chain(self):
+        query = DnsMessage.query(1, "www.zynga.com")
+        answers = [
+            cname_record("www.zynga.com", "zynga.edgesuite.net", ttl=300),
+            cname_record("zynga.edgesuite.net", "a1955.g.akamai.net", ttl=20),
+            a_record("a1955.g.akamai.net", ip_from_str("2.16.0.10"), ttl=20),
+        ]
+        out = _roundtrip(DnsMessage.response_to(query, answers))
+        assert out.cname_chain() == [
+            "zynga.edgesuite.net",
+            "a1955.g.akamai.net",
+        ]
+        assert out.a_addresses() == [ip_from_str("2.16.0.10")]
+
+    def test_nxdomain(self):
+        query = DnsMessage.query(9, "nope.example.com")
+        response = DnsMessage.response_to(
+            query, [], rcode=ResponseCode.NXDOMAIN
+        )
+        out = _roundtrip(response)
+        assert out.header.rcode is ResponseCode.NXDOMAIN
+        assert out.answers == []
+
+    def test_mx_and_soa(self):
+        query = DnsMessage.query(5, "example.com", qtype=RRType.MX)
+        answers = [
+            ResourceRecord(
+                "example.com", RRType.MX, 3600, MxData(10, "mail.example.com")
+            ),
+            ResourceRecord(
+                "example.com",
+                RRType.SOA,
+                3600,
+                SoaData("ns1.example.com", "admin.example.com", serial=99),
+            ),
+        ]
+        out = _roundtrip(DnsMessage.response_to(query, answers))
+        assert out.answers[0].rdata == MxData(10, "mail.example.com")
+        assert out.answers[1].rdata.serial == 99
+
+    def test_txt_record(self):
+        query = DnsMessage.query(5, "example.com", qtype=RRType.TXT)
+        answers = [
+            ResourceRecord("example.com", RRType.TXT, 60, b"v=spf1 -all")
+        ]
+        out = _roundtrip(DnsMessage.response_to(query, answers))
+        assert out.answers[0].rdata == b"v=spf1 -all"
+
+    def test_ptr_record(self):
+        query = DnsMessage.query(5, "10.2.0.192.in-addr.arpa", qtype=RRType.PTR)
+        answers = [
+            ptr_record("10.2.0.192.in-addr.arpa", "server.akamai.net")
+        ]
+        out = _roundtrip(DnsMessage.response_to(query, answers))
+        assert out.answers[0].target == "server.akamai.net"
+
+
+class TestCompression:
+    def test_compression_shrinks_output(self):
+        query = DnsMessage.query(1, "www.example.com")
+        answers = [
+            a_record("www.example.com", i, ttl=60) for i in range(1, 6)
+        ]
+        wire = encode_message(DnsMessage.response_to(query, answers))
+        # With compression each answer name is a 2-byte pointer, so the
+        # whole message must be far smaller than 5 copies of the name.
+        uncompressed_name = len("www.example.com") + 2
+        assert len(wire) < 12 + uncompressed_name + 4 + 5 * (
+            uncompressed_name + 14
+        )
+        out = decode_message(wire)
+        assert len(out.answers) == 5
+        assert all(rr.name == "www.example.com" for rr in out.answers)
+
+    def test_shared_suffix_compression(self):
+        query = DnsMessage.query(1, "a.example.com")
+        answers = [
+            cname_record("a.example.com", "b.example.com"),
+            a_record("b.example.com", 7),
+        ]
+        out = _roundtrip(DnsMessage.response_to(query, answers))
+        assert out.answers[0].target == "b.example.com"
+        assert out.answers[1].name == "b.example.com"
+
+
+class TestWireErrors:
+    def test_truncated_header(self):
+        with pytest.raises(DnsWireError):
+            decode_message(b"\x00\x01")
+
+    def test_truncated_question(self):
+        query = encode_message(DnsMessage.query(1, "example.com"))
+        with pytest.raises(DnsWireError):
+            decode_message(query[:-3])
+
+    def test_pointer_loop(self):
+        # Header claiming one question whose name is a self-pointer.
+        header = (1).to_bytes(2, "big") + b"\x00\x00" + b"\x00\x01" + b"\x00" * 6
+        loop = b"\xc0\x0c"  # points at itself (offset 12)
+        with pytest.raises(DnsWireError):
+            decode_message(header + loop + b"\x00\x01\x00\x01")
+
+    def test_garbage(self):
+        with pytest.raises(DnsWireError):
+            decode_message(b"\xff" * 40)
+
+
+_names = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=12),
+    min_size=2,
+    max_size=4,
+).map(".".join)
+
+
+class TestPropertyRoundtrip:
+    @given(
+        ident=st.integers(min_value=0, max_value=0xFFFF),
+        name=_names,
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            min_size=0,
+            max_size=10,
+        ),
+        ttl=st.integers(min_value=0, max_value=86400),
+    )
+    def test_arbitrary_a_responses(self, ident, name, addresses, ttl):
+        query = DnsMessage.query(ident, name)
+        answers = [a_record(name, addr, ttl=ttl) for addr in addresses]
+        out = _roundtrip(DnsMessage.response_to(query, answers))
+        assert out.header.ident == ident
+        assert out.question_name == name
+        assert out.a_addresses() == addresses
+        if addresses:
+            assert out.min_answer_ttl() == ttl
+
+
+class TestHeaderFlags:
+    @given(
+        st.booleans(), st.booleans(), st.booleans(), st.booleans(),
+        st.sampled_from(list(ResponseCode)),
+    )
+    def test_flags_word_roundtrip(self, resp, aa, rd, ra, rcode):
+        header = DnsHeader(
+            ident=77,
+            is_response=resp,
+            authoritative=aa,
+            recursion_desired=rd,
+            recursion_available=ra,
+            rcode=rcode,
+        )
+        out = DnsHeader.from_flags_word(77, header.flags_word())
+        assert out == header

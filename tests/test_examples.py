@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion and prints the
+headline it promises."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": "Per-protocol tagging success",
+    "encrypted_policy_enforcement.py": "flows blocked",
+    "cdn_content_discovery.py": "hosted on Amazon EC2",
+    "service_tag_discovery.py": "Per-port service tags",
+    "pcap_roundtrip.py": "labels recovered from raw bytes",
+    "anomaly_detection.py": "alerts raised",
+}
+
+
+@pytest.mark.parametrize("script,expected", sorted(CASES.items()))
+def test_example_runs(script, expected, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert expected in output
+
+
+def test_examples_directory_complete():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(CASES), (
+        "examples directory and smoke-test table out of sync"
+    )

@@ -1,0 +1,132 @@
+"""Fuzz-style robustness tests: hostile bytes must raise the documented
+errors, never crash with anything else.
+
+A passive sniffer parses attacker-controlled input by definition, so the
+codecs' error behaviour is a security property, not a nicety.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.message import DnsMessage
+from repro.dns.records import a_record
+from repro.dns.wire import DnsWireError, decode_message, encode_message
+from repro.net.packet import PacketDecodeError, decode_frame
+from repro.net.pcap import PcapFormatError, PcapReader
+
+
+class TestDnsWireFuzz:
+    @settings(max_examples=300)
+    @given(st.binary(max_size=200))
+    def test_arbitrary_bytes_never_crash(self, data):
+        try:
+            message = decode_message(data)
+        except DnsWireError:
+            return
+        # If it parsed, it must be internally consistent.
+        assert isinstance(message, DnsMessage)
+
+    @settings(max_examples=100)
+    @given(st.binary(min_size=1, max_size=30), st.integers(0, 50))
+    def test_truncated_valid_messages(self, fqdn_bytes, cut):
+        """Truncating a valid message raises DnsWireError, not random
+        exceptions."""
+        name = "host.example.com"
+        query = DnsMessage.query(1, name)
+        response = DnsMessage.response_to(
+            query, [a_record(name, 0x01020304, ttl=60)]
+        )
+        wire = encode_message(response)
+        truncated = wire[: max(0, len(wire) - 1 - cut % len(wire))]
+        try:
+            decode_message(truncated)
+        except DnsWireError:
+            pass
+
+    @settings(max_examples=150)
+    @given(st.binary(max_size=120), st.integers(0, 119))
+    def test_bit_flipped_messages(self, garbage, position):
+        query = DnsMessage.query(7, "www.example.com")
+        response = DnsMessage.response_to(
+            query, [a_record("www.example.com", 0x0A0B0C0D, ttl=60)]
+        )
+        wire = bytearray(encode_message(response))
+        if position < len(wire):
+            wire[position] ^= 0xFF
+        try:
+            decode_message(bytes(wire) + garbage[:4])
+        except DnsWireError:
+            pass
+
+
+class TestPacketFuzz:
+    @settings(max_examples=300)
+    @given(st.binary(max_size=120))
+    def test_arbitrary_frames_never_crash(self, data):
+        try:
+            decode_frame(0.0, data)
+        except PacketDecodeError:
+            pass
+
+    @settings(max_examples=200)
+    @given(st.binary(max_size=80))
+    def test_raw_ip_mode(self, data):
+        try:
+            decode_frame(0.0, data, with_ethernet=False)
+        except PacketDecodeError:
+            pass
+
+
+class TestPcapFuzz:
+    @settings(max_examples=200)
+    @given(st.binary(max_size=200))
+    def test_arbitrary_files_never_crash(self, data):
+        try:
+            list(PcapReader(io.BytesIO(data)))
+        except PcapFormatError:
+            pass
+
+
+class TestSnifferHostileInput:
+    def test_pipeline_survives_garbage_udp53(self):
+        """A flood of malformed 'DNS' packets must only bump counters."""
+        from repro.net.packet import build_udp_packet
+        from repro.sniffer.pipeline import SnifferPipeline
+
+        pipeline = SnifferPipeline(clist_size=64)
+        packets = [
+            decode_frame(
+                float(i),
+                build_udp_packet(float(i), 1000 + i, 2000, 53, 3000, bytes([i % 256]) * (i % 40)),
+            )
+            for i in range(100)
+        ]
+        pipeline.process_packets(packets)
+        assert pipeline.dns_sniffer.stats["decode_errors"] > 0
+        assert pipeline.tagged_flows == []
+
+    def test_resolver_handles_pathological_answer_lists(self):
+        from repro.sniffer.resolver import DnsResolver
+
+        resolver = DnsResolver(clist_size=4)
+        # Huge duplicate-laden answer list.
+        resolver.insert(1, "x.com", [5] * 1000 + list(range(100)))
+        resolver.check_invariants()
+        assert resolver.peek(1, 5) == "x.com"
+
+    def test_domain_name_hostile_inputs(self):
+        from repro.dns.name import DomainName, DomainNameError
+
+        for bad in ("." * 300, "a" * 64 + ".com", "\x00.com", " ", "a..b..c"):
+            with pytest.raises(DomainNameError):
+                DomainName(bad)
+
+    def test_tokenizer_hostile_inputs(self):
+        from repro.analytics.tokens import tokenize_fqdn
+
+        # Must never raise, whatever the label soup.
+        for weird in ("", ".", "a..b", "x" * 300, "--..--", "123.456.789"):
+            assert isinstance(tokenize_fqdn(weird), list)

@@ -1,0 +1,152 @@
+"""Tests for the TCP flow tracker state machine."""
+
+import pytest
+
+from repro.net.flow import Protocol, TransportProto
+from repro.net.ip import ip_from_str
+from repro.net.packet import (
+    TCP_ACK,
+    TCP_FIN,
+    TCP_RST,
+    TCP_SYN,
+    build_tcp_packet,
+    decode_frame,
+)
+from repro.net.tcp import TcpFlowTracker, classify_port
+
+CLIENT = ip_from_str("10.0.0.5")
+SERVER = ip_from_str("93.184.216.34")
+
+
+def _pkt(t, src, dst, sport, dport, flags, payload=b""):
+    frame = build_tcp_packet(t, src, dst, sport, dport, flags, payload=payload)
+    return decode_frame(t, frame)
+
+
+def _handshake(tracker, t0=0.0, sport=40000, dport=80):
+    tracker.feed(_pkt(t0, CLIENT, SERVER, sport, dport, TCP_SYN))
+    tracker.feed(_pkt(t0 + 0.01, SERVER, CLIENT, dport, sport, TCP_SYN | TCP_ACK))
+    tracker.feed(_pkt(t0 + 0.02, CLIENT, SERVER, sport, dport, TCP_ACK))
+
+
+class TestLifecycle:
+    def test_full_connection(self):
+        tracker = TcpFlowTracker()
+        _handshake(tracker)
+        tracker.feed(
+            _pkt(0.1, CLIENT, SERVER, 40000, 80, TCP_ACK, b"GET / HTTP/1.1")
+        )
+        tracker.feed(
+            _pkt(0.2, SERVER, CLIENT, 80, 40000, TCP_ACK, b"HTTP/1.1 200 OK")
+        )
+        tracker.feed(_pkt(0.3, CLIENT, SERVER, 40000, 80, TCP_FIN | TCP_ACK))
+        record = tracker.feed(
+            _pkt(0.4, SERVER, CLIENT, 80, 40000, TCP_FIN | TCP_ACK)
+        )
+        assert record is not None
+        assert record.fid.client_ip == CLIENT
+        assert record.fid.server_ip == SERVER
+        assert record.fid.dst_port == 80
+        assert record.bytes_up == len(b"GET / HTTP/1.1")
+        assert record.bytes_down == len(b"HTTP/1.1 200 OK")
+        assert record.start == 0.0
+        assert record.end == 0.4
+        assert tracker.active_count == 0
+
+    def test_rst_closes_immediately(self):
+        tracker = TcpFlowTracker()
+        _handshake(tracker)
+        record = tracker.feed(_pkt(0.5, SERVER, CLIENT, 80, 40000, TCP_RST))
+        assert record is not None
+        assert tracker.active_count == 0
+
+    def test_single_fin_keeps_connection(self):
+        tracker = TcpFlowTracker()
+        _handshake(tracker)
+        assert tracker.feed(
+            _pkt(0.3, CLIENT, SERVER, 40000, 80, TCP_FIN | TCP_ACK)
+        ) is None
+        assert tracker.active_count == 1
+
+    def test_client_orientation_from_syn(self):
+        tracker = TcpFlowTracker()
+        tracker.feed(_pkt(0.0, CLIENT, SERVER, 51000, 443, TCP_SYN))
+        record = tracker.feed(_pkt(0.1, SERVER, CLIENT, 443, 51000, TCP_RST))
+        assert record.fid.client_ip == CLIENT
+        assert record.fid.dst_port == 443
+
+    def test_midstream_pickup_uses_port_heuristic(self):
+        tracker = TcpFlowTracker()
+        # No SYN: data from server first; lower port should become server.
+        tracker.feed(_pkt(0.0, SERVER, CLIENT, 80, 40000, TCP_ACK, b"data"))
+        tracker.feed(_pkt(0.5, CLIENT, SERVER, 40000, 80, TCP_RST))
+        records = list(tracker.completed())
+        assert len(records) == 1
+        assert records[0].fid.server_ip == SERVER
+        assert records[0].bytes_down == 4
+        assert tracker.stats["midstream"] >= 1
+
+
+class TestTimeoutsAndFlush:
+    def test_expire_idle(self):
+        tracker = TcpFlowTracker(idle_timeout=10.0)
+        _handshake(tracker)
+        assert tracker.expire(5.0) == []
+        expired = tracker.expire(100.0)
+        assert len(expired) == 1
+        assert tracker.active_count == 0
+
+    def test_flush_all(self):
+        tracker = TcpFlowTracker()
+        _handshake(tracker, sport=40001)
+        _handshake(tracker, sport=40002, dport=443)
+        records = tracker.flush()
+        assert len(records) == 2
+        assert tracker.active_count == 0
+
+    def test_stats_counting(self):
+        tracker = TcpFlowTracker()
+        _handshake(tracker)
+        tracker.flush()
+        assert tracker.stats["packets"] == 3
+        assert tracker.stats["flows"] == 1
+
+
+class TestPayloadCapture:
+    def test_first_payload_captured(self):
+        tracker = TcpFlowTracker(capture_payload=8)
+        _handshake(tracker)
+        tracker.feed(
+            _pkt(0.1, CLIENT, SERVER, 40000, 80, TCP_ACK, b"GET /index.html")
+        )
+        fid = next(iter(tracker._active))
+        assert tracker._active[fid].first_payload == b"GET /ind"
+
+    def test_rejects_non_tcp(self):
+        tracker = TcpFlowTracker()
+        from repro.net.packet import build_udp_packet
+
+        udp = decode_frame(0.0, build_udp_packet(0.0, 1, 2, 53, 53, b""))
+        with pytest.raises(ValueError):
+            tracker.feed(udp)
+
+
+class TestClassifyPort:
+    @pytest.mark.parametrize(
+        "port,expected",
+        [
+            (80, Protocol.HTTP),
+            (443, Protocol.TLS),
+            (25, Protocol.MAIL),
+            (110, Protocol.MAIL),
+            (1863, Protocol.CHAT),
+            (554, Protocol.STREAMING),
+            (53, Protocol.DNS),
+            (34567, Protocol.OTHER),
+        ],
+    )
+    def test_port_map(self, port, expected):
+        assert classify_port(port) is expected
+
+    def test_tls_override(self):
+        assert classify_port(8080, has_tls=True) is Protocol.TLS

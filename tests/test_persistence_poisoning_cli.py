@@ -1,0 +1,195 @@
+"""Tests for flow persistence, poisoning injection, and the sniffer CLI."""
+
+import io
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analytics.database import FlowDatabase
+from repro.analytics.persistence import (
+    dump_flows,
+    flow_from_dict,
+    flow_to_dict,
+    load_database,
+    load_flows,
+    save_database,
+)
+from repro.net.flow import (
+    DnsObservation,
+    FiveTuple,
+    FlowRecord,
+    Protocol,
+    TransportProto,
+)
+from repro.simulation.poisoning import ATTACKER_BLOCK, inject_poisoning
+
+
+def _flow(fqdn="www.example.com", cert=None, truth=None):
+    return FlowRecord(
+        fid=FiveTuple(101, 202, 40000, 443, TransportProto.TCP),
+        start=1.5,
+        end=3.25,
+        protocol=Protocol.TLS,
+        bytes_up=1234,
+        bytes_down=56789,
+        packets=42,
+        fqdn=fqdn,
+        cert_name=cert,
+        true_fqdn=truth,
+    )
+
+
+class TestFlowSerialization:
+    def test_roundtrip_full(self):
+        flow = _flow(cert="*.example.com", truth="www.example.com")
+        out = flow_from_dict(flow_to_dict(flow))
+        assert out == flow
+
+    def test_roundtrip_untagged(self):
+        flow = _flow(fqdn=None)
+        out = flow_from_dict(flow_to_dict(flow))
+        assert out.fqdn is None
+
+    def test_version_check(self):
+        data = flow_to_dict(_flow())
+        data["v"] = 99
+        with pytest.raises(ValueError):
+            flow_from_dict(data)
+
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 65535),
+        st.sampled_from(list(Protocol)),
+        st.floats(min_value=0, max_value=1e7, allow_nan=False),
+    )
+    def test_property_roundtrip(self, server, port, protocol, start):
+        flow = FlowRecord(
+            fid=FiveTuple(7, server, 1024, port, TransportProto.UDP),
+            start=start,
+            protocol=protocol,
+        )
+        assert flow_from_dict(flow_to_dict(flow)) == flow
+
+
+class TestDumpLoad:
+    def test_stream_roundtrip(self):
+        flows = [_flow(fqdn=f"h{i}.example.com") for i in range(5)]
+        buffer = io.StringIO()
+        assert dump_flows(flows, buffer) == 5
+        buffer.seek(0)
+        assert list(load_flows(buffer)) == flows
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO()
+        dump_flows([_flow()], buffer)
+        buffer.write("\n\n")
+        buffer.seek(0)
+        assert len(list(load_flows(buffer))) == 1
+
+    def test_malformed_line_raises(self):
+        buffer = io.StringIO("{not json}\n")
+        with pytest.raises(ValueError, match="line 1"):
+            list(load_flows(buffer))
+
+    def test_database_file_roundtrip(self, tmp_path):
+        database = FlowDatabase.from_flows(
+            [_flow(fqdn=f"site{i}.example.com") for i in range(10)]
+        )
+        path = str(tmp_path / "flows.jsonl")
+        assert save_database(database, path) == 10
+        loaded = load_database(path)
+        assert len(loaded) == 10
+        assert set(loaded.fqdns()) == set(database.fqdns())
+
+    def test_file_is_valid_jsonl(self, tmp_path):
+        path = str(tmp_path / "flows.jsonl")
+        save_database(FlowDatabase.from_flows([_flow()]), path)
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)
+
+
+class TestPoisoningInjection:
+    def _observations(self):
+        return [
+            DnsObservation(float(t), 1, "bank.example.com", [500])
+            for t in range(0, 1000, 100)
+        ] + [
+            DnsObservation(50.0, 1, "other.example.com", [600]),
+        ]
+
+    def test_rewrites_only_target_in_window(self):
+        observations = self._observations()
+        campaign = inject_poisoning(
+            observations, "bank.example.com", start=300.0, end=600.0
+        )
+        assert campaign.poisoned_observations == 4  # t=300,400,500,600
+        for observation in observations:
+            poisoned = observation.answers[0] in ATTACKER_BLOCK
+            should_be = (
+                observation.fqdn == "bank.example.com"
+                and 300 <= observation.timestamp <= 600
+            )
+            assert poisoned == should_be
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            inject_poisoning([], "x.com", start=10.0, end=5.0)
+
+    def test_detector_catches_campaign(self):
+        from repro.analytics.anomaly import MappingAnomalyDetector
+
+        observations = self._observations()
+        inject_poisoning(
+            observations, "bank.example.com", start=300.0, end=600.0
+        )
+        detector = MappingAnomalyDetector(min_history=2, prefix_bits=16)
+        alerts = [
+            alert
+            for observation in sorted(observations, key=lambda o: o.timestamp)
+            if (alert := detector.observe(observation)) is not None
+        ]
+        assert alerts
+        assert alerts[0].fqdn == "bank.example.com"
+        assert 300 <= alerts[0].timestamp <= 600
+
+
+class TestSnifferCli:
+    @pytest.fixture()
+    def pcap_path(self, tmp_path):
+        from repro.net.pcap import write_pcap
+        from repro.simulation import build_trace
+
+        trace = build_trace("EU1-FTTH", seed=19)
+        records = trace.to_packets(max_flows=60)
+        path = str(tmp_path / "capture.pcap")
+        write_pcap(path, records)
+        return path
+
+    def test_sniff_pcap(self, pcap_path):
+        from repro.sniffer.cli import sniff_pcap
+
+        pipeline = sniff_pcap(pcap_path, warmup=0.0)
+        flows = pipeline.tagged_flows
+        assert len(flows) == 60
+        assert any(f.fqdn for f in flows)
+
+    def test_cli_main(self, pcap_path, tmp_path, capsys):
+        from repro.sniffer.cli import main
+
+        dump = str(tmp_path / "labels.jsonl")
+        code = main([pcap_path, "--warmup", "0", "--dump", dump])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "flows reconstructed : 60" in output
+        assert "top 10 labels:" in output
+        with open(dump) as handle:
+            assert sum(1 for _ in handle) == 60
+
+    def test_cli_missing_file(self, capsys):
+        from repro.sniffer.cli import main
+
+        assert main(["/nonexistent.pcap"]) == 1
+        assert "error" in capsys.readouterr().err

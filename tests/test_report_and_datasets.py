@@ -1,0 +1,109 @@
+"""Tests for the report renderers and the dataset cache."""
+
+import pytest
+
+from repro.experiments.datasets import (
+    DEFAULT_SEED,
+    STANDARD_TRACES,
+    get_delays,
+    get_result,
+    get_trace,
+)
+from repro.experiments.report import (
+    hours_fmt,
+    render_cdf,
+    render_series,
+    render_table,
+)
+from repro.experiments.result import ExperimentResult
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["Name", "Value"],
+            [["a", 1], ["longer-name", 22]],
+            title="My Table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "Name" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        # All data rows share the same width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_empty_rows(self):
+        text = render_table(["A"], [])
+        assert "A" in text
+
+
+class TestRenderCdf:
+    def test_bar_lengths_monotone(self):
+        text = render_cdf(
+            [(1, 0.25), (2, 0.5), (10, 1.0)], title="cdf", width=20
+        )
+        lines = text.splitlines()[1:]
+        bars = [line.count("#") for line in lines]
+        assert bars == sorted(bars)
+        assert bars[-1] == 20
+        assert "100.0%" in lines[-1]
+
+
+class TestRenderSeries:
+    def test_downsampling(self):
+        series = [(float(i), i % 7) for i in range(500)]
+        text = render_series(series, max_rows=20)
+        assert len(text.splitlines()) <= 2 + 500 // (500 // 20)
+
+    def test_empty(self):
+        assert "(empty)" in render_series([], title="t")
+
+    def test_peak_bar_is_full_width(self):
+        text = render_series([(0.0, 1), (1.0, 10)], width=30)
+        assert "#" * 30 in text
+
+
+class TestHoursFmt:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [(0, "00:00"), (3600, "01:00"), (600, "00:10"),
+         (86400 + 3660, "01:01"), (86399, "23:59")],
+    )
+    def test_cases(self, seconds, expected):
+        assert hours_fmt(seconds) == expected
+
+
+class TestExperimentResult:
+    def test_str_contains_parts(self):
+        result = ExperimentResult(
+            exp_id="x", title="T", data=None, rendered="BODY",
+            notes="NOTE",
+        )
+        text = str(result)
+        assert "== x: T ==" in text
+        assert "BODY" in text
+        assert "NOTE" in text
+
+    def test_str_without_notes(self):
+        result = ExperimentResult(
+            exp_id="x", title="T", data=None, rendered="BODY"
+        )
+        assert "[notes]" not in str(result)
+
+
+class TestDatasetCache:
+    def test_trace_cached_identity(self):
+        assert get_trace("EU1-FTTH") is get_trace("EU1-FTTH")
+        assert get_trace("EU1-FTTH", 3) is get_trace("EU1-FTTH", 3)
+
+    def test_result_contains_consistent_database(self):
+        result = get_result("EU1-FTTH")
+        assert len(result.database) == len(result.pipeline.tagged_flows)
+        assert result.trace is get_trace("EU1-FTTH", DEFAULT_SEED)
+
+    def test_delays_cached(self):
+        assert get_delays("EU1-FTTH") is get_delays("EU1-FTTH")
+
+    def test_standard_traces_constant(self):
+        assert len(STANDARD_TRACES) == 5
+        assert "EU1-ADSL2-24H" not in STANDARD_TRACES

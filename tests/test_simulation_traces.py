@@ -1,0 +1,304 @@
+"""Tests for client behaviour, traffic generation and trace building."""
+
+import random
+
+import pytest
+
+from repro.net.flow import DnsObservation, FlowRecord, Protocol
+from repro.simulation.client import Client, ClientProfile
+from repro.simulation.diurnal import activity_at, pool_scale
+from repro.simulation.internet import build_internet
+from repro.simulation.p2p import PEER_BLOCKS, PeerSwarm
+from repro.simulation.tls import certificate_name
+from repro.simulation.trace import (
+    TRACE_PROFILES,
+    build_live_deployment,
+    build_trace,
+)
+from repro.simulation.traffic import generate_events, session_times, split_events
+from repro.simulation.entities import CertPolicy, Organization
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return build_internet("EU", seed=5)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return build_trace("EU1-FTTH", seed=3)
+
+
+class TestDiurnal:
+    def test_mean_is_one(self):
+        samples = [activity_at(h * 3600.0) for h in range(24)]
+        assert sum(samples) / 24 == pytest.approx(1.0, abs=0.05)
+
+    def test_evening_peak(self):
+        assert activity_at(21 * 3600.0) > 3 * activity_at(4 * 3600.0)
+
+    def test_timezone_shift(self):
+        # 20:00 GMT is 21:00 EU local, peak; but 15:00 US-East local.
+        assert activity_at(20 * 3600.0, 1.0) > activity_at(20 * 3600.0, -5.0)
+
+    def test_pool_scale_bounds(self):
+        for hour in range(24):
+            scale = pool_scale(hour * 3600.0)
+            assert 0.3 <= scale <= 1.0
+
+
+class TestSessionTimes:
+    def test_rate_scales_count(self):
+        rng = random.Random(1)
+        few = session_times(rng, 0, 36000, 2.0, 1.0)
+        rng = random.Random(1)
+        many = session_times(rng, 0, 36000, 20.0, 1.0)
+        assert len(many) > len(few) * 4
+
+    def test_zero_rate(self):
+        assert session_times(random.Random(1), 0, 3600, 0.0, 1.0) == []
+
+    def test_times_in_window_and_sorted(self):
+        times = session_times(random.Random(2), 100.0, 4000.0, 30.0, 1.0)
+        assert all(100.0 <= t < 4000.0 for t in times)
+        assert times == sorted(times)
+
+
+class TestClient:
+    def _client(self, internet, **kwargs):
+        profile = ClientProfile(**kwargs)
+        return Client(
+            ip=0x0A010101,
+            profile=profile,
+            internet=internet,
+            rng=random.Random(42),
+            swarm=PeerSwarm(random.Random(1), size=50),
+        )
+
+    def test_session_emits_dns_then_flow(self, internet):
+        client = self._client(internet, prefetch_probability=0.0,
+                              embed_probability=0.0)
+        out = []
+        client.run_session(1000.0, out)
+        observations = [e for e in out if isinstance(e, DnsObservation)]
+        flows = [e for e in out if isinstance(e, FlowRecord)]
+        assert len(observations) == 1
+        assert len(flows) == 1
+        assert flows[0].start >= observations[0].timestamp
+        assert flows[0].fid.server_ip in observations[0].answers
+
+    def test_cache_suppresses_second_resolution(self, internet):
+        client = self._client(internet, prefetch_probability=0.0,
+                              embed_probability=0.0)
+        out = []
+        # Many sessions close together: favourites repeat, cache hits.
+        for i in range(30):
+            client.run_session(1000.0 + i * 10, out)
+        observations = [e for e in out if isinstance(e, DnsObservation)]
+        flows = [e for e in out if isinstance(e, FlowRecord)]
+        assert len(observations) < len(flows)
+
+    def test_prewarm_emits_nothing(self, internet):
+        client = self._client(internet)
+        out = []
+        client.prewarm(entries_count=10, now=0.0)
+        assert out == []
+        assert len(client.cache) > 0
+
+    def test_prewarmed_flow_has_no_dns(self, internet):
+        client = self._client(internet, prefetch_probability=0.0,
+                              embed_probability=0.0)
+        client.prewarm(entries_count=14, now=0.0)
+        out = []
+        client.run_session(10.0, out)
+        flows = [e for e in out if isinstance(e, FlowRecord)]
+        observations = [e for e in out if isinstance(e, DnsObservation)]
+        if not observations:  # cache hit: flow with no visible resolution
+            assert flows
+
+    def test_tls_flow_carries_certificate(self, internet):
+        client = self._client(internet, prefetch_probability=0.0,
+                              embed_probability=0.0)
+        tls_flows = []
+        out = []
+        for i in range(200):
+            client.run_session(i * 30.0, out)
+        tls_flows = [
+            e for e in out
+            if isinstance(e, FlowRecord) and e.protocol is Protocol.TLS
+        ]
+        assert tls_flows, "client should hit some TLS services"
+        named = [f for f in tls_flows if f.cert_name is not None]
+        assert named, "most TLS flows should carry a certificate"
+
+    def test_p2p_rounds_have_no_dns(self, internet):
+        client = self._client(
+            internet, is_p2p=True, tracker_announce_probability=0.0
+        )
+        out = []
+        for i in range(10):
+            client._p2p_session(i * 100.0, out)
+        p2p_flows = [
+            e for e in out
+            if isinstance(e, FlowRecord) and e.protocol is Protocol.P2P
+        ]
+        assert p2p_flows
+        assert not any(isinstance(e, DnsObservation) for e in out)
+        for flow in p2p_flows:
+            assert any(
+                flow.fid.server_ip in block for block in PEER_BLOCKS
+            )
+
+    def test_tunneled_client_single_destination(self, internet):
+        client = self._client(internet, is_tunneled=True)
+        out = []
+        for i in range(10):
+            client.run_session(i * 100.0, out)
+        servers = {e.fid.server_ip for e in out if isinstance(e, FlowRecord)}
+        assert len(servers) == 1
+        assert not any(isinstance(e, DnsObservation) for e in out)
+
+
+class TestCertificateName:
+    def _org(self, policy, cdn_name=""):
+        return Organization(
+            domain="example.com", cert_policy=policy, cert_cdn_name=cdn_name
+        )
+
+    def test_policies(self):
+        rng = random.Random(1)
+        assert certificate_name(
+            self._org(CertPolicy.EXACT), "a.example.com", rng, 0.0
+        ) == "a.example.com"
+        assert certificate_name(
+            self._org(CertPolicy.WILDCARD), "a.example.com", rng, 0.0
+        ) == "*.example.com"
+        assert certificate_name(
+            self._org(CertPolicy.ORG_GENERIC), "a.example.com", rng, 0.0
+        ) == "www.example.com"
+        assert certificate_name(
+            self._org(CertPolicy.CDN_NAME, "a248.e.akamai.net"),
+            "a.example.com", rng, 0.0,
+        ) == "a248.e.akamai.net"
+
+    def test_resumption_gives_none(self):
+        rng = random.Random(1)
+        out = [
+            certificate_name(
+                self._org(CertPolicy.EXACT), "a.example.com", rng, 1.0
+            )
+            for _ in range(5)
+        ]
+        assert out == [None] * 5
+
+
+class TestGenerateEvents:
+    def test_sorted_stream(self, internet):
+        clients = [
+            Client(
+                ip=0x0A010100 + i,
+                profile=ClientProfile(session_rate_per_hour=20.0),
+                internet=internet,
+                rng=random.Random(i),
+            )
+            for i in range(3)
+        ]
+        events = generate_events(clients, 0.0, 3600.0)
+        times = [
+            e.timestamp if isinstance(e, DnsObservation) else e.start
+            for e in events
+        ]
+        assert times == sorted(times)
+
+    def test_split_events(self, internet):
+        clients = [
+            Client(
+                ip=0x0A010100,
+                profile=ClientProfile(session_rate_per_hour=20.0),
+                internet=internet,
+                rng=random.Random(9),
+            )
+        ]
+        events = generate_events(clients, 0.0, 3600.0)
+        observations, flows = split_events(events)
+        assert len(observations) + len(flows) == len(events)
+
+
+class TestBuildTrace:
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            build_trace("MARS-5G")
+
+    def test_profiles_exist(self):
+        assert set(TRACE_PROFILES) == {
+            "US-3G", "EU2-ADSL", "EU1-ADSL1", "EU1-ADSL2", "EU1-FTTH",
+            "EU1-ADSL2-24H",
+        }
+
+    def test_trace_structure(self, small_trace):
+        assert small_trace.name == "EU1-FTTH"
+        assert len(small_trace.flows) > 1000
+        assert len(small_trace.observations) > 500
+        assert small_trace.peak_dns_rate_per_min() > 0
+        summary = small_trace.summary()
+        assert summary["start_gmt"] == "17:00"
+        assert summary["tcp_flows"] == len(small_trace.flows)
+
+    def test_reproducible(self):
+        t1 = build_trace("EU1-FTTH", seed=11)
+        t2 = build_trace("EU1-FTTH", seed=11)
+        assert len(t1.flows) == len(t2.flows)
+        assert [f.fid for f in t1.flows[:50]] == [f.fid for f in t2.flows[:50]]
+
+    def test_different_seeds_differ(self):
+        t1 = build_trace("EU1-FTTH", seed=11)
+        t2 = build_trace("EU1-FTTH", seed=12)
+        assert [f.fid for f in t1.flows[:50]] != [f.fid for f in t2.flows[:50]]
+
+    def test_flows_within_duration(self, small_trace):
+        for flow in small_trace.flows[:500]:
+            assert 0 <= flow.start <= small_trace.duration + 700
+
+    def test_to_packets_roundtrip(self, small_trace):
+        from repro.net.packet import decode_frame
+
+        records = small_trace.to_packets(max_flows=5)
+        assert records
+        for record in records[:50]:
+            packet = decode_frame(record.timestamp, record.data)
+            assert packet.transport is not None
+
+
+class TestLiveDeployment:
+    @pytest.fixture(scope="class")
+    def live(self):
+        return build_live_deployment(days=4, seed=5, n_clients=20)
+
+    def test_flows_sorted_and_tagged(self, live):
+        assert all(
+            live.flows[i].start <= live.flows[i + 1].start
+            for i in range(0, min(len(live.flows) - 1, 2000))
+        )
+        assert all(f.fqdn for f in live.flows[:2000])
+
+    def test_fqdn_universe_grows(self, live):
+        """New FQDNs keep appearing day after day (Fig. 6)."""
+        day_fqdns = []
+        seen: set[str] = set()
+        for day in range(live.days):
+            new = {
+                f.fqdn for f in live.flows
+                if day * 86400 <= f.start < (day + 1) * 86400
+                and f.fqdn not in seen
+            }
+            day_fqdns.append(len(new))
+            seen |= new
+        assert all(count > 0 for count in day_fqdns[1:])
+
+    def test_trackers_present(self, live):
+        assert len(live.tracker_fqdns) == 45
+        tracker_flows = [
+            f for f in live.flows if f.fqdn in set(live.tracker_fqdns)
+        ]
+        assert tracker_flows
+        assert all(f.protocol is Protocol.P2P for f in tracker_flows)

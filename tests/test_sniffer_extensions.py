@@ -1,0 +1,175 @@
+"""Tests for the paper's sketched extensions: multi-label lookup,
+client sharding, and the DNSCrypt limitation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.flow import DnsObservation, FiveTuple, FlowRecord, Protocol, TransportProto
+from repro.sniffer.resolver import DnsResolver
+from repro.sniffer.sharding import ShardedResolver
+
+C1, C2 = 0x0A000001, 0x0A000102
+S1, S2 = 0xD0000001, 0xD0000002
+
+
+class TestMultiLabel:
+    def test_disabled_by_default(self):
+        resolver = DnsResolver(clist_size=8)
+        resolver.insert(C1, "a.com", [S1])
+        resolver.insert(C1, "b.com", [S1])
+        assert resolver.lookup_all(C1, S1) == ["b.com"]
+
+    def test_superseded_labels_retained(self):
+        resolver = DnsResolver(clist_size=8, multi_label_depth=2)
+        resolver.insert(C1, "a.com", [S1])
+        resolver.insert(C1, "b.com", [S1])
+        resolver.insert(C1, "c.com", [S1])
+        assert resolver.lookup_all(C1, S1) == ["c.com", "b.com", "a.com"]
+        # lookup() still returns last-written-wins.
+        assert resolver.peek(C1, S1) == "c.com"
+
+    def test_depth_bounds_history(self):
+        resolver = DnsResolver(clist_size=16, multi_label_depth=1)
+        for name in ("a.com", "b.com", "c.com", "d.com"):
+            resolver.insert(C1, name, [S1])
+        assert resolver.lookup_all(C1, S1) == ["d.com", "c.com"]
+
+    def test_same_fqdn_not_duplicated(self):
+        resolver = DnsResolver(clist_size=8, multi_label_depth=3)
+        resolver.insert(C1, "a.com", [S1])
+        resolver.insert(C1, "a.com", [S1])
+        resolver.insert(C1, "b.com", [S1])
+        assert resolver.lookup_all(C1, S1) == ["b.com", "a.com"]
+
+    def test_unknown_key_empty(self):
+        resolver = DnsResolver(clist_size=8, multi_label_depth=2)
+        assert resolver.lookup_all(C1, S1) == []
+
+    def test_eviction_clears_history(self):
+        resolver = DnsResolver(clist_size=2, multi_label_depth=2)
+        resolver.insert(C1, "a.com", [S1])
+        resolver.insert(C1, "b.com", [S1])   # history: a.com
+        resolver.insert(C1, "x.com", [S2])
+        resolver.insert(C2, "y.com", [S2])   # wraps: evicts b.com's slot
+        resolver.insert(C2, "z.com", [S1])
+        assert "a.com" not in resolver.lookup_all(C1, S1)
+        resolver.check_invariants()
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            DnsResolver(clist_size=4, multi_label_depth=-1)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 5), st.integers(0, 3)),
+            max_size=80,
+        )
+    )
+    def test_first_label_matches_plain_lookup(self, operations):
+        plain = DnsResolver(clist_size=6)
+        multi = DnsResolver(clist_size=6, multi_label_depth=3)
+        for client, fqdn_id, server in operations:
+            plain.insert(client, f"s{fqdn_id}.com", [server])
+            multi.insert(client, f"s{fqdn_id}.com", [server])
+        for client in range(3):
+            for server in range(4):
+                labels = multi.lookup_all(client, server)
+                expected = plain.peek(client, server)
+                assert (labels[0] if labels else None) == expected
+        multi.check_invariants()
+
+
+class TestShardedResolver:
+    def test_routing_by_low_octet(self):
+        sharded = ShardedResolver(shards=2, clist_size=100)
+        even, odd = 0x0A000002, 0x0A000003
+        sharded.insert(even, "even.com", [S1])
+        sharded.insert(odd, "odd.com", [S1])
+        assert sharded.lookup(even, S1) == "even.com"
+        assert sharded.lookup(odd, S1) == "odd.com"
+        assert sharded.shards[0].client_count == 1
+        assert sharded.shards[1].client_count == 1
+
+    def test_same_behaviour_as_single(self):
+        single = DnsResolver(clist_size=1000)
+        sharded = ShardedResolver(shards=4, clist_size=4000)
+        import random
+
+        rng = random.Random(3)
+        for _ in range(500):
+            client = rng.randrange(1, 200)
+            server = rng.randrange(1, 50)
+            fqdn = f"site{rng.randrange(40)}.com"
+            single.insert(client, fqdn, [server])
+            sharded.insert(client, fqdn, [server])
+        for client in range(1, 200):
+            for server in range(1, 50):
+                assert single.peek(client, server) == sharded.peek(
+                    client, server
+                )
+
+    def test_aggregated_stats(self):
+        sharded = ShardedResolver(shards=2, clist_size=100)
+        sharded.insert(C1, "a.com", [S1])
+        sharded.insert(C2, "b.com", [S2])
+        sharded.lookup(C1, S1)
+        sharded.lookup(C2, S1)
+        stats = sharded.stats
+        assert stats.responses == 2
+        assert stats.lookups == 2
+        assert stats.hits == 1
+        assert sharded.client_count == 2
+        assert sharded.live_entries == 2
+
+    def test_shard_balance(self):
+        sharded = ShardedResolver(shards=2, clist_size=100)
+        for i in range(20):
+            sharded.insert(0x0A000000 + i, f"h{i}.com", [S1])
+        balance = sharded.shard_balance()
+        assert sum(balance) == 20
+        assert balance == [10, 10]  # even/odd split is perfectly balanced
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            ShardedResolver(shards=0)
+
+    def test_works_in_pipeline(self):
+        """The sharded resolver is a drop-in for the tagger."""
+        from repro.sniffer.tagger import FlowTagger
+
+        sharded = ShardedResolver(shards=2, clist_size=100)
+        sharded.insert(C1, "www.example.com", [S1], timestamp=0.0)
+        tagger = FlowTagger(sharded, warmup=0.0, trace_start=0.0)
+        flow = FlowRecord(
+            fid=FiveTuple(C1, S1, 40000, 80, TransportProto.TCP),
+            start=1.0,
+            protocol=Protocol.HTTP,
+        )
+        tagger.tag(flow)
+        assert flow.fqdn == "www.example.com"
+
+
+class TestDnsCryptLimitation:
+    def test_encrypted_dns_blinds_the_sniffer(self):
+        """Sec. 6.1: DNSCrypt would make the DNS response sniffer
+        ineffective — with no visible responses, nothing gets labeled."""
+        from repro.sniffer.pipeline import SnifferPipeline
+
+        events = [
+            DnsObservation(1.0, C1, "secret.example.com", [S1]),
+            FlowRecord(
+                fid=FiveTuple(C1, S1, 40000, 443, TransportProto.TCP),
+                start=2.0,
+                protocol=Protocol.TLS,
+            ),
+        ]
+        # DNSCrypt: drop every observation before it reaches the sniffer.
+        encrypted_events = [
+            e for e in events if not isinstance(e, DnsObservation)
+        ]
+        pipeline = SnifferPipeline(clist_size=64, warmup=0.0)
+        flows = pipeline.process_events(encrypted_events)
+        assert flows[0].fqdn is None
+        assert pipeline.hit_ratio_by_protocol()[Protocol.TLS] == 0.0

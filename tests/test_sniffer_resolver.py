@@ -1,0 +1,157 @@
+"""Tests for the DNS Resolver (Algorithm 1): Clist semantics, eviction,
+back-references, and the paper's dimensioning behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sniffer.resolver import DnsResolver
+
+C1, C2 = 0x0A000001, 0x0A000002
+S1, S2, S3 = 0xD0000001, 0xD0000002, 0xD0000003
+
+
+class TestInsertLookup:
+    def test_basic_tagging(self):
+        resolver = DnsResolver(clist_size=10)
+        resolver.insert(C1, "itunes.apple.com", [S1, S2])
+        assert resolver.lookup(C1, S1) == "itunes.apple.com"
+        assert resolver.lookup(C1, S2) == "itunes.apple.com"
+
+    def test_lookup_is_per_client(self):
+        resolver = DnsResolver(clist_size=10)
+        resolver.insert(C1, "a.com", [S1])
+        assert resolver.lookup(C2, S1) is None
+
+    def test_unknown_server_misses(self):
+        resolver = DnsResolver(clist_size=10)
+        resolver.insert(C1, "a.com", [S1])
+        assert resolver.lookup(C1, S3) is None
+
+    def test_empty_answers_ignored(self):
+        resolver = DnsResolver(clist_size=10)
+        resolver.insert(C1, "nxdomain.com", [])
+        assert resolver.live_entries == 0
+
+    def test_duplicate_answers_collapse(self):
+        resolver = DnsResolver(clist_size=10)
+        resolver.insert(C1, "a.com", [S1, S1, S1])
+        assert resolver.lookup(C1, S1) == "a.com"
+        assert resolver.live_entries == 1
+        resolver.check_invariants()
+
+    def test_last_written_wins_on_shared_server(self):
+        # Same client, same serverIP, two FQDNs: the paper's "confusion"
+        # case — DN-Hunter returns the last observed FQDN (Sec. 6).
+        resolver = DnsResolver(clist_size=10)
+        resolver.insert(C1, "old.example.com", [S1])
+        resolver.insert(C1, "new.example.com", [S1])
+        assert resolver.lookup(C1, S1) == "new.example.com"
+        assert resolver.stats.replacements == 1
+        resolver.check_invariants()
+
+    def test_peek_does_not_count(self):
+        resolver = DnsResolver(clist_size=10)
+        resolver.insert(C1, "a.com", [S1])
+        assert resolver.peek(C1, S1) == "a.com"
+        assert resolver.stats.lookups == 0
+
+
+class TestCircularEviction:
+    def test_wraparound_evicts_oldest(self):
+        resolver = DnsResolver(clist_size=3)
+        resolver.insert(C1, "one.com", [S1])
+        resolver.insert(C1, "two.com", [S2])
+        resolver.insert(C1, "three.com", [S3])
+        # Fourth insert overwrites slot 0 ("one.com").
+        resolver.insert(C2, "four.com", [S1])
+        assert resolver.lookup(C1, S1) is None
+        assert resolver.lookup(C1, S2) == "two.com"
+        assert resolver.lookup(C2, S1) == "four.com"
+        assert resolver.stats.overwrites == 1
+        resolver.check_invariants()
+
+    def test_l_bounds_cache_lifetime(self):
+        # With L=5 and one response per second, entries older than 5s
+        # must be gone — L limits the entry lifetime (Sec. 3.1.1).
+        resolver = DnsResolver(clist_size=5)
+        for second in range(10):
+            resolver.insert(C1, f"site{second}.com", [1000 + second], float(second))
+        assert resolver.oldest_entry_age(10.0) <= 5.0
+        for second in range(5):
+            assert resolver.lookup(C1, 1000 + second) is None
+        for second in range(5, 10):
+            assert resolver.lookup(C1, 1000 + second) == f"site{second}.com"
+
+    def test_eviction_cleans_client_map(self):
+        resolver = DnsResolver(clist_size=1)
+        resolver.insert(C1, "a.com", [S1])
+        resolver.insert(C2, "b.com", [S2])
+        assert resolver.client_count == 1
+        assert resolver.server_count(C1) == 0
+        assert resolver.server_count(C2) == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            DnsResolver(clist_size=0)
+
+
+class TestStats:
+    def test_hit_ratio(self):
+        resolver = DnsResolver(clist_size=10)
+        resolver.insert(C1, "a.com", [S1])
+        resolver.lookup(C1, S1)
+        resolver.lookup(C1, S2)
+        assert resolver.stats.hit_ratio == pytest.approx(0.5)
+        assert resolver.stats.responses == 1
+        assert resolver.stats.answers == 1
+
+    def test_empty_hit_ratio(self):
+        assert DnsResolver(clist_size=4).stats.hit_ratio == 0.0
+
+
+# Strategy: a stream of (client, fqdn-id, answer-set) inserts interleaved
+# with lookups, against a tiny Clist to force constant wraparound.
+_ops = st.lists(
+    st.tuples(
+        st.integers(0, 3),              # client
+        st.integers(0, 9),              # fqdn id
+        st.sets(st.integers(0, 7), min_size=1, max_size=3),  # answers
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestPropertyInvariants:
+    @settings(max_examples=50)
+    @given(_ops)
+    def test_structural_invariants_hold_under_churn(self, operations):
+        resolver = DnsResolver(clist_size=4)
+        for client, fqdn_id, answers in operations:
+            resolver.insert(client, f"site{fqdn_id}.com", sorted(answers))
+        resolver.check_invariants()
+        assert resolver.live_entries <= 4
+
+    @settings(max_examples=50)
+    @given(_ops)
+    def test_lookup_matches_reference_model(self, operations):
+        """The resolver must agree with a brute-force model of Alg. 1."""
+        clist_size = 4
+        resolver = DnsResolver(clist_size=clist_size)
+        # Reference: list of (client, fqdn, answers) kept to last L inserts
+        # with per-(client, server) last-writer-wins semantics.
+        window: list[tuple[int, str, tuple[int, ...]]] = []
+        for client, fqdn_id, answers in operations:
+            fqdn = f"site{fqdn_id}.com"
+            answer_list = sorted(answers)
+            resolver.insert(client, fqdn, answer_list)
+            window.append((client, fqdn, tuple(answer_list)))
+            window = window[-clist_size:]
+        for client in range(4):
+            for server in range(8):
+                expected = None
+                for w_client, w_fqdn, w_answers in window:
+                    if w_client == client and server in w_answers:
+                        expected = w_fqdn
+                assert resolver.peek(client, server) == expected
