@@ -9,6 +9,7 @@ followed on decode with loop protection.
 from __future__ import annotations
 
 import struct
+from typing import Optional
 
 from repro.dns.message import DnsHeader, DnsMessage, Question
 from repro.dns.name import MAX_LABEL_LENGTH
@@ -77,8 +78,12 @@ def _decode_name(data: bytes, offset: int) -> tuple[str, int]:
             hops += 1
             if hops > MAX_POINTER_HOPS:
                 raise DnsWireError("compression pointer loop")
-            if pointer >= offset and not labels and hops == 1 and pointer >= len(data):
-                raise DnsWireError("pointer outside message")
+            # RFC 1035 pointers must reference a *prior* occurrence: any
+            # forward (or self) pointer is invalid, and since the current
+            # offset is inside the buffer this also rejects any target
+            # past the end of the message.
+            if pointer >= offset:
+                raise DnsWireError("forward compression pointer")
             offset = pointer
             continue
         if length & 0xC0:
@@ -258,3 +263,110 @@ def decode_message(data: bytes) -> DnsMessage:
             record, offset = _decode_rr(data, offset)
             section.append(record)
     return message
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy response fast path
+# ---------------------------------------------------------------------------
+#
+# The DNS response sniffer only needs three facts per response: the
+# queried name, the A-record address list, and the minimum answer TTL.
+# ``decode_response_addresses`` extracts exactly those straight from the
+# wire buffer with ``unpack_from`` — no ``DnsMessage``/``ResourceRecord``
+# objects, no enum construction, no rdata decoding.  Anything outside the
+# narrow shape it handles (queries, multi-question messages, non-A
+# answers, authority/additional sections, compressed question names,
+# unknown types/classes, reserved RCODEs) returns ``None`` so the caller
+# falls back to :func:`decode_message`, preserving the full decoder's
+# behaviour — including the error it would raise — for those shapes.
+# The one deliberate leniency: answer owner names are skipped, not
+# re-decoded, so a backward pointer into malformed bytes is not chased
+# the way the full decoder would.
+
+_A_RECORD_TAIL = struct.Struct("!HHIHI")  # type, class, ttl, rdlen, address
+_KNOWN_QTYPES = frozenset(int(rrtype) for rrtype in RRType)
+
+
+def decode_response_addresses(
+    data: bytes,
+) -> Optional[tuple[str, list[int], int]]:
+    """Fast-path decode of an A-record DNS response.
+
+    Returns ``(query_name, a_addresses, min_answer_ttl)`` for a plain
+    single-question all-A response, or ``None`` when the message needs
+    the general decoder (the caller must then use
+    :func:`decode_message`).  Raises :class:`DnsWireError` only for a
+    buffer too short to hold a DNS header, mirroring the full decoder.
+    """
+    size = len(data)
+    if size < 12:
+        raise DnsWireError("truncated DNS header")
+    if not data[2] & 0x80:
+        return None  # a query — the general path classifies it
+    if data[3] & 0x0F > 5:
+        return None  # reserved RCODE — the general path rejects it
+    if data[4] or data[5] != 1:
+        return None  # zero or multiple questions
+    if data[8] or data[9] or data[10] or data[11]:
+        return None  # authority/additional sections present
+    an_count = (data[6] << 8) | data[7]
+    # Question name: plain labels only (a compressed question name is
+    # possible in theory and handled by the general decoder).
+    offset = 12
+    labels = []
+    while True:
+        if offset >= size:
+            return None
+        length = data[offset]
+        if length == 0:
+            offset += 1
+            break
+        if length & 0xC0:
+            return None
+        end = offset + 1 + length
+        if end > size:
+            return None
+        labels.append(data[offset + 1:end].decode("ascii", "replace"))
+        offset = end
+    if offset + 4 > size:
+        return None
+    qtype = (data[offset] << 8) | data[offset + 1]
+    qclass = (data[offset + 2] << 8) | data[offset + 3]
+    if qtype not in _KNOWN_QTYPES or qclass != 1:
+        return None
+    offset += 4
+    fqdn = ".".join(labels)
+    addresses: list[int] = []
+    append = addresses.append
+    min_ttl = -1
+    unpack_tail = _A_RECORD_TAIL.unpack_from
+    for _ in range(an_count):
+        # Skip the owner name without materialising it.
+        while True:
+            if offset >= size:
+                return None
+            length = data[offset]
+            if length & 0xC0 == 0xC0:
+                if offset + 1 >= size:
+                    return None
+                pointer = ((length & 0x3F) << 8) | data[offset + 1]
+                if pointer >= offset:
+                    return None  # forward pointer — general path rejects
+                offset += 2
+                break
+            if length & 0xC0:
+                return None
+            offset += 1
+            if length == 0:
+                break
+            offset += length
+        if offset + 14 > size:
+            return None
+        rtype, rclass, ttl, rdata_len, address = unpack_tail(data, offset)
+        if rtype != 1 or rclass != 1 or rdata_len != 4:
+            return None  # CNAME chains, AAAA, etc. take the general path
+        offset += 14
+        append(address)
+        if ttl < min_ttl or min_ttl < 0:
+            min_ttl = ttl
+    return fqdn, addresses, 0 if min_ttl < 0 else min_ttl

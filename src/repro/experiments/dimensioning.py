@@ -46,10 +46,51 @@ def answer_list_histogram(trace) -> Counter:
     return counts
 
 
-def confusion_rate(trace, clist_size: int = 200_000) -> float:
-    """Fraction of labeled flows whose label differs from ground truth."""
-    pipeline = SnifferPipeline(clist_size=clist_size, warmup=0.0)
-    pipeline.process_trace(trace)
+def resolver_census(trace, clist_size: int = 200_000, pipeline=None) -> dict:
+    """Resolver-internals snapshot after one pipeline pass.
+
+    Uses the flat resolver's O(1) introspection (live-entry counter,
+    derived overwrites) plus the caching horizon — the quantities Sec. 6
+    reasons about when sizing ``L``.  With the seed implementation the
+    live-entry count alone was an O(L) scan per probe.
+
+    Pass an already-processed ``pipeline`` to snapshot it instead of
+    running the trace again.
+    """
+    if pipeline is None:
+        pipeline = SnifferPipeline(clist_size=clist_size, warmup=0.0)
+        pipeline.process_trace(trace)
+    else:
+        clist_size = pipeline.resolver.clist_size
+    resolver = pipeline.resolver
+    stats = resolver.stats
+    last_ts = max(
+        (obs.timestamp for obs in trace.observations), default=0.0
+    )
+    horizon = resolver.oldest_entry_age(last_ts)
+    return {
+        "clist_size": clist_size,
+        "live_entries": resolver.live_entries,
+        "occupancy": resolver.live_entries / clist_size,
+        "clients": resolver.client_count,
+        "responses": stats.responses,
+        "answers": stats.answers,
+        "replacements": stats.replacements,
+        "overwrites": stats.overwrites,
+        "hit_ratio": stats.hit_ratio,
+        "caching_horizon_s": horizon if horizon is not None else 0.0,
+    }
+
+
+def confusion_rate(trace, clist_size: int = 200_000, pipeline=None) -> float:
+    """Fraction of labeled flows whose label differs from ground truth.
+
+    Pass an already-processed ``pipeline`` to reuse its tagged flows
+    instead of running the trace again.
+    """
+    if pipeline is None:
+        pipeline = SnifferPipeline(clist_size=clist_size, warmup=0.0)
+        pipeline.process_trace(trace)
     labeled = confused = 0
     for flow in pipeline.tagged_flows:
         if flow.fqdn is None or flow.true_fqdn is None:
@@ -87,10 +128,32 @@ def run(seed: int = DEFAULT_SEED, trace_name: str = "EU1-ADSL1") -> ExperimentRe
         answer_rows,
         title="Answer-list size distribution",
     )
-    # -- confusion ------------------------------------------------------------
-    confusion = confusion_rate(trace)
+    # -- confusion + resolver census (one shared pipeline pass) --------------
+    shared_pipeline = SnifferPipeline(clist_size=200_000, warmup=0.0)
+    shared_pipeline.process_trace(trace)
+    confusion = confusion_rate(trace, pipeline=shared_pipeline)
+    census = resolver_census(trace, pipeline=shared_pipeline)
+    census_table = render_table(
+        ["resolver metric", "value"],
+        [
+            ["Clist size L", census["clist_size"]],
+            ["live entries", census["live_entries"]],
+            ["occupancy", f"{census['occupancy']:.1%}"],
+            ["clients (N_C)", census["clients"]],
+            ["responses inserted", census["responses"]],
+            ["last-written-wins replacements", census["replacements"]],
+            ["Clist overwrites", census["overwrites"]],
+            ["caching horizon (s)", f"{census['caching_horizon_s']:.0f}"],
+        ],
+        title="Resolver census at L=200k (Sec. 6 sizing view)",
+    )
     rendered = "\n\n".join(
-        [sweep, answers, f"Label confusion rate: {confusion:.2%}"]
+        [
+            sweep,
+            answers,
+            census_table,
+            f"Label confusion rate: {confusion:.2%}",
+        ]
     )
     notes = (
         f"Shape check — efficiency grows monotonically with L and "
@@ -106,6 +169,7 @@ def run(seed: int = DEFAULT_SEED, trace_name: str = "EU1-ADSL1") -> ExperimentRe
             "efficiency_vs_l": efficiencies,
             "answer_histogram": dict(histogram),
             "confusion": confusion,
+            "resolver_census": census,
         },
         rendered=rendered,
         notes=notes,

@@ -21,9 +21,12 @@ def sniff_pcap(
     path: str,
     clist_size: int = 200_000,
     warmup: float = 300.0,
+    shards: int = 1,
 ) -> SnifferPipeline:
     """Run the packet path over the capture at ``path``."""
-    pipeline = SnifferPipeline(clist_size=clist_size, warmup=warmup)
+    pipeline = SnifferPipeline(
+        clist_size=clist_size, warmup=warmup, shards=shards
+    )
 
     def packets():
         with open(path, "rb") as handle:
@@ -57,6 +60,11 @@ def main(argv: list[str] | None = None) -> int:
         help="statistics warm-up seconds (default 300)",
     )
     parser.add_argument(
+        "--shards", type=int, default=1,
+        help="client-sharded resolvers (Sec. 3.1.1 load balancing; "
+             "default 1 = a single resolver)",
+    )
+    parser.add_argument(
         "--top", type=int, default=10,
         help="show the N most common labels (default 10)",
     )
@@ -68,9 +76,11 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         pipeline = sniff_pcap(
-            args.pcap, clist_size=args.clist, warmup=args.warmup
+            args.pcap, clist_size=args.clist, warmup=args.warmup,
+            shards=args.shards,
         )
-    except (OSError, PcapFormatError) as exc:
+    except (OSError, PcapFormatError, ValueError) as exc:
+        # ValueError covers bad sizing knobs (--clist 0, --shards 0).
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -6,13 +6,24 @@ FQDN recorded is the **queried** name (the question section), not any
 CNAME target — that is what makes DN-Hunter labels more specific than
 reverse lookups (Sec. 3.1.3): the client asked for
 ``mail.google.com`` even if the answer chain ends at a CDN node.
+
+Packet decoding is two-tier: the zero-copy
+:func:`~repro.dns.wire.decode_response_addresses` fast path handles the
+dominant shape on the wire (single-question, all-A responses) without
+building message objects; everything else falls back to the general
+:func:`~repro.dns.wire.decode_message` decoder so queries, CNAME chains
+and malformed buffers are classified exactly as before.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.dns.wire import DnsWireError, decode_message
+from repro.dns.wire import (
+    DnsWireError,
+    decode_message,
+    decode_response_addresses,
+)
 from repro.net.flow import DnsObservation
 from repro.net.packet import Packet
 from repro.sniffer.resolver import DnsResolver
@@ -24,7 +35,8 @@ class DnsResponseSniffer:
     """Decode DNS responses and maintain the resolver replica.
 
     Args:
-        resolver: the shared :class:`DnsResolver` instance.
+        resolver: the shared :class:`DnsResolver` (or any object with
+            the same insert/lookup surface, e.g. ``ShardedResolver``).
         monitored_clients: optional set of client addresses; responses to
             other destinations are ignored (a PoP monitor only replicates
             the caches of its own customers).
@@ -40,6 +52,7 @@ class DnsResponseSniffer:
         self.stats = {
             "packets": 0,
             "decoded": 0,
+            "fast_path": 0,
             "queries_ignored": 0,
             "decode_errors": 0,
             "foreign_client": 0,
@@ -49,31 +62,59 @@ class DnsResponseSniffer:
     def feed_packet(self, packet: Packet) -> Optional[DnsObservation]:
         """Consume one UDP packet; return the observation if it was a
         response we recorded."""
-        if packet.udp is None:
+        udp = packet.udp
+        if udp is None:
             return None
-        if packet.udp.src_port != DNS_PORT and packet.udp.dst_port != DNS_PORT:
+        if udp.src_port != DNS_PORT and udp.dst_port != DNS_PORT:
             return None
-        self.stats["packets"] += 1
+        stats = self.stats
+        stats["packets"] += 1
+        payload = packet.payload
         try:
-            message = decode_message(packet.payload)
+            fast = decode_response_addresses(payload)
         except DnsWireError:
-            self.stats["decode_errors"] += 1
+            stats["decode_errors"] += 1
             return None
-        self.stats["decoded"] += 1
+        if fast is not None:
+            stats["decoded"] += 1
+            stats["fast_path"] += 1
+            client_ip = packet.ipv4.dst  # responses flow server -> client
+            if (
+                self.monitored_clients is not None
+                and client_ip not in self.monitored_clients
+            ):
+                stats["foreign_client"] += 1
+                return None
+            fqdn, addresses, ttl = fast
+            observation = DnsObservation(
+                timestamp=packet.timestamp,
+                client_ip=client_ip,
+                fqdn=fqdn,
+                answers=addresses,
+                ttl=ttl,
+            )
+            return self.feed_observation(observation)
+        # General path: queries, non-A answers, odd or hostile messages.
+        try:
+            message = decode_message(payload)
+        except DnsWireError:
+            stats["decode_errors"] += 1
+            return None
+        stats["decoded"] += 1
         if not message.header.is_response:
-            self.stats["queries_ignored"] += 1
+            stats["queries_ignored"] += 1
             return None
-        client_ip = packet.ipv4.dst  # responses flow server -> client
+        client_ip = packet.ipv4.dst
         if (
             self.monitored_clients is not None
             and client_ip not in self.monitored_clients
         ):
-            self.stats["foreign_client"] += 1
+            stats["foreign_client"] += 1
             return None
         try:
             fqdn = message.question_name
         except ValueError:
-            self.stats["decode_errors"] += 1
+            stats["decode_errors"] += 1
             return None
         addresses = message.a_addresses()
         observation = DnsObservation(

@@ -6,37 +6,45 @@ purely from sniffed responses.  Design constraints from the paper:
 * FQDN entries live in a FIFO **circular list** (``Clist``) of fixed size
   ``L`` — no garbage collection, old entries are overwritten in insertion
   order, and ``L`` bounds the effective caching time (Sec. 6);
-* lookup is two nested maps: ``clientIP -> (serverIP -> entry)``, i.e.
-  O(log N_C + log N_S(c)) in the paper's balanced-tree implementation and
-  O(1) expected here with hash maps (the paper notes hash tables are fine);
 * a DNS response lists several server addresses — **every** address is
   linked to the same entry;
-* when a serverIP key already points at an older entry for the same
-  client, the link is replaced (last-written-wins; the "confusion" the
-  paper quantifies at <4% in Sec. 6);
+* when a (clientIP, serverIP) key already points at an older entry, the
+  link is replaced (last-written-wins; the "confusion" the paper
+  quantifies at <4% in Sec. 6);
 * when the circular list wraps, the overwritten entry's back-references
-  are removed from the maps so the tables never hold dangling keys.
+  are removed from the map so the table never holds dangling keys.
+
+This is the *flat-key* implementation, tuned so the sniffer keeps up
+with the wire (the paper's engineering constraint: one insert per DNS
+response, one lookup per flow, at line rate):
+
+* the paper's nested ``clientIP -> (serverIP -> entry)`` maps are
+  collapsed into **one** hash map keyed by the 64-bit integer
+  ``(client_ip << 32) | server_ip`` — one probe per lookup instead of
+  two, no tuple allocation per event;
+* the Clist is not a ring of per-slot objects but **parallel arrays**
+  (``_fqdns: list[str]``, ``_inserted_at: array('d')`` and a per-slot
+  back-reference key list), so building an ``L = 2.1M`` resolver (the
+  paper's one-hour sizing) allocates no per-entry Python objects;
+* back-references use *check-on-evict* semantics: a replaced link is
+  left in the old slot's key list and simply skipped at eviction time
+  when the map no longer points at that slot — replacement does no
+  list surgery on the hot path;
+* ``overwrites`` and ``live_entries`` are derived from two integers
+  (slots burned, slots in use) instead of per-event bookkeeping or an
+  O(L) scan.
+
+Observable behaviour (lookup results and statistics) is identical to
+Algorithm 1 as transcribed in :mod:`repro.sniffer.resolver_reference`;
+``tests/test_resolver_differential.py`` enforces this over long random
+operation streams.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
-
-
-@dataclass(slots=True)
-class _DnEntry:
-    """One Clist slot: a FQDN plus back-references into the lookup maps.
-
-    ``back_refs`` stores (clientIP, serverIP) key pairs that currently
-    point at this entry, enabling O(degree) unlinking on overwrite —
-    the ``deleteBackreferences`` of Algorithm 1.
-    """
-
-    fqdn: str = ""
-    inserted_at: float = 0.0
-    back_refs: list[tuple[int, int]] = field(default_factory=list)
-    live: bool = False
+from array import array
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 
 @dataclass
@@ -55,9 +63,25 @@ class ResolverStats:
         """Fraction of lookups that found a label."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def merge(self, other: "ResolverStats") -> "ResolverStats":
+        """Accumulate ``other``'s counters into this snapshot (in place).
+
+        Used to aggregate per-shard statistics; returns ``self`` so the
+        call chains.
+        """
+        self.responses += other.responses
+        self.answers += other.answers
+        self.lookups += other.lookups
+        self.hits += other.hits
+        self.replacements += other.replacements
+        self.overwrites += other.overwrites
+        return self
+
+    __iadd__ = merge
+
 
 class DnsResolver:
-    """Replica of client DNS caches keyed by (clientIP, serverIP).
+    """Replica of client DNS caches keyed by ``(clientIP << 32) | serverIP``.
 
     Args:
         clist_size: ``L``, the circular-list capacity.  The paper sizes
@@ -69,10 +93,28 @@ class DnsResolver:
             labels" extension the paper sketches in Sec. 6 for the
             shared-server confusion case.
 
-    The structure is deliberately identical to Algorithm 1 so the
-    dimensioning experiments measure the real mechanism: a FIFO slot
-    array plus per-client maps with back-reference cleanup.
+    Statistics are kept as plain integers on the instance and exposed
+    as a :class:`ResolverStats` snapshot through :attr:`stats`; hold on
+    to counters, not to the snapshot object.
     """
+
+    __slots__ = (
+        "clist_size",
+        "multi_label_depth",
+        "_fqdns",
+        "_inserted_at",
+        "_back_refs",
+        "_key_to_slot",
+        "_history",
+        "_next_slot",
+        "_used",
+        "_burned",
+        "_responses",
+        "_answers",
+        "_lookups",
+        "_hits",
+        "_replacements",
+    )
 
     def __init__(self, clist_size: int = 100_000, multi_label_depth: int = 0):
         if clist_size <= 0:
@@ -81,11 +123,22 @@ class DnsResolver:
             raise ValueError("multi_label_depth must be >= 0")
         self.clist_size = clist_size
         self.multi_label_depth = multi_label_depth
-        self._clist: list[_DnEntry] = [_DnEntry() for _ in range(clist_size)]
+        # Parallel Clist arrays — no per-slot objects.  Back-reference
+        # lists are created lazily the first time a slot is burned, so a
+        # paper-scale resolver costs three flat allocations up front.
+        self._fqdns: list[Optional[str]] = [None] * clist_size
+        self._inserted_at = array("d", bytes(8 * clist_size))
+        self._back_refs: list[Optional[list[int]]] = [None] * clist_size
+        self._key_to_slot: dict[int, int] = {}
+        self._history: dict[int, list[str]] = {}
         self._next_slot = 0
-        self._map_client: dict[int, dict[int, _DnEntry]] = {}
-        self._history: dict[tuple[int, int], list[str]] = {}
-        self.stats = ResolverStats()
+        self._used = 0      # slots holding a live entry (== live_entries)
+        self._burned = 0    # total inserts that consumed a slot
+        self._responses = 0
+        self._answers = 0
+        self._lookups = 0
+        self._hits = 0
+        self._replacements = 0
 
     # -- INSERT (Algorithm 1, lines 1-25) --------------------------------
 
@@ -98,86 +151,151 @@ class DnsResolver:
     ) -> None:
         """Record a sniffed DNS response.
 
-        ``answers`` is the full answer list; each server address becomes a
-        lookup key pointing at the single new entry.
+        ``answers`` is the full answer list; each distinct server address
+        becomes a lookup key pointing at the single new entry.  The
+        answer list is deduplicated *before* a Clist slot is consumed, so
+        a degenerate response whose answers collapse to nothing never
+        burns a slot.
         """
-        self.stats.responses += 1
-        self.stats.answers += len(answers)
-        if not answers:
+        self._responses += 1
+        n = len(answers)
+        self._answers += n
+        if not n:
             return
-        # insert next entry in circular array, evicting the old occupant
-        slot = self._clist[self._next_slot]
-        if slot.live:
-            self._unlink(slot)
-            self.stats.overwrites += 1
-        slot.fqdn = fqdn
-        slot.inserted_at = timestamp
-        slot.live = True
-        self._next_slot = (self._next_slot + 1) % self.clist_size
-
-        map_server = self._map_client.get(client_ip)
-        if map_server is None:
-            map_server = {}
-            self._map_client[client_ip] = map_server
-        seen: set[int] = set()
+        if self.multi_label_depth:
+            self._insert_multilabel(client_ip, fqdn, answers, timestamp)
+            return
+        key_to_slot = self._key_to_slot
+        idx = self._next_slot
+        refs = self._back_refs[idx]
+        if self._used == self.clist_size:
+            # Evict the slot's entry: drop every map key still pointing
+            # here (deleteBackreferences).  Keys superseded by a newer
+            # entry were left in place at replacement time and are
+            # skipped by the identity check.
+            kget = key_to_slot.get
+            for key in refs:
+                if kget(key) == idx:
+                    del key_to_slot[key]
+            refs.clear()
+        else:
+            self._used += 1
+            if refs is None:
+                refs = self._back_refs[idx] = []
+        self._burned += 1
+        self._fqdns[idx] = fqdn
+        self._inserted_at[idx] = timestamp
+        nxt = idx + 1
+        self._next_slot = 0 if nxt == self.clist_size else nxt
+        base = client_ip << 32
+        if n == 1:
+            # Single-answer fast lane: no duplicates possible, a lone
+            # setdefault covers both the fresh-link and replace cases.
+            key = base | answers[0]
+            old = key_to_slot.setdefault(key, idx)
+            if old != idx:
+                self._replacements += 1
+                key_to_slot[key] = idx
+            refs.append(key)
+            return
+        kget = key_to_slot.get
+        rapp = refs.append
+        replaced = 0
         for server_ip in answers:
-            if server_ip in seen:  # duplicate A records in one response
-                continue
-            seen.add(server_ip)
-            old = map_server.get(server_ip)
-            if old is not None and old is not slot:
-                # replace old references (lines 11-15)
-                try:
-                    old.back_refs.remove((client_ip, server_ip))
-                except ValueError:
-                    pass
-                self.stats.replacements += 1
-                if self.multi_label_depth and old.fqdn != fqdn:
-                    history = self._history.setdefault(
-                        (client_ip, server_ip), []
-                    )
-                    if old.fqdn in history:
-                        history.remove(old.fqdn)
-                    history.insert(0, old.fqdn)
-                    del history[self.multi_label_depth:]
-            map_server[server_ip] = slot
-            slot.back_refs.append((client_ip, server_ip))
+            key = base | server_ip
+            old = kget(key)
+            if old is None:
+                key_to_slot[key] = idx
+                rapp(key)
+            elif old != idx:
+                # Last-written-wins relink (Alg. 1 lines 11-15); the old
+                # slot's stale back-reference is resolved at eviction.
+                replaced += 1
+                key_to_slot[key] = idx
+                rapp(key)
+            # old == idx: duplicate address within this response.
+        if replaced:
+            self._replacements += replaced
 
-    def _unlink(self, entry: _DnEntry) -> None:
-        """Remove every map key pointing at ``entry`` (deleteBackreferences)."""
-        for client_ip, server_ip in entry.back_refs:
-            map_server = self._map_client.get(client_ip)
-            if map_server is None:
-                continue
-            if map_server.get(server_ip) is entry:
-                del map_server[server_ip]
-                self._history.pop((client_ip, server_ip), None)
-                if not map_server:
-                    del self._map_client[client_ip]
-        entry.back_refs.clear()
-        entry.live = False
+    def _insert_multilabel(
+        self,
+        client_ip: int,
+        fqdn: str,
+        answers: list[int],
+        timestamp: float,
+    ) -> None:
+        """Insert with superseded-label history (``multi_label_depth > 0``).
+
+        Functionally identical to :meth:`insert` plus the Sec. 6
+        multi-label bookkeeping; split out so the depth check stays off
+        the default hot path.
+        """
+        key_to_slot = self._key_to_slot
+        history_map = self._history
+        depth = self.multi_label_depth
+        idx = self._next_slot
+        refs = self._back_refs[idx]
+        if self._used == self.clist_size:
+            kget = key_to_slot.get
+            for key in refs:
+                if kget(key) == idx:
+                    del key_to_slot[key]
+                    history_map.pop(key, None)
+            refs.clear()
+        else:
+            self._used += 1
+            if refs is None:
+                refs = self._back_refs[idx] = []
+        self._burned += 1
+        fqdns = self._fqdns
+        fqdns[idx] = fqdn
+        self._inserted_at[idx] = timestamp
+        nxt = idx + 1
+        self._next_slot = 0 if nxt == self.clist_size else nxt
+        base = client_ip << 32
+        kget = key_to_slot.get
+        for server_ip in dict.fromkeys(answers):
+            key = base | server_ip
+            old = kget(key)
+            if old is not None:
+                self._replacements += 1
+                old_fqdn = fqdns[old]
+                if old_fqdn != fqdn:
+                    history = history_map.setdefault(key, [])
+                    if old_fqdn in history:
+                        history.remove(old_fqdn)
+                    history.insert(0, old_fqdn)
+                    del history[depth:]
+            key_to_slot[key] = idx
+            refs.append(key)
+
+    def insert_batch(self, observations: Iterable) -> None:
+        """Feed a pre-sorted run of decoded DNS responses.
+
+        ``observations`` yields objects with ``client_ip``, ``fqdn``,
+        ``answers`` and ``timestamp`` attributes (``DnsObservation``
+        ducks).  Responses with empty answer lists are counted but do
+        not consume a slot, exactly as :meth:`insert`.
+        """
+        insert = self.insert
+        for obs in observations:
+            insert(obs.client_ip, obs.fqdn, obs.answers, obs.timestamp)
 
     # -- LOOKUP (Algorithm 1, lines 27-34) -------------------------------
 
     def lookup(self, client_ip: int, server_ip: int) -> Optional[str]:
         """Return the FQDN ``client_ip`` resolved for ``server_ip``, if known."""
-        self.stats.lookups += 1
-        map_server = self._map_client.get(client_ip)
-        if map_server is None:
+        self._lookups += 1
+        slot = self._key_to_slot.get((client_ip << 32) | server_ip)
+        if slot is None:
             return None
-        entry = map_server.get(server_ip)
-        if entry is None:
-            return None
-        self.stats.hits += 1
-        return entry.fqdn
+        self._hits += 1
+        return self._fqdns[slot]
 
     def peek(self, client_ip: int, server_ip: int) -> Optional[str]:
         """Like :meth:`lookup` but without touching statistics."""
-        map_server = self._map_client.get(client_ip)
-        if map_server is None:
-            return None
-        entry = map_server.get(server_ip)
-        return entry.fqdn if entry else None
+        slot = self._key_to_slot.get((client_ip << 32) | server_ip)
+        return None if slot is None else self._fqdns[slot]
 
     def lookup_all(self, client_ip: int, server_ip: int) -> list[str]:
         """All candidate labels for the key, most recent first.
@@ -190,52 +308,76 @@ class DnsResolver:
         if current is None:
             return []
         labels = [current]
-        for fqdn in self._history.get((client_ip, server_ip), ()):
+        key = (client_ip << 32) | server_ip
+        for fqdn in self._history.get(key, ()):
             if fqdn not in labels:
                 labels.append(fqdn)
         return labels
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def stats(self) -> ResolverStats:
+        """Snapshot of the Sec. 6 counters.
+
+        ``overwrites`` is derived: every burned slot beyond the first
+        ``L`` overwrote a live entry.
+        """
+        return ResolverStats(
+            responses=self._responses,
+            answers=self._answers,
+            lookups=self._lookups,
+            hits=self._hits,
+            replacements=self._replacements,
+            overwrites=self._burned - self._used,
+        )
 
     # -- introspection ----------------------------------------------------
 
     @property
     def client_count(self) -> int:
         """Number of distinct clients currently tracked (N_C)."""
-        return len(self._map_client)
+        return len({key >> 32 for key in self._key_to_slot})
 
     def server_count(self, client_ip: int) -> int:
         """Number of server keys for one client (N_S(c))."""
-        return len(self._map_client.get(client_ip, ()))
+        return sum(1 for key in self._key_to_slot if key >> 32 == client_ip)
 
     @property
     def live_entries(self) -> int:
-        """Number of occupied Clist slots."""
-        return sum(1 for entry in self._clist if entry.live)
+        """Number of occupied Clist slots — O(1), not an O(L) scan."""
+        return self._used
 
     def oldest_entry_age(self, now: float) -> Optional[float]:
         """Age of the oldest live entry — the effective caching horizon."""
-        ages = [
-            now - entry.inserted_at for entry in self._clist if entry.live
-        ]
-        return max(ages) if ages else None
+        used = self._used
+        if not used:
+            return None
+        inserted_at = self._inserted_at
+        return max(now - inserted_at[i] for i in range(used))
 
     def check_invariants(self) -> None:
         """Assert map/Clist consistency; used by property-based tests.
 
-        Every map value must be a live entry that back-references the
-        exact (client, server) key pair, and every back-reference of a
-        live entry must exist in the maps.
+        Every map value must reference a live slot whose back-reference
+        list contains the key; stale back-references (left behind by
+        replacements) must point at other live mappings, never dangle as
+        map entries; label history may exist only for live keys.
         """
-        for client_ip, map_server in self._map_client.items():
-            for server_ip, entry in map_server.items():
-                assert entry.live, "map points at dead entry"
-                assert (client_ip, server_ip) in entry.back_refs, (
-                    "map key missing from entry back_refs"
-                )
-        for entry in self._clist:
-            if not entry.live:
+        assert 0 <= self._used <= self.clist_size
+        assert self._used == min(self._burned, self.clist_size)
+        for key, slot in self._key_to_slot.items():
+            assert 0 <= slot < self._used, "map points at a dead slot"
+            refs = self._back_refs[slot]
+            assert refs is not None and key in refs, (
+                "map key missing from slot back-references"
+            )
+        for slot in range(self.clist_size):
+            refs = self._back_refs[slot]
+            if refs is None:
                 continue
-            for client_ip, server_ip in entry.back_refs:
-                current = self._map_client.get(client_ip, {}).get(server_ip)
-                # A back-ref may have been superseded by a newer entry for
-                # the same key; then the map must point at that newer entry.
-                assert current is not None, "dangling back-reference"
+            assert slot < self._used or not refs, (
+                "dead slot holds back-references"
+            )
+        for key in self._history:
+            assert key in self._key_to_slot, "history for an evicted key"

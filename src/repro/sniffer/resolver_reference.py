@@ -1,0 +1,239 @@
+"""Reference DNS Resolver — the seed implementation of Algorithm 1.
+
+This module is the original object-per-slot resolver, retained verbatim
+as the behavioural oracle for the optimised flat-key resolver in
+:mod:`repro.sniffer.resolver`.  It is used by
+
+* the differential property tests (``tests/test_resolver_differential.py``),
+  which assert that the fast resolver returns identical lookup results
+  and statistics over long random operation streams, and
+* ``benchmarks/run_bench.py``, which measures the seed-vs-fast speedup
+  recorded in ``BENCH_*.json``.
+
+Do not optimise this module: its value is being a direct transcription
+of the paper's Algorithm 1 with no performance tricks.
+
+The resolver is a replica of the monitored clients' DNS caches built
+purely from sniffed responses.  Design constraints from the paper:
+
+* FQDN entries live in a FIFO **circular list** (``Clist``) of fixed size
+  ``L`` — no garbage collection, old entries are overwritten in insertion
+  order, and ``L`` bounds the effective caching time (Sec. 6);
+* lookup is two nested maps: ``clientIP -> (serverIP -> entry)``, i.e.
+  O(log N_C + log N_S(c)) in the paper's balanced-tree implementation and
+  O(1) expected here with hash maps (the paper notes hash tables are fine);
+* a DNS response lists several server addresses — **every** address is
+  linked to the same entry;
+* when a serverIP key already points at an older entry for the same
+  client, the link is replaced (last-written-wins; the "confusion" the
+  paper quantifies at <4% in Sec. 6);
+* when the circular list wraps, the overwritten entry's back-references
+  are removed from the maps so the tables never hold dangling keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sniffer.resolver import ResolverStats
+
+
+@dataclass(slots=True)
+class _DnEntry:
+    """One Clist slot: a FQDN plus back-references into the lookup maps.
+
+    ``back_refs`` stores (clientIP, serverIP) key pairs that currently
+    point at this entry, enabling O(degree) unlinking on overwrite —
+    the ``deleteBackreferences`` of Algorithm 1.
+    """
+
+    fqdn: str = ""
+    inserted_at: float = 0.0
+    back_refs: list[tuple[int, int]] = field(default_factory=list)
+    live: bool = False
+
+
+class DnsResolver:
+    """Replica of client DNS caches keyed by (clientIP, serverIP).
+
+    Args:
+        clist_size: ``L``, the circular-list capacity.  The paper sizes
+            this so entries survive about one hour at peak DNS rate
+            (~2.1M for 350k responses/10min); scale to the trace.
+        multi_label_depth: when > 0, superseded labels for a live
+            (client, server) key are retained (most recent first) and
+            exposed via :meth:`lookup_all` — the "return all possible
+            labels" extension the paper sketches in Sec. 6 for the
+            shared-server confusion case.
+
+    The structure is deliberately identical to Algorithm 1 so the
+    dimensioning experiments measure the real mechanism: a FIFO slot
+    array plus per-client maps with back-reference cleanup.
+    """
+
+    def __init__(self, clist_size: int = 100_000, multi_label_depth: int = 0):
+        if clist_size <= 0:
+            raise ValueError("clist_size must be positive")
+        if multi_label_depth < 0:
+            raise ValueError("multi_label_depth must be >= 0")
+        self.clist_size = clist_size
+        self.multi_label_depth = multi_label_depth
+        self._clist: list[_DnEntry] = [_DnEntry() for _ in range(clist_size)]
+        self._next_slot = 0
+        self._map_client: dict[int, dict[int, _DnEntry]] = {}
+        self._history: dict[tuple[int, int], list[str]] = {}
+        self.stats = ResolverStats()
+
+    # -- INSERT (Algorithm 1, lines 1-25) --------------------------------
+
+    def insert(
+        self,
+        client_ip: int,
+        fqdn: str,
+        answers: list[int],
+        timestamp: float = 0.0,
+    ) -> None:
+        """Record a sniffed DNS response.
+
+        ``answers`` is the full answer list; each server address becomes a
+        lookup key pointing at the single new entry.
+        """
+        self.stats.responses += 1
+        self.stats.answers += len(answers)
+        if not answers:
+            return
+        # insert next entry in circular array, evicting the old occupant
+        slot = self._clist[self._next_slot]
+        if slot.live:
+            self._unlink(slot)
+            self.stats.overwrites += 1
+        slot.fqdn = fqdn
+        slot.inserted_at = timestamp
+        slot.live = True
+        self._next_slot = (self._next_slot + 1) % self.clist_size
+
+        map_server = self._map_client.get(client_ip)
+        if map_server is None:
+            map_server = {}
+            self._map_client[client_ip] = map_server
+        seen: set[int] = set()
+        for server_ip in answers:
+            if server_ip in seen:  # duplicate A records in one response
+                continue
+            seen.add(server_ip)
+            old = map_server.get(server_ip)
+            if old is not None and old is not slot:
+                # replace old references (lines 11-15)
+                try:
+                    old.back_refs.remove((client_ip, server_ip))
+                except ValueError:
+                    pass
+                self.stats.replacements += 1
+                if self.multi_label_depth and old.fqdn != fqdn:
+                    history = self._history.setdefault(
+                        (client_ip, server_ip), []
+                    )
+                    if old.fqdn in history:
+                        history.remove(old.fqdn)
+                    history.insert(0, old.fqdn)
+                    del history[self.multi_label_depth:]
+            map_server[server_ip] = slot
+            slot.back_refs.append((client_ip, server_ip))
+
+    def _unlink(self, entry: _DnEntry) -> None:
+        """Remove every map key pointing at ``entry`` (deleteBackreferences)."""
+        for client_ip, server_ip in entry.back_refs:
+            map_server = self._map_client.get(client_ip)
+            if map_server is None:
+                continue
+            if map_server.get(server_ip) is entry:
+                del map_server[server_ip]
+                self._history.pop((client_ip, server_ip), None)
+                if not map_server:
+                    del self._map_client[client_ip]
+        entry.back_refs.clear()
+        entry.live = False
+
+    # -- LOOKUP (Algorithm 1, lines 27-34) -------------------------------
+
+    def lookup(self, client_ip: int, server_ip: int) -> Optional[str]:
+        """Return the FQDN ``client_ip`` resolved for ``server_ip``, if known."""
+        self.stats.lookups += 1
+        map_server = self._map_client.get(client_ip)
+        if map_server is None:
+            return None
+        entry = map_server.get(server_ip)
+        if entry is None:
+            return None
+        self.stats.hits += 1
+        return entry.fqdn
+
+    def peek(self, client_ip: int, server_ip: int) -> Optional[str]:
+        """Like :meth:`lookup` but without touching statistics."""
+        map_server = self._map_client.get(client_ip)
+        if map_server is None:
+            return None
+        entry = map_server.get(server_ip)
+        return entry.fqdn if entry else None
+
+    def lookup_all(self, client_ip: int, server_ip: int) -> list[str]:
+        """All candidate labels for the key, most recent first.
+
+        The first element is what :meth:`lookup` returns; the rest are
+        superseded labels still plausible for the shared server (only
+        populated when ``multi_label_depth > 0``).
+        """
+        current = self.peek(client_ip, server_ip)
+        if current is None:
+            return []
+        labels = [current]
+        for fqdn in self._history.get((client_ip, server_ip), ()):
+            if fqdn not in labels:
+                labels.append(fqdn)
+        return labels
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def client_count(self) -> int:
+        """Number of distinct clients currently tracked (N_C)."""
+        return len(self._map_client)
+
+    def server_count(self, client_ip: int) -> int:
+        """Number of server keys for one client (N_S(c))."""
+        return len(self._map_client.get(client_ip, ()))
+
+    @property
+    def live_entries(self) -> int:
+        """Number of occupied Clist slots."""
+        return sum(1 for entry in self._clist if entry.live)
+
+    def oldest_entry_age(self, now: float) -> Optional[float]:
+        """Age of the oldest live entry — the effective caching horizon."""
+        ages = [
+            now - entry.inserted_at for entry in self._clist if entry.live
+        ]
+        return max(ages) if ages else None
+
+    def check_invariants(self) -> None:
+        """Assert map/Clist consistency; used by property-based tests.
+
+        Every map value must be a live entry that back-references the
+        exact (client, server) key pair, and every back-reference of a
+        live entry must exist in the maps.
+        """
+        for client_ip, map_server in self._map_client.items():
+            for server_ip, entry in map_server.items():
+                assert entry.live, "map points at dead entry"
+                assert (client_ip, server_ip) in entry.back_refs, (
+                    "map key missing from entry back_refs"
+                )
+        for entry in self._clist:
+            if not entry.live:
+                continue
+            for client_ip, server_ip in entry.back_refs:
+                current = self._map_client.get(client_ip, {}).get(server_ip)
+                # A back-ref may have been superseded by a newer entry for
+                # the same key; then the map must point at that newer entry.
+                assert current is not None, "dangling back-reference"

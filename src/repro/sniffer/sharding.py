@@ -11,7 +11,7 @@ shards, presenting the same insert/lookup surface as a single
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.sniffer.resolver import DnsResolver, ResolverStats
 
@@ -41,8 +41,12 @@ class ShardedResolver:
             for _ in range(shards)
         ]
 
+    def _shard_index(self, client_ip: int) -> int:
+        """The one definition of the routing hash (low-octet modulo)."""
+        return (client_ip & 0xFF) % len(self.shards)
+
     def _shard_for(self, client_ip: int) -> DnsResolver:
-        return self.shards[(client_ip & 0xFF) % len(self.shards)]
+        return self.shards[self._shard_index(client_ip)]
 
     def insert(
         self,
@@ -52,9 +56,21 @@ class ShardedResolver:
         timestamp: float = 0.0,
     ) -> None:
         """Route the response to the owning shard."""
-        self._shard_for(client_ip).insert(
-            client_ip, fqdn, answers, timestamp
-        )
+        self._shard_for(client_ip).insert(client_ip, fqdn, answers, timestamp)
+
+    def insert_batch(self, observations: Iterable) -> None:
+        """Feed a run of decoded responses, routing each to its shard.
+
+        The routing hash and per-shard ``insert`` bindings are hoisted
+        out of the per-event call chain.
+        """
+        shard_index = self._shard_index
+        inserts = [shard.insert for shard in self.shards]
+        for obs in observations:
+            client_ip = obs.client_ip
+            inserts[shard_index(client_ip)](
+                client_ip, obs.fqdn, obs.answers, obs.timestamp
+            )
 
     def lookup(self, client_ip: int, server_ip: int) -> Optional[str]:
         """Look up in the owning shard only."""
@@ -71,12 +87,7 @@ class ShardedResolver:
         """Aggregated counters across shards."""
         total = ResolverStats()
         for shard in self.shards:
-            total.responses += shard.stats.responses
-            total.answers += shard.stats.answers
-            total.lookups += shard.stats.lookups
-            total.hits += shard.stats.hits
-            total.replacements += shard.stats.replacements
-            total.overwrites += shard.stats.overwrites
+            total.merge(shard.stats)
         return total
 
     @property

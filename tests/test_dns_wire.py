@@ -1,7 +1,7 @@
 """Tests for the RFC 1035 wire codec: round-trips, compression, errors."""
 
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dns.message import DnsHeader, DnsMessage, Question, ResponseCode
@@ -14,7 +14,12 @@ from repro.dns.records import (
     cname_record,
     ptr_record,
 )
-from repro.dns.wire import DnsWireError, decode_message, encode_message
+from repro.dns.wire import (
+    DnsWireError,
+    decode_message,
+    decode_response_addresses,
+    encode_message,
+)
 from repro.net.ip import ip_from_str
 
 
@@ -159,6 +164,172 @@ class TestWireErrors:
     def test_garbage(self):
         with pytest.raises(DnsWireError):
             decode_message(b"\xff" * 40)
+
+
+class TestPointerValidation:
+    """Regression tests for compression-pointer hardening.
+
+    The original check only rejected a pointer that was simultaneously
+    first-hop *and* past the buffer; any pointer target at or past the
+    end of the message, and any forward pointer, must be rejected
+    (RFC 1035 pointers reference a prior occurrence).
+    """
+
+    @staticmethod
+    def _question_message(name_bytes):
+        header = (
+            (1).to_bytes(2, "big") + b"\x00\x00" + b"\x00\x01" + b"\x00" * 6
+        )
+        return header + name_bytes + b"\x00\x01\x00\x01"
+
+    def test_pointer_past_end_rejected(self):
+        # Pointer target 0x3FF is far beyond the message.
+        message = self._question_message(b"\xc3\xff")
+        with pytest.raises(DnsWireError):
+            decode_message(message)
+
+    def test_pointer_past_end_rejected_after_label(self):
+        # A label first, then an out-of-range pointer: the seed check
+        # missed this (``labels`` non-empty).
+        message = self._question_message(b"\x03abc\xc3\xff")
+        with pytest.raises(DnsWireError):
+            decode_message(message)
+
+    def test_forward_pointer_rejected(self):
+        # Pointer at offset 12 targeting offset 14 (forward).
+        message = self._question_message(b"\xc0\x0e\x03abc\x00")
+        with pytest.raises(DnsWireError):
+            decode_message(message)
+
+    def test_self_pointer_rejected(self):
+        message = self._question_message(b"\xc0\x0c")
+        with pytest.raises(DnsWireError):
+            decode_message(message)
+
+    def test_second_hop_out_of_range_rejected(self):
+        # First pointer is valid and backward; the name it reaches ends
+        # in a second pointer that is out of range.  The seed check only
+        # guarded the first hop.
+        header = (
+            (1).to_bytes(2, "big") + b"\x00\x00" + b"\x00\x01" + b"\x00" * 6
+        )
+        # offset 12: label "ab", then pointer to offset 12... build:
+        # offset 12: 0x02 'a' 'b' 0xc3 0xff  (label then bad pointer)
+        # offset 17: 0xc0 0x0c (points back at offset 12)
+        message = header + b"\x02ab\xc3\xff" + b"\xc0\x0c" + b"\x00\x01\x00\x01"
+        with pytest.raises(DnsWireError):
+            decode_message(message)
+
+    def test_backward_compression_still_decodes(self):
+        # Sanity: the legitimate encoder output (backward pointers only)
+        # still round-trips.
+        query = DnsMessage.query(3, "www.example.com")
+        answers = [a_record("www.example.com", 9, ttl=5)]
+        out = decode_message(encode_message(DnsMessage.response_to(query, answers)))
+        assert out.answers[0].name == "www.example.com"
+
+
+class TestFastPathDecode:
+    """The zero-copy fast path must agree with the full decoder on
+    everything it accepts, and defer everything else."""
+
+    @staticmethod
+    def _response(name="cdn.example.com", addresses=(1, 2), ttl=60, ident=4):
+        query = DnsMessage.query(ident, name)
+        return encode_message(
+            DnsMessage.response_to(
+                query, [a_record(name, a, ttl=ttl) for a in addresses]
+            )
+        )
+
+    def test_matches_full_decoder(self):
+        wire = self._response(addresses=(10, 20, 30), ttl=44)
+        message = decode_message(wire)
+        assert decode_response_addresses(wire) == (
+            message.question_name,
+            message.a_addresses(),
+            message.min_answer_ttl(),
+        )
+
+    def test_empty_answers(self):
+        wire = self._response(addresses=())
+        assert decode_response_addresses(wire) == ("cdn.example.com", [], 0)
+
+    def test_min_ttl_across_answers(self):
+        query = DnsMessage.query(1, "x.example.com")
+        wire = encode_message(
+            DnsMessage.response_to(
+                query,
+                [
+                    a_record("x.example.com", 1, ttl=500),
+                    a_record("x.example.com", 2, ttl=7),
+                    a_record("x.example.com", 3, ttl=90),
+                ],
+            )
+        )
+        assert decode_response_addresses(wire)[2] == 7
+
+    def test_query_defers(self):
+        wire = encode_message(DnsMessage.query(5, "a.example.com"))
+        assert decode_response_addresses(wire) is None
+
+    def test_cname_defers(self):
+        query = DnsMessage.query(1, "www.zynga.com")
+        wire = encode_message(
+            DnsMessage.response_to(
+                query,
+                [
+                    cname_record("www.zynga.com", "z.edgesuite.net", ttl=30),
+                    a_record("z.edgesuite.net", 77, ttl=30),
+                ],
+            )
+        )
+        assert decode_response_addresses(wire) is None
+        # ...and the general decoder handles what the fast path deferred.
+        assert decode_message(wire).a_addresses() == [77]
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(DnsWireError):
+            decode_response_addresses(b"\x00\x01")
+
+    def test_truncated_body_defers_or_refuses(self):
+        wire = self._response()
+        for cut in range(12, len(wire)):
+            assert decode_response_addresses(wire[:cut]) is None
+
+    @given(
+        ident=st.integers(min_value=0, max_value=0xFFFF),
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            min_size=0,
+            max_size=12,
+        ),
+        ttl=st.integers(min_value=0, max_value=86400),
+    )
+    def test_arbitrary_a_responses_match(self, ident, addresses, ttl):
+        name = "host.fast.example.com"
+        wire = self._response(
+            name=name, addresses=tuple(addresses), ttl=ttl, ident=ident
+        )
+        message = decode_message(wire)
+        assert decode_response_addresses(wire) == (
+            message.question_name,
+            message.a_addresses(),
+            message.min_answer_ttl(),
+        )
+
+    @settings(max_examples=200)
+    @given(st.binary(max_size=200))
+    def test_arbitrary_bytes_never_crash(self, data):
+        try:
+            result = decode_response_addresses(data)
+        except DnsWireError:
+            return
+        if result is not None:
+            fqdn, addresses, ttl = result
+            assert isinstance(fqdn, str)
+            assert all(isinstance(a, int) for a in addresses)
+            assert ttl >= 0
 
 
 _names = st.lists(

@@ -1,0 +1,317 @@
+"""Differential tests: flat resolver vs. the seed reference (Alg. 1).
+
+The optimised flat-key resolver in ``repro.sniffer.resolver`` must be
+observationally identical to the seed implementation retained in
+``repro.sniffer.resolver_reference``: same lookup results, same label
+histories, same statistics, over arbitrary interleavings of inserts,
+lookups and circular-list wraps.  These tests drive both structures
+with seeded-random operation streams (10k+ mixed operations) and
+compare them exhaustively, running the structural invariant checks
+after every wrap.
+
+The fused sniffer event loop re-inlines the resolver's insert/lookup
+bodies for speed, so a second differential holds the fused pipeline to
+the modular pipeline over random event streams.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.flow import (
+    DnsObservation,
+    FiveTuple,
+    FlowRecord,
+    Protocol,
+    TransportProto,
+)
+from repro.sniffer.pipeline import SnifferPipeline
+from repro.sniffer.resolver import DnsResolver
+from repro.sniffer.resolver_reference import DnsResolver as ReferenceResolver
+from repro.sniffer.sharding import ShardedResolver
+
+
+def _random_ops(rng, count, clients=6, servers=24, fqdns=40):
+    """A mixed operation stream: ~60% inserts, ~40% lookups.
+
+    Inserts include duplicate-laden and empty answer lists so the
+    dedup-before-slot behaviour is exercised.
+    """
+    ops = []
+    for _ in range(count):
+        if rng.random() < 0.6:
+            n = rng.choice((0, 1, 1, 1, 2, 2, 3, 4, 8))
+            answers = [rng.randrange(servers) for _ in range(n)]
+            if answers and rng.random() < 0.3:  # duplicate-heavy response
+                answers += [rng.choice(answers)] * rng.randint(1, 3)
+            ops.append(
+                (
+                    "insert",
+                    rng.randrange(clients),
+                    f"site{rng.randrange(fqdns)}.example.com",
+                    answers,
+                    rng.random() * 1000.0,
+                )
+            )
+        else:
+            ops.append(
+                ("lookup", rng.randrange(clients), rng.randrange(servers))
+            )
+    return ops
+
+
+def _drive(fast, reference, ops, clist_size, check_every_wrap=True):
+    """Apply ``ops`` to both resolvers, comparing as we go."""
+    inserted = 0
+    for op in ops:
+        if op[0] == "insert":
+            _, client, fqdn, answers, ts = op
+            fast.insert(client, fqdn, answers, ts)
+            reference.insert(client, fqdn, list(answers), ts)
+            if answers:
+                inserted += 1
+                if check_every_wrap and inserted % clist_size == 0:
+                    fast.check_invariants()
+                    reference.check_invariants()
+        else:
+            _, client, server = op
+            assert fast.lookup(client, server) == reference.lookup(
+                client, server
+            )
+
+
+def _compare_full_state(fast, reference, clients, servers):
+    for client in range(clients):
+        for server in range(servers):
+            assert fast.peek(client, server) == reference.peek(
+                client, server
+            ), (client, server)
+            assert fast.lookup_all(client, server) == reference.lookup_all(
+                client, server
+            ), (client, server)
+    assert fast.stats == reference.stats
+    assert fast.live_entries == reference.live_entries
+    assert fast.client_count == reference.client_count
+    for client in range(clients):
+        assert fast.server_count(client) == reference.server_count(client)
+
+
+class TestDifferential10k:
+    """The headline differential: 10k mixed ops across Clist sizes."""
+
+    @pytest.mark.parametrize("clist_size", [3, 7, 64, 1024])
+    def test_mixed_ops_match_reference(self, clist_size):
+        rng = random.Random(clist_size * 1009 + 17)
+        fast = DnsResolver(clist_size=clist_size)
+        reference = ReferenceResolver(clist_size=clist_size)
+        _drive(fast, reference, _random_ops(rng, 10_000), clist_size)
+        fast.check_invariants()
+        reference.check_invariants()
+        _compare_full_state(fast, reference, clients=6, servers=24)
+
+    @pytest.mark.parametrize("depth", [1, 3])
+    def test_multilabel_matches_reference(self, depth):
+        rng = random.Random(depth * 7919)
+        clist_size = 16
+        fast = DnsResolver(clist_size=clist_size, multi_label_depth=depth)
+        reference = ReferenceResolver(
+            clist_size=clist_size, multi_label_depth=depth
+        )
+        _drive(fast, reference, _random_ops(rng, 10_000), clist_size)
+        fast.check_invariants()
+        reference.check_invariants()
+        _compare_full_state(fast, reference, clients=6, servers=24)
+
+    def test_oldest_entry_age_matches(self):
+        fast = DnsResolver(clist_size=8)
+        reference = ReferenceResolver(clist_size=8)
+        assert fast.oldest_entry_age(5.0) is None
+        rng = random.Random(4)
+        for step in range(40):
+            client = rng.randrange(3)
+            answers = [rng.randrange(9)]
+            fast.insert(client, "x.com", answers, float(step))
+            reference.insert(client, "x.com", answers, float(step))
+            assert fast.oldest_entry_age(100.0) == reference.oldest_entry_age(
+                100.0
+            )
+
+    def test_batch_insert_matches_per_call(self):
+        rng = random.Random(99)
+        observations = [
+            DnsObservation(
+                timestamp=float(i),
+                client_ip=rng.randrange(5),
+                fqdn=f"s{rng.randrange(20)}.com",
+                answers=[rng.randrange(16) for _ in range(rng.randint(0, 3))],
+            )
+            for i in range(3000)
+        ]
+        batched = DnsResolver(clist_size=64)
+        batched.insert_batch(observations)
+        manual = DnsResolver(clist_size=64)
+        for obs in observations:
+            manual.insert(obs.client_ip, obs.fqdn, obs.answers, obs.timestamp)
+        assert batched.stats == manual.stats
+        for client in range(5):
+            for server in range(16):
+                assert batched.peek(client, server) == manual.peek(
+                    client, server
+                )
+
+    def test_sharded_batch_matches_per_call(self):
+        rng = random.Random(3)
+        observations = [
+            DnsObservation(
+                timestamp=float(i),
+                client_ip=rng.randrange(64),
+                fqdn=f"s{rng.randrange(20)}.com",
+                answers=[rng.randrange(16) for _ in range(rng.randint(1, 3))],
+            )
+            for i in range(2000)
+        ]
+        batched = ShardedResolver(shards=4, clist_size=256)
+        batched.insert_batch(observations)
+        manual = ShardedResolver(shards=4, clist_size=256)
+        for obs in observations:
+            manual.insert(obs.client_ip, obs.fqdn, obs.answers, obs.timestamp)
+        assert batched.stats == manual.stats
+        assert batched.shard_balance() == manual.shard_balance()
+
+
+# Hypothesis view of the same property, on tiny Clists where every
+# example wraps constantly.
+_hyp_ops = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.integers(0, 9),
+        st.lists(st.integers(0, 7), min_size=0, max_size=5),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestDifferentialHypothesis:
+    @settings(max_examples=60)
+    @given(_hyp_ops)
+    def test_inserts_match_reference(self, operations):
+        fast = DnsResolver(clist_size=4)
+        reference = ReferenceResolver(clist_size=4)
+        for client, fqdn_id, answers in operations:
+            fast.insert(client, f"s{fqdn_id}.com", answers)
+            reference.insert(client, f"s{fqdn_id}.com", list(answers))
+        fast.check_invariants()
+        for client in range(4):
+            for server in range(8):
+                assert fast.peek(client, server) == reference.peek(
+                    client, server
+                )
+        assert fast.stats == reference.stats
+
+
+def _random_events(rng, count):
+    events = []
+    protocols = list(Protocol)
+    for i in range(count):
+        ts = i * 0.37
+        if rng.random() < 0.45:
+            events.append(
+                DnsObservation(
+                    timestamp=ts,
+                    client_ip=rng.randrange(8),
+                    fqdn=f"host{rng.randrange(30)}.example.com",
+                    answers=[
+                        rng.randrange(40)
+                        for _ in range(rng.choice((0, 1, 1, 2, 3)))
+                    ],
+                )
+            )
+        else:
+            events.append(
+                FlowRecord(
+                    fid=FiveTuple(
+                        rng.randrange(8),
+                        rng.randrange(40),
+                        rng.randrange(1024, 65535),
+                        rng.choice((80, 443, 6969)),
+                        TransportProto.TCP,
+                    ),
+                    start=ts,
+                    protocol=rng.choice(protocols),
+                )
+            )
+    return events
+
+
+class TestPipelineDifferential:
+    """The fused event loop against the modular one, and across shards."""
+
+    def _modular_pipeline(self, clist_size, warmup):
+        # A non-empty monitored set that admits every simulated client
+        # forces the modular code path while filtering nothing.
+        return SnifferPipeline(
+            clist_size=clist_size,
+            warmup=warmup,
+            monitored_clients=set(range(8)),
+        )
+
+    @pytest.mark.parametrize("clist_size,warmup", [(16, 0.0), (64, 100.0)])
+    def test_fused_matches_modular(self, clist_size, warmup):
+        rng = random.Random(clist_size)
+        events = _random_events(rng, 6000)
+        fused = SnifferPipeline(clist_size=clist_size, warmup=warmup)
+        fused.process_events(events)
+        fused.resolver.check_invariants()
+        modular = self._modular_pipeline(clist_size, warmup)
+        modular.process_events(
+            [_copy_event(event) for event in events]
+        )
+        assert len(fused.tagged_flows) == len(modular.tagged_flows)
+        for ours, theirs in zip(fused.tagged_flows, modular.tagged_flows):
+            assert ours.fqdn == theirs.fqdn
+        assert fused.resolver.stats == modular.resolver.stats
+        assert fused.tagger.stats.hits == modular.tagger.stats.hits
+        assert fused.tagger.stats.misses == modular.tagger.stats.misses
+        assert (
+            fused.tagger.stats.warmup_skipped
+            == modular.tagger.stats.warmup_skipped
+        )
+        assert (
+            fused.dns_sniffer.stats["empty_answers"]
+            == modular.dns_sniffer.stats["empty_answers"]
+        )
+
+    def test_sharded_pipeline_matches_single_labels(self):
+        rng = random.Random(11)
+        events = _random_events(rng, 4000)
+        single = SnifferPipeline(clist_size=4000, warmup=0.0)
+        single.process_events(events)
+        sharded = SnifferPipeline(clist_size=16000, warmup=0.0, shards=4)
+        sharded.process_events([_copy_event(event) for event in events])
+        assert isinstance(sharded.resolver, ShardedResolver)
+        for ours, theirs in zip(single.tagged_flows, sharded.tagged_flows):
+            assert ours.fqdn == theirs.fqdn
+        assert (
+            sharded.resolver.stats.responses
+            == single.resolver.stats.responses
+        )
+
+
+def _copy_event(event):
+    if isinstance(event, DnsObservation):
+        return DnsObservation(
+            timestamp=event.timestamp,
+            client_ip=event.client_ip,
+            fqdn=event.fqdn,
+            answers=list(event.answers),
+            ttl=event.ttl,
+        )
+    return FlowRecord(
+        fid=event.fid,
+        start=event.start,
+        end=event.end,
+        protocol=event.protocol,
+    )

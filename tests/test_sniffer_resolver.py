@@ -40,6 +40,35 @@ class TestInsertLookup:
         assert resolver.live_entries == 1
         resolver.check_invariants()
 
+    def test_all_duplicate_answer_list_burns_one_slot(self):
+        """A duplicate-only answer list is deduplicated before the Clist
+        slot is consumed: it must leave exactly the state of the
+        equivalent single-answer insert — one slot, one link, no
+        spurious replacements."""
+        resolver = DnsResolver(clist_size=10)
+        resolver.insert(C1, "a.com", [S1] * 50)
+        single = DnsResolver(clist_size=10)
+        single.insert(C1, "a.com", [S1])
+        assert resolver.live_entries == single.live_entries == 1
+        assert resolver.server_count(C1) == 1
+        assert resolver.stats.replacements == 0
+        # Raw answer counting still sees the wire-level answer list.
+        assert resolver.stats.answers == 50
+        resolver.check_invariants()
+
+    def test_repeated_duplicate_responses_follow_fifo(self):
+        """Duplicate-laden responses interleave with the Clist FIFO the
+        same way clean responses do (each response is one slot)."""
+        resolver = DnsResolver(clist_size=2)
+        resolver.insert(C1, "a.com", [S1, S1])
+        resolver.insert(C1, "b.com", [S2, S2, S2])
+        resolver.insert(C1, "c.com", [S3])  # wraps, evicts a.com
+        assert resolver.lookup(C1, S1) is None
+        assert resolver.lookup(C1, S2) == "b.com"
+        assert resolver.lookup(C1, S3) == "c.com"
+        assert resolver.stats.overwrites == 1
+        resolver.check_invariants()
+
     def test_last_written_wins_on_shared_server(self):
         # Same client, same serverIP, two FQDNs: the paper's "confusion"
         # case — DN-Hunter returns the last observed FQDN (Sec. 6).
