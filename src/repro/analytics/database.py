@@ -9,7 +9,7 @@ store can be fed while the sniffer runs.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator
 
 from repro.dns.name import second_level_domain
 from repro.net.flow import FlowRecord, Protocol

@@ -8,7 +8,6 @@ counts and flow shares (e.g. ``mediaN.linkedin.com`` → Akamai, 2 servers,
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Optional
 

@@ -8,10 +8,9 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.analytics.database import FlowDatabase
-from repro.dns.name import second_level_domain
 from repro.net.flow import DnsObservation
 from repro.orgdb.ipdb import IpOrganizationDb
 

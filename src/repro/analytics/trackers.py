@@ -9,9 +9,8 @@ general apps with flow and byte totals.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.analytics.database import FlowDatabase
 from repro.net.flow import FlowRecord

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.analytics.temporal import servers_per_domain_series
 from repro.experiments.datasets import DEFAULT_SEED, get_result
-from repro.experiments.report import hours_fmt, render_series
+from repro.experiments.report import hours_fmt
 from repro.experiments.result import ExperimentResult
 
 DOMAINS = (

@@ -10,7 +10,7 @@ FIN/RST or an idle timeout closes the flow.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.net.flow import FiveTuple, FlowRecord, Protocol, TransportProto

@@ -21,7 +21,7 @@ measures all live here:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.dns.cache import StubResolverCache
@@ -32,7 +32,6 @@ from repro.net.flow import (
     Protocol,
     TransportProto,
 )
-from repro.simulation.entities import Service
 from repro.simulation.internet import Internet, ServiceEntry
 from repro.simulation.p2p import PeerSwarm
 from repro.simulation.tls import certificate_name

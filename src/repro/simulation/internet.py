@@ -21,7 +21,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.dns.server import RecursiveResolver, ReverseZone, Zone
+from repro.dns.server import RecursiveResolver, Zone
 from repro.net.flow import Protocol as _Protocol
 from repro.net.ip import IPv4Network, IPv4Pool, ip_to_str
 from repro.orgdb.ipdb import IpOrganizationDb

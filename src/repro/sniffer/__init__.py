@@ -14,11 +14,15 @@ The pieces mirror Fig. 1 of the paper:
   prioritize / rate-limit rules on tagged flows (and *before* the flow
   starts, using the DNS response alone);
 * :class:`~repro.sniffer.pipeline.SnifferPipeline` — wires everything
-  together for both the packet path and the fast event path.
+  together for both the packet path and the fast event path;
+* :class:`~repro.sniffer.fanout.FanoutPipeline` — partitions the event
+  stream by client IP across worker processes fed by the binary batch
+  codec of :mod:`repro.sniffer.eventcodec` and merges their statistics.
 """
 
-from repro.sniffer.resolver import DnsResolver, ResolverStats
+from repro.sniffer.resolver import DnsResolver, ResolverStats, fuse_key
 from repro.sniffer.dns_sniffer import DnsResponseSniffer
+from repro.sniffer.fanout import FanoutPipeline, FanoutReport
 from repro.sniffer.flow_sniffer import FlowSniffer
 from repro.sniffer.tagger import FlowTagger
 from repro.sniffer.policy import (
@@ -32,7 +36,10 @@ from repro.sniffer.pipeline import SnifferPipeline
 __all__ = [
     "DnsResolver",
     "ResolverStats",
+    "fuse_key",
     "DnsResponseSniffer",
+    "FanoutPipeline",
+    "FanoutReport",
     "FlowSniffer",
     "FlowTagger",
     "PolicyAction",

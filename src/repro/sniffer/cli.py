@@ -22,10 +22,14 @@ def sniff_pcap(
     clist_size: int = 200_000,
     warmup: float = 300.0,
     shards: int = 1,
+    processes: int = 1,
+    batch_events: int = 8192,
 ) -> SnifferPipeline:
     """Run the packet path over the capture at ``path``."""
     pipeline = SnifferPipeline(
-        clist_size=clist_size, warmup=warmup, shards=shards
+        clist_size=clist_size, warmup=warmup, shards=shards,
+        processes=processes, batch_events=batch_events,
+        collect_labels=processes > 1,
     )
 
     def packets():
@@ -65,6 +69,18 @@ def main(argv: list[str] | None = None) -> int:
              "default 1 = a single resolver)",
     )
     parser.add_argument(
+        "--processes", type=int, default=1,
+        help="fan the resolver+tagger out to N worker processes "
+             "(client-sharded, batch-fed; default 1 = in-process). "
+             "Aggregate mode: statistics are merged, per-flow records "
+             "are not kept, so --dump is unavailable",
+    )
+    parser.add_argument(
+        "--batch-events", type=int, default=8192,
+        help="events per fan-out batch (with --processes > 1; "
+             "default 8192)",
+    )
+    parser.add_argument(
         "--top", type=int, default=10,
         help="show the N most common labels (default 10)",
     )
@@ -73,26 +89,44 @@ def main(argv: list[str] | None = None) -> int:
         help="write labeled flows as JSON lines to PATH",
     )
     args = parser.parse_args(argv)
+    if args.processes > 1 and args.dump:
+        parser.error(
+            "--dump needs per-flow records, which --processes > 1 "
+            "aggregates away in the workers"
+        )
 
     try:
         pipeline = sniff_pcap(
             args.pcap, clist_size=args.clist, warmup=args.warmup,
-            shards=args.shards,
+            shards=args.shards, processes=args.processes,
+            batch_events=args.batch_events,
         )
     except (OSError, PcapFormatError, ValueError) as exc:
         # ValueError covers bad sizing knobs (--clist 0, --shards 0).
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
-    flows = pipeline.tagged_flows
-    tagged = [f for f in flows if f.fqdn]
-    print(f"flows reconstructed : {len(flows)}")
-    print(f"flows labeled       : {len(tagged)} "
-          f"({len(tagged) / len(flows):.0%})" if flows else "flows labeled : 0")
-    print(f"dns responses seen  : {pipeline.dns_sniffer.stats['decoded']}")
-    print(f"resolver clients    : {pipeline.resolver.client_count}")
-
-    counter = Counter(f.fqdn for f in tagged)
+    report = pipeline.fanout_report
+    if report is not None:
+        labeled = report.tagged_flows
+        ratio = f" ({labeled / report.flows:.0%})" if report.flows else ""
+        print(f"flows reconstructed : {report.flows}")
+        print(f"flows labeled       : {labeled}{ratio}")
+        print(f"dns responses seen  : {pipeline.dns_sniffer.stats['decoded']}")
+        print(f"worker processes    : {report.processes} "
+              f"(events per worker: "
+              f"{', '.join(str(n) for n in report.worker_events)})")
+        counter = report.label_counts or Counter()
+    else:
+        flows = pipeline.tagged_flows
+        tagged = [f for f in flows if f.fqdn]
+        print(f"flows reconstructed : {len(flows)}")
+        print(f"flows labeled       : {len(tagged)} "
+              f"({len(tagged) / len(flows):.0%})"
+              if flows else "flows labeled : 0")
+        print(f"dns responses seen  : {pipeline.dns_sniffer.stats['decoded']}")
+        print(f"resolver clients    : {pipeline.resolver.client_count}")
+        counter = Counter(f.fqdn for f in tagged)
     if counter:
         print(f"\ntop {args.top} labels:")
         for fqdn, count in counter.most_common(args.top):
@@ -104,6 +138,7 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.dump, "w", encoding="utf-8") as handle:
             written = dump_flows(flows, handle)
         print(f"\nwrote {written} labeled flows to {args.dump}")
+    pipeline.close()
     return 0
 
 

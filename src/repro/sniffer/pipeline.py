@@ -20,6 +20,14 @@ and tagger bookkeeping inlined — the per-event constant factor is what
 decides whether the sniffer keeps up with the wire (Sec. 3.1.1; FlowDNS
 makes the same observation at ISP scale).  Statistics produced by the
 fused loop are identical to the modular path.
+
+With ``processes > 1`` both paths fan the resolver+tagger work out to a
+pool of worker processes (:mod:`repro.sniffer.fanout`): events are
+partitioned by client IP, cross the process boundary as compact binary
+batches, and come back as merged statistics.  In that mode the pipeline
+aggregates — per-flow records are tallied where they are tagged rather
+than materialised, so ``tagged_flows`` stays empty and the run's merged
+counters land in :attr:`tagger` ``.stats`` and :attr:`fanout_report`.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from typing import Iterable, Optional, Union
 from repro.net.flow import DnsObservation, FlowRecord, Protocol
 from repro.net.packet import Packet
 from repro.sniffer.dns_sniffer import DnsResponseSniffer
+from repro.sniffer.fanout import FanoutPipeline, FanoutReport
 from repro.sniffer.flow_sniffer import FlowSniffer
 from repro.sniffer.policy import PolicyEnforcer
 from repro.sniffer.resolver import DnsResolver
@@ -37,6 +46,18 @@ from repro.sniffer.sharding import ShardedResolver
 from repro.sniffer.tagger import FlowTagger
 
 Event = Union[DnsObservation, FlowRecord]
+
+
+class _FanoutResolverSink:
+    """Resolver-shaped adapter: routes packet-path inserts to the pool."""
+
+    __slots__ = ("_feed_dns",)
+
+    def __init__(self, fanout: FanoutPipeline):
+        self._feed_dns = fanout.feed_dns
+
+    def insert(self, client_ip, fqdn, answers, timestamp=0.0):
+        self._feed_dns(client_ip, fqdn, answers, timestamp)
 
 
 class SnifferPipeline:
@@ -55,6 +76,15 @@ class SnifferPipeline:
             :class:`ShardedResolver` split by client low octet
             (Sec. 3.1.1's load-balancing note) instead of a single
             resolver.
+        processes: when > 1, fan the resolver+tagger work out to this
+            many worker processes (same client-low-octet split, one
+            process per shard; see :mod:`repro.sniffer.fanout`).  The
+            pipeline then aggregates: merged statistics instead of a
+            materialised labeled-flow list.  Mutually exclusive with
+            ``shards``, ``policy`` and ``monitored_clients``.
+        batch_events: events per fan-out batch (``processes > 1`` only).
+        collect_labels: have fan-out workers histogram attached labels
+            (``fanout_report.label_counts``).
     """
 
     def __init__(
@@ -64,9 +94,37 @@ class SnifferPipeline:
         policy: Optional[PolicyEnforcer] = None,
         monitored_clients: Optional[set[int]] = None,
         shards: int = 1,
+        processes: int = 1,
+        batch_events: int = 8192,
+        collect_labels: bool = False,
     ):
         if shards <= 0:
             raise ValueError("shards must be positive")
+        if processes <= 0:
+            raise ValueError("processes must be positive")
+        if processes > 1:
+            if shards > 1:
+                raise ValueError(
+                    "shards and processes are alternative scaling axes; "
+                    "pick one"
+                )
+            if policy is not None or monitored_clients is not None:
+                raise ValueError(
+                    "policy enforcement and client filters need per-flow "
+                    "records in-process; not supported with processes > 1"
+                )
+        self.clist_size = clist_size
+        self.processes = processes
+        self.batch_events = batch_events
+        self.collect_labels = collect_labels
+        self.fanout_report: Optional[FanoutReport] = None
+        self._fanout: Optional[FanoutPipeline] = None
+        self._fanout_baseline: Optional[FanoutReport] = None
+        if processes > 1:
+            # The real resolvers live in the workers; the in-process one
+            # is a 1-slot stub that only satisfies the sniffer/tagger
+            # wiring, so a paper-scale clist is not allocated twice.
+            clist_size = 1
         if shards > 1:
             self.resolver: Union[DnsResolver, ShardedResolver] = (
                 ShardedResolver(shards=shards, clist_size=clist_size)
@@ -86,6 +144,8 @@ class SnifferPipeline:
 
     def process_packets(self, packets: Iterable[Packet]) -> list[FlowRecord]:
         """Run the full sniffer over decoded packets; return tagged flows."""
+        if self.processes > 1:
+            return self._process_packets_fanout(packets)
         feed_dns = self.dns_sniffer.feed_packet
         feed_flow = self.flow_sniffer.feed
         finish = self._finish_flow
@@ -109,10 +169,51 @@ class SnifferPipeline:
             finish(record)
         return self.tagged_flows
 
+    def _process_packets_fanout(
+        self, packets: Iterable[Packet]
+    ) -> list[FlowRecord]:
+        """Packet path with the resolver+tagger fanned out to workers.
+
+        The parent keeps the decode work (DNS response parsing, 5-tuple
+        reassembly); decoded responses and completed flows are routed to
+        the worker pool instead of the in-process resolver/tagger.
+        """
+        fanout = self._fanout_pipeline()
+        sniffer = DnsResponseSniffer(_FanoutResolverSink(fanout))
+        feed_dns = sniffer.feed_packet
+        feed_flow_packet = self.flow_sniffer.feed
+        feed_flow = fanout.feed_flow
+        last_ts = 0.0
+        for packet in packets:
+            last_ts = packet.timestamp
+            udp = packet.udp
+            if udp is not None and (
+                udp.src_port == 53 or udp.dst_port == 53
+            ):
+                feed_dns(packet)
+                continue
+            completed = feed_flow_packet(packet)
+            if completed is not None:
+                feed_flow(completed)
+        for record in self.flow_sniffer.flush():
+            record.end = max(record.end, last_ts)
+            feed_flow(record)
+        report = fanout.collect()
+        shared = self.dns_sniffer.stats
+        for key, value in sniffer.stats.items():
+            shared[key] = shared.get(key, 0) + value
+        self._absorb_report(report)
+        return self.tagged_flows
+
     # -- event path -------------------------------------------------------
 
     def process_events(self, events: Iterable[Event]) -> list[FlowRecord]:
         """Run the resolver+tagger over structured events in time order."""
+        if self.processes > 1:
+            fanout = self._fanout_pipeline()
+            fanout.feed_events(events)
+            self._absorb_report(fanout.collect())
+            return self.tagged_flows
         if self.policy is not None or (
             self.dns_sniffer.monitored_clients is not None
         ):
@@ -396,6 +497,11 @@ class SnifferPipeline:
         fine-grained interleaving of the standard traces (median run
         length 1) the fused per-event loop is faster.
         """
+        if self.processes > 1:
+            fanout = self._fanout_pipeline()
+            fanout.feed_event_runs(runs)
+            self._absorb_report(fanout.collect())
+            return self.tagged_flows
         if self.policy is not None or (
             self.dns_sniffer.monitored_clients is not None
         ):
@@ -424,6 +530,67 @@ class SnifferPipeline:
         Accepts any object exposing ``iter_events()``.
         """
         return self.process_events(trace.iter_events())
+
+    # -- fan-out plumbing --------------------------------------------------
+
+    def _fanout_pipeline(self) -> FanoutPipeline:
+        """The pipeline's worker pool, started lazily and kept across
+        calls so resolver state persists exactly as it does in-process
+        (a chunked event stream labels like a single stream).  Workers
+        are daemons; call :meth:`close` for a deterministic shutdown."""
+        if self._fanout is None:
+            self._fanout = FanoutPipeline(
+                processes=self.processes,
+                clist_size=self.clist_size,
+                warmup=self.tagger.warmup,
+                batch_events=self.batch_events,
+                collect_labels=self.collect_labels,
+            )
+        return self._fanout.start()
+
+    def close(self) -> None:
+        """Shut down the fan-out worker pool, if one is running.
+
+        Merged statistics (``tagger.stats``, :attr:`fanout_report`)
+        survive the shutdown.  A later processing call restarts the
+        pool with fresh worker state.  No-op for in-process pipelines.
+        """
+        if self._fanout is not None:
+            self._fanout.close()
+            self._fanout = None
+            # A restarted pool reports from zero again; the absorb delta
+            # must restart with it.
+            self._fanout_baseline = None
+
+    def _absorb_report(self, report: FanoutReport) -> None:
+        """Fold a merged fan-out report into the shared statistics so
+        ``hit_ratio_by_protocol`` and friends work unchanged.
+
+        Worker reports are cumulative over the pool's lifetime, so only
+        the delta against the previously absorbed report is added;
+        :attr:`fanout_report` always holds the current pool's cumulative
+        totals.
+        """
+        previous = self._fanout_baseline
+        stats = self.tagger.stats
+        for bucket, merged, before in (
+            (stats.hits, report.tag_stats.hits,
+             previous.tag_stats.hits if previous else {}),
+            (stats.misses, report.tag_stats.misses,
+             previous.tag_stats.misses if previous else {}),
+        ):
+            for protocol, count in merged.items():
+                delta = count - before.get(protocol, 0)
+                if delta:
+                    bucket[protocol] = bucket.get(protocol, 0) + delta
+        stats.warmup_skipped += report.tag_stats.warmup_skipped - (
+            previous.tag_stats.warmup_skipped if previous else 0
+        )
+        self.dns_sniffer.stats["empty_answers"] += report.empty_answers - (
+            previous.empty_answers if previous else 0
+        )
+        self.fanout_report = report
+        self._fanout_baseline = report
 
     # -- shared -----------------------------------------------------------
 

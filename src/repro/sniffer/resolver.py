@@ -47,6 +47,17 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 
+def fuse_key(client_ip: int, server_ip: int) -> int:
+    """Fuse a (clientIP, serverIP) pair into the resolver's 64-bit key.
+
+    Callers that probe the same pair repeatedly (per-page flow bursts,
+    policy re-checks) should fuse once and use
+    :meth:`DnsResolver.lookup_key` — the fusion is the only per-call
+    allocation on the probe path.
+    """
+    return (client_ip << 32) | server_ip
+
+
 @dataclass
 class ResolverStats:
     """Counters for dimensioning studies (Sec. 6)."""
@@ -287,6 +298,22 @@ class DnsResolver:
         """Return the FQDN ``client_ip`` resolved for ``server_ip``, if known."""
         self._lookups += 1
         slot = self._key_to_slot.get((client_ip << 32) | server_ip)
+        if slot is None:
+            return None
+        self._hits += 1
+        return self._fqdns[slot]
+
+    def lookup_key(self, key: int) -> Optional[str]:
+        """Like :meth:`lookup` but with a pre-fused 64-bit key.
+
+        The flat map's only per-probe cost beyond the hash lookup is
+        building ``(client_ip << 32) | server_ip``; callers that hold
+        the fused key (the pipeline's fused loop, per-pair bursts via
+        :func:`fuse_key`) skip it and probe at better than seed speed
+        — see ``resolver_lookup`` in ``benchmarks/run_bench.py``.
+        """
+        self._lookups += 1
+        slot = self._key_to_slot.get(key)
         if slot is None:
             return None
         self._hits += 1

@@ -16,6 +16,17 @@ from typing import Iterable, Optional
 from repro.sniffer.resolver import DnsResolver, ResolverStats
 
 
+def shard_of(client_ip: int, shards: int) -> int:
+    """The one definition of the client routing hash (low-octet modulo).
+
+    Shared by :class:`ShardedResolver` (in-process shards) and
+    :class:`repro.sniffer.fanout.FanoutPipeline` (worker processes) so a
+    client's DNS responses and flows always meet in the same shard no
+    matter which scaling axis is in use.
+    """
+    return (client_ip & 0xFF) % shards
+
+
 class ShardedResolver:
     """N independent resolvers keyed by the client address' low octet.
 
@@ -42,8 +53,7 @@ class ShardedResolver:
         ]
 
     def _shard_index(self, client_ip: int) -> int:
-        """The one definition of the routing hash (low-octet modulo)."""
-        return (client_ip & 0xFF) % len(self.shards)
+        return shard_of(client_ip, len(self.shards))
 
     def _shard_for(self, client_ip: int) -> DnsResolver:
         return self.shards[self._shard_index(client_ip)]
@@ -75,6 +85,12 @@ class ShardedResolver:
     def lookup(self, client_ip: int, server_ip: int) -> Optional[str]:
         """Look up in the owning shard only."""
         return self._shard_for(client_ip).lookup(client_ip, server_ip)
+
+    def lookup_key(self, key: int) -> Optional[str]:
+        """Pre-fused-key probe routed by the client octet inside the key."""
+        return self.shards[
+            shard_of(key >> 32, len(self.shards))
+        ].lookup_key(key)
 
     def peek(self, client_ip: int, server_ip: int) -> Optional[str]:
         return self._shard_for(client_ip).peek(client_ip, server_ip)

@@ -1,0 +1,134 @@
+"""The CI benchmark-regression gate: compare logic and exit codes."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.run_bench import (  # noqa: E402
+    compare_benches,
+    latest_bench_path,
+    main,
+    run_compare_gate,
+)
+
+
+def payload(**speedups):
+    return {
+        "bench": "BENCH_TEST",
+        "benches": {
+            name: ({"speedup": value} if value is not None else {})
+            for name, value in speedups.items()
+        },
+    }
+
+
+class TestCompareBenches:
+    def test_all_within_tolerance(self):
+        regressions, compared, skipped = compare_benches(
+            payload(a=3.4, b=1.2),
+            payload(a=3.3, b=1.3),
+            tolerance=0.85,
+        )
+        assert regressions == []
+        assert {entry["bench"] for entry in compared} == {"a", "b"}
+        assert skipped == []
+
+    def test_detects_regression(self):
+        regressions, _compared, _skipped = compare_benches(
+            payload(a=2.0, b=1.0),
+            payload(a=3.4, b=1.0),
+            tolerance=0.85,
+        )
+        assert [entry["bench"] for entry in regressions] == ["a"]
+        assert regressions[0]["floor"] == pytest.approx(0.85 * 3.4)
+
+    def test_boundary_is_strict(self):
+        regressions, _, _ = compare_benches(
+            payload(a=0.85), payload(a=1.0), tolerance=0.85
+        )
+        assert regressions == []  # exactly at the floor passes
+
+    def test_unshared_and_speedupless_benches_skipped(self):
+        regressions, compared, skipped = compare_benches(
+            payload(a=1.0, b=None, only_current=9.0),
+            payload(a=1.0, b=2.0, only_previous=9.0),
+            tolerance=0.85,
+        )
+        assert regressions == []
+        assert [entry["bench"] for entry in compared] == ["a"]
+        # A bench that lost its coverage is named, not silently dropped.
+        assert skipped == [
+            "b (no seed-relative speedup)",
+            "only_previous (not in current run)",
+        ]
+
+    def test_gate_exempt_bench_never_regresses(self):
+        current = payload(a=0.1)
+        current["benches"]["a"]["gate_exempt"] = True
+        regressions, compared, skipped = compare_benches(
+            current, payload(a=10.0), tolerance=0.85
+        )
+        assert regressions == []
+        assert compared == []
+        assert skipped and "gate-exempt" in skipped[0]
+
+    def test_latest_bench_path(self, tmp_path):
+        assert latest_bench_path(tmp_path) is None
+        (tmp_path / "BENCH_1.json").write_text("{}")
+        (tmp_path / "BENCH_2.json").write_text("{}")
+        assert latest_bench_path(tmp_path) == tmp_path / "BENCH_2.json"
+        # In-repo, the newest committed file resolves (BENCH_2 as of PR 2).
+        resolved = latest_bench_path()
+        assert resolved is not None and resolved.exists()
+
+
+class TestGateExitCodes:
+    def test_gate_fails_on_regression(self, tmp_path, capsys):
+        previous = tmp_path / "BENCH_PREV.json"
+        previous.write_text(json.dumps(payload(a=10.0)))
+        code = run_compare_gate(payload(a=1.0), previous, 0.85)
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_gate_passes_within_tolerance(self, tmp_path, capsys):
+        previous = tmp_path / "BENCH_PREV.json"
+        previous.write_text(json.dumps(payload(a=1.0)))
+        code = run_compare_gate(payload(a=0.99), previous, 0.85)
+        assert code == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_gate_fails_on_missing_previous(self, tmp_path):
+        code = run_compare_gate(
+            payload(a=1.0), tmp_path / "missing.json", 0.85
+        )
+        assert code == 1
+
+    def test_main_exits_nonzero_on_regression(self, tmp_path):
+        """End to end: a real (tiny) bench run against an inflated
+        previous result must fail the process — what CI relies on."""
+        previous = tmp_path / "BENCH_PREV.json"
+        previous.write_text(
+            json.dumps(payload(resolver_lookup=10_000.0))
+        )
+        code = main([
+            "--quick", "--only", "resolver_lookup",
+            "--out", str(tmp_path / "bench.json"),
+            "--compare", str(previous),
+        ])
+        assert code == 1
+
+    def test_main_passes_against_modest_previous(self, tmp_path):
+        previous = tmp_path / "BENCH_PREV.json"
+        previous.write_text(
+            json.dumps(payload(resolver_lookup=0.0001))
+        )
+        code = main([
+            "--quick", "--only", "resolver_lookup",
+            "--out", str(tmp_path / "bench.json"),
+            "--compare", str(previous),
+        ])
+        assert code == 0

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dns.message import DnsHeader, DnsMessage, Question, ResponseCode
+from repro.dns.message import DnsHeader, DnsMessage, ResponseCode
 from repro.dns.records import (
     MxData,
     ResourceRecord,

@@ -10,7 +10,6 @@ Traces are cached per process, so the suite builds each one once.
 import pytest
 
 from repro.experiments.runner import REGISTRY, run_experiment
-from repro.net.flow import Protocol
 
 
 @pytest.fixture(scope="module")

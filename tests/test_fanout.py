@@ -1,0 +1,398 @@
+"""Multi-process fan-out: differential equality, streaming, lifecycle."""
+
+import random
+
+import pytest
+
+from repro.net.flow import (
+    DnsObservation,
+    FiveTuple,
+    FlowRecord,
+    Protocol,
+    TransportProto,
+)
+from repro.sniffer.fanout import (
+    FanoutError,
+    FanoutPipeline,
+    shard_of,
+    _np,
+)
+from repro.sniffer.pipeline import SnifferPipeline
+from repro.sniffer.resolver import DnsResolver, fuse_key
+from repro.sniffer.sharding import ShardedResolver
+
+CONSUME_PATHS = [False] + ([True] if _np is not None else [])
+
+
+def make_events(n_events=3000, n_clients=40, n_servers=120, seed=3):
+    """Interleaved DNS/flow stream with enough key reuse to get hits."""
+    rng = random.Random(seed)
+    clients = [0x0A000100 + i for i in range(n_clients)]
+    servers = [0x55000000 + i * 7 for i in range(n_servers)]
+    events = []
+    t = 0.0
+    for i in range(n_events):
+        t += rng.random()
+        client = rng.choice(clients)
+        if rng.random() < 0.45:
+            answers = rng.sample(servers, rng.randint(1, 4))
+            if rng.random() < 0.03:
+                answers = []          # empty responses stop at the sniffer
+            events.append(
+                DnsObservation(
+                    timestamp=t,
+                    client_ip=client,
+                    fqdn=f"host{i % 97}.svc{i % 13}.example.com",
+                    answers=answers,
+                )
+            )
+        else:
+            events.append(
+                FlowRecord(
+                    fid=FiveTuple(
+                        client, rng.choice(servers),
+                        rng.randrange(1024, 65535), 443,
+                        TransportProto.TCP,
+                    ),
+                    start=t,
+                    end=t + 1.0,
+                    protocol=rng.choice(
+                        [Protocol.HTTP, Protocol.TLS, Protocol.P2P]
+                    ),
+                )
+            )
+    return events
+
+
+def run_single(events, clist_size=4096, warmup=300.0):
+    pipeline = SnifferPipeline(clist_size=clist_size, warmup=warmup)
+    pipeline.process_events(events)
+    return pipeline
+
+
+def assert_report_matches(report, single):
+    assert report.tag_stats.hits == single.tagger.stats.hits
+    assert report.tag_stats.misses == single.tagger.stats.misses
+    assert (
+        report.tag_stats.warmup_skipped
+        == single.tagger.stats.warmup_skipped
+    )
+    ours = report.resolver_stats
+    theirs = single.resolver.stats
+    assert ours.responses == theirs.responses
+    assert ours.answers == theirs.answers
+    assert ours.lookups == theirs.lookups
+    assert ours.hits == theirs.hits
+    assert ours.replacements == theirs.replacements
+    assert (
+        report.empty_answers
+        == single.dns_sniffer.stats["empty_answers"]
+    )
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("use_numpy", CONSUME_PATHS)
+    @pytest.mark.parametrize("processes", [2, 4])
+    def test_merged_stats_equal_single_process(self, processes, use_numpy):
+        events = make_events()
+        single = run_single(events)
+        fanout = FanoutPipeline(
+            processes=processes, clist_size=4096, batch_events=256,
+            use_numpy=use_numpy,
+        )
+        report = fanout.run_events(events)
+        assert report.events == len(events)
+        assert report.processes == processes
+        assert sum(report.worker_events) == len(events)
+        assert_report_matches(report, single)
+
+    def test_event_runs_path(self):
+        events = make_events(n_events=1200, seed=9)
+        single = run_single(events)
+        runs = []
+        for event in events:
+            is_dns = isinstance(event, DnsObservation)
+            if runs and runs[-1][0] == is_dns:
+                runs[-1][1].append(event)
+            else:
+                runs.append((is_dns, [event]))
+        report = FanoutPipeline(
+            processes=2, clist_size=4096, batch_events=128
+        ).run_event_runs(runs)
+        assert_report_matches(report, single)
+
+    def test_label_histogram(self):
+        events = make_events(n_events=1500, seed=5)
+        single = run_single(events, warmup=0.0)
+        fanout = FanoutPipeline(
+            processes=2, clist_size=4096, warmup=0.0,
+            batch_events=200, collect_labels=True,
+        )
+        report = fanout.run_events(events)
+        expected = {}
+        for flow in single.tagged_flows:
+            if flow.fqdn is not None:
+                expected[flow.fqdn] = expected.get(flow.fqdn, 0) + 1
+        assert dict(report.label_counts) == expected
+
+    def test_report_helpers(self):
+        events = make_events(n_events=1500, seed=7)
+        single = run_single(events, warmup=0.0)
+        report = FanoutPipeline(
+            processes=2, clist_size=4096, warmup=0.0, batch_events=500
+        ).run_events(events)
+        assert report.hit_ratio_by_protocol() == (
+            single.hit_ratio_by_protocol()
+        )
+        assert report.hit_counts_by_protocol() == (
+            single.hit_counts_by_protocol()
+        )
+        assert report.tagged_flows == single.resolver.stats.hits
+
+
+class TestStreaming:
+    def test_incremental_feed_and_snapshots(self):
+        events = make_events(n_events=800, seed=11)
+        single = run_single(events)
+        with FanoutPipeline(
+            processes=2, clist_size=4096, batch_events=16, max_pending=1
+        ) as fanout:
+            half = len(events) // 2
+            for event in events[:half]:
+                fanout.feed(event)
+            # A mid-stream snapshot sees exactly the events fed so far.
+            partial = fanout.collect()
+            assert partial.events == half
+            for event in events[half:]:
+                fanout.feed(event)
+            report = fanout.collect()
+            assert_report_matches(report, single)
+
+    def test_reset_gives_fresh_state(self):
+        events = make_events(n_events=600, seed=13)
+        single = run_single(events)
+        with FanoutPipeline(
+            processes=2, clist_size=4096, batch_events=64
+        ) as fanout:
+            fanout.feed_events(events)
+            first = fanout.collect()
+            fanout.reset()
+            assert fanout.collect().events == 0
+            fanout.feed_events(events)
+            second = fanout.collect()
+        assert first.events == second.events == len(events)
+        assert_report_matches(second, single)
+
+    def test_pre_encoded_ingest(self):
+        events = make_events(n_events=900, seed=17)
+        single = run_single(events)
+        payloads = FanoutPipeline.encode_shards(events, 2, batch_events=128)
+        trace_start = next(
+            event.start for event in events
+            if isinstance(event, FlowRecord)
+        )
+        with FanoutPipeline(
+            processes=2, clist_size=4096, batch_events=128
+        ) as fanout:
+            fanout.set_trace_start(trace_start)
+            for shard, batches in enumerate(payloads):
+                for payload in batches:
+                    fanout.send_encoded(shard, payload)
+            report = fanout.collect()
+        assert_report_matches(report, single)
+
+    def test_shard_routing_matches_sharded_resolver(self):
+        sharded = ShardedResolver(shards=4, clist_size=64)
+        for client_ip in [0, 1, 3, 255, 256, 0x0A000105, 0xFFFFFFFF]:
+            assert shard_of(client_ip, 4) == sharded._shard_index(client_ip)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        fanout = FanoutPipeline(processes=2, clist_size=64)
+        fanout.start()
+        assert fanout.started
+        fanout.close()
+        assert not fanout.started
+        fanout.close()
+
+    def test_feed_requires_start(self):
+        fanout = FanoutPipeline(processes=2, clist_size=64)
+        with pytest.raises(FanoutError):
+            fanout.feed_dns(1, "x.com", [2])
+
+    def test_run_events_owns_lifecycle(self):
+        fanout = FanoutPipeline(processes=2, clist_size=64)
+        fanout.start()
+        try:
+            with pytest.raises(FanoutError):
+                fanout.run_events([])
+        finally:
+            fanout.close()
+
+    def test_dead_worker_is_reported(self):
+        events = make_events(n_events=50, seed=19)
+        fanout = FanoutPipeline(
+            processes=2, clist_size=64, batch_events=4
+        )
+        fanout.start()
+        try:
+            fanout._procs[0].terminate()
+            fanout._procs[0].join(timeout=5)
+            with pytest.raises(FanoutError, match="died"):
+                fanout.feed_events(events)
+                fanout.collect()
+        finally:
+            fanout.close()
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FanoutPipeline(processes=0)
+        with pytest.raises(ValueError):
+            FanoutPipeline(batch_events=0)
+        with pytest.raises(ValueError):
+            FanoutPipeline(max_pending=0)
+
+
+class TestPipelineIntegration:
+    def test_process_events_fanout_mode(self):
+        events = make_events(n_events=1000, seed=23)
+        single = run_single(events)
+        pipeline = SnifferPipeline(
+            clist_size=4096, processes=2, batch_events=100
+        )
+        flows = pipeline.process_events(events)
+        pipeline.close()
+        assert flows == []  # aggregate mode: no materialised records
+        assert pipeline.fanout_report is not None
+        assert pipeline.tagger.stats.hits == single.tagger.stats.hits
+        assert pipeline.tagger.stats.misses == single.tagger.stats.misses
+        assert (
+            pipeline.hit_counts_by_protocol()
+            == single.hit_counts_by_protocol()
+        )
+
+    def test_chunked_calls_match_single_stream(self):
+        """Resolver state persists across calls exactly as in-process:
+        feeding the stream in chunks labels like feeding it whole."""
+        events = make_events(n_events=900, seed=29)
+        single = run_single(events)
+        pipeline = SnifferPipeline(
+            clist_size=4096, processes=2, batch_events=64
+        )
+        try:
+            third = len(events) // 3
+            pipeline.process_events(events[:third])
+            pipeline.process_events(events[third:2 * third])
+            pipeline.process_events(events[2 * third:])
+            assert pipeline.tagger.stats.hits == single.tagger.stats.hits
+            assert (
+                pipeline.tagger.stats.misses == single.tagger.stats.misses
+            )
+            assert (
+                pipeline.tagger.stats.warmup_skipped
+                == single.tagger.stats.warmup_skipped
+            )
+            assert (
+                pipeline.dns_sniffer.stats["empty_answers"]
+                == single.dns_sniffer.stats["empty_answers"]
+            )
+            assert pipeline.fanout_report.events == len(events)
+        finally:
+            pipeline.close()
+
+    def test_close_and_restart_starts_fresh(self):
+        events = make_events(n_events=400, seed=31)
+        pipeline = SnifferPipeline(
+            clist_size=4096, processes=2, batch_events=64
+        )
+        try:
+            pipeline.process_events(events)
+            first = pipeline.fanout_report
+            pipeline.close()
+            pipeline.process_events(events)
+            # The restarted pool reports only its own events; absorbed
+            # totals keep accumulating across the restart.
+            assert pipeline.fanout_report.events == len(events)
+            total = sum(
+                pipeline.tagger.stats.hits.values()
+            ) + sum(pipeline.tagger.stats.misses.values())
+            per_run = sum(first.tag_stats.hits.values()) + sum(
+                first.tag_stats.misses.values()
+            )
+            assert total == 2 * per_run
+        finally:
+            pipeline.close()
+
+    def test_process_packets_fanout_mode(self):
+        from repro.net.packet import decode_frame
+        from repro.simulation import build_trace
+
+        trace = build_trace("EU1-FTTH", seed=19)
+        records = trace.to_packets(max_flows=40)
+        packets = [
+            decode_frame(record.timestamp, record.data, with_ethernet=True)
+            for record in records
+        ]
+        single = SnifferPipeline(clist_size=4096, warmup=0.0)
+        single.process_packets(packets)
+        fanned = SnifferPipeline(
+            clist_size=4096, warmup=0.0, processes=2, batch_events=64
+        )
+        fanned.process_packets(packets)
+        fanned.close()
+        report = fanned.fanout_report
+        assert report is not None
+        assert report.flows == len(single.tagged_flows)
+        assert report.resolver_stats.hits == single.resolver.stats.hits
+        assert fanned.tagger.stats.hits == single.tagger.stats.hits
+        assert (
+            fanned.dns_sniffer.stats["decoded"]
+            == single.dns_sniffer.stats["decoded"]
+        )
+
+    def test_incompatible_knobs(self):
+        from repro.sniffer.policy import PolicyEnforcer
+
+        with pytest.raises(ValueError):
+            SnifferPipeline(processes=2, shards=2)
+        with pytest.raises(ValueError):
+            SnifferPipeline(processes=2, policy=PolicyEnforcer())
+        with pytest.raises(ValueError):
+            SnifferPipeline(processes=2, monitored_clients={1})
+        with pytest.raises(ValueError):
+            SnifferPipeline(processes=0)
+
+
+class TestLookupKey:
+    def test_matches_lookup(self):
+        resolver = DnsResolver(clist_size=128)
+        rng = random.Random(1)
+        inserted = []
+        for i in range(200):
+            client = rng.randrange(1, 50)
+            answers = [rng.randrange(1, 1 << 32) for _ in range(2)]
+            resolver.insert(client, f"h{i}.example.com", answers)
+            inserted.append((client, answers[0]))
+        probes = inserted + [(9999, 1), (1, 0xDEADBEEF)]
+        for client, server in probes:
+            expected = resolver.peek(client, server)
+            assert resolver.lookup_key(fuse_key(client, server)) == expected
+            assert resolver.lookup(client, server) == expected
+
+    def test_counts_statistics(self):
+        resolver = DnsResolver(clist_size=8)
+        resolver.insert(1, "a.com", [7])
+        before = resolver.stats
+        assert resolver.lookup_key(fuse_key(1, 7)) == "a.com"
+        assert resolver.lookup_key(fuse_key(1, 8)) is None
+        after = resolver.stats
+        assert after.lookups == before.lookups + 2
+        assert after.hits == before.hits + 1
+
+    def test_sharded_lookup_key(self):
+        sharded = ShardedResolver(shards=3, clist_size=300)
+        sharded.insert(0x0A000105, "svc.example.com", [42])
+        key = fuse_key(0x0A000105, 42)
+        assert sharded.lookup_key(key) == "svc.example.com"
+        assert sharded.lookup_key(fuse_key(0x0A000105, 43)) is None

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.flow import Protocol, TransportProto
+from repro.net.flow import Protocol
 from repro.net.ip import ip_from_str
 from repro.net.packet import (
     TCP_ACK,

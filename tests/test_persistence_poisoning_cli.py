@@ -193,3 +193,23 @@ class TestSnifferCli:
 
         assert main(["/nonexistent.pcap"]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_cli_fanout(self, pcap_path, capsys):
+        from repro.sniffer.cli import main, sniff_pcap
+
+        single = sniff_pcap(pcap_path, warmup=0.0)
+        code = main([pcap_path, "--warmup", "0", "--processes", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        labeled = sum(1 for f in single.tagged_flows if f.fqdn)
+        assert f"flows reconstructed : {len(single.tagged_flows)}" in output
+        assert f"flows labeled       : {labeled}" in output
+        assert "worker processes    : 2" in output
+        assert "top 10 labels:" in output
+
+    def test_cli_fanout_rejects_dump(self, pcap_path, tmp_path, capsys):
+        from repro.sniffer.cli import main
+
+        with pytest.raises(SystemExit):
+            main([pcap_path, "--processes", "2",
+                  "--dump", str(tmp_path / "x.jsonl")])

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dns.message import DnsMessage
-from repro.net.flow import Protocol
 from repro.orgdb.whois import OrgKind
 from repro.simulation.internet import build_internet, expand_pattern
 

@@ -1,6 +1,5 @@
 """Tests for DNS response sniffer, flow sniffer, tagger, and policy."""
 
-import pytest
 
 from repro.dns.message import DnsMessage
 from repro.dns.records import a_record
@@ -14,7 +13,6 @@ from repro.net.flow import (
 )
 from repro.net.ip import ip_from_str
 from repro.net.packet import (
-    TCP_ACK,
     TCP_SYN,
     build_tcp_packet,
     build_udp_packet,
