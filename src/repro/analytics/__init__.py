@@ -20,7 +20,7 @@ The analyzer mines the labeled-flows database the sniffer produced:
   DNS-poisoning extension the paper sketches in Sec. 4.1.
 """
 
-from repro.analytics.database import FlowDatabase
+from repro.analytics.database import FlowColumns, FlowDatabase
 from repro.analytics.tokens import tokenize_fqdn, tokenize_label
 from repro.analytics.tags import ServiceTagExtractor, TagScore
 from repro.analytics.spatial import SpatialDiscovery, SpatialReport
@@ -30,6 +30,7 @@ from repro.analytics.domain_tree import DomainTokenTree, build_domain_tree
 from repro.analytics.anomaly import MappingAnomalyDetector
 
 __all__ = [
+    "FlowColumns",
     "FlowDatabase",
     "tokenize_fqdn",
     "tokenize_label",

@@ -60,29 +60,30 @@ class ContentDiscovery:
     def hosted_domains(
         self, servers: Iterable[int], k: int = 10
     ) -> list[DomainShare]:
-        """Top-``k`` second-level domains served by ``servers`` (Tab. 5)."""
-        flows = self.database.query_by_servers(servers)
-        flow_counts: dict[str, int] = defaultdict(int)
-        fqdn_sets: dict[str, set[str]] = defaultdict(set)
-        total = 0
-        for flow in flows:
-            if not flow.fqdn:
-                continue
-            domain = second_level_domain(flow.fqdn)
-            flow_counts[domain] += 1
-            fqdn_sets[domain].add(flow.fqdn.lower())
-            total += 1
+        """Top-``k`` second-level domains served by ``servers`` (Tab. 5).
+
+        Grouped on the columnar store: one ``(sld, flows, fqdns)`` entry
+        per organization instead of a per-flow scan.
+        """
+        database = self.database
+        rows = database.rows_for_servers(servers)
+        stats = database.sld_flow_stats(rows)
+        total = sum(flows for _sld_id, flows, _fqdns in stats)
         ranked = sorted(
-            flow_counts.items(), key=lambda item: (-item[1], item[0])
+            (
+                (database.sld_label(sld_id), flows, fqdn_count)
+                for sld_id, flows, fqdn_count in stats
+            ),
+            key=lambda item: (-item[1], item[0]),
         )
         return [
             DomainShare(
                 domain=domain,
                 flows=count,
                 share=count / total if total else 0.0,
-                fqdn_count=len(fqdn_sets[domain]),
+                fqdn_count=fqdn_count,
             )
-            for domain, count in ranked[:k]
+            for domain, count, fqdn_count in ranked[:k]
         ]
 
     def hosted_domains_of_cdn(self, cdn: str, k: int = 10) -> list[DomainShare]:
@@ -102,15 +103,20 @@ class ContentDiscovery:
         dominate; this is the "if only service tokens are used" variant
         of Alg. 3, and the word-cloud input for Fig. 10.
         """
-        flows = self.database.query_by_servers(servers)
+        database = self.database
+        rows = database.rows_for_servers(servers)
         per_client: dict[str, dict[int, int]] = defaultdict(
             lambda: defaultdict(int)
         )
-        for flow in flows:
-            if not flow.fqdn:
-                continue
-            for token in set(tokenize_fqdn(flow.fqdn)):
-                per_client[token][flow.fid.client_ip] += 1
+        token_sets: dict[int, set[str]] = {}
+        for fqdn_id, client, count in database.fqdn_client_counts(rows):
+            tokens = token_sets.get(fqdn_id)
+            if tokens is None:
+                tokens = token_sets[fqdn_id] = set(
+                    tokenize_fqdn(database.fqdn_label(fqdn_id))
+                )
+            for token in tokens:
+                per_client[token][client] += count
         scored = [
             (
                 token,
@@ -140,7 +146,7 @@ class ContentDiscovery:
         out: dict[str, tuple[int, int]] = {}
         for cdn in cdns:
             servers = self._servers_of_cdn(cdn)
-            flows = self.database.query_by_servers(servers)
-            fqdns = {f.fqdn.lower() for f in flows if f.fqdn}
-            out[cdn] = (len(fqdns), len(flows))
+            rows = self.database.rows_for_servers(servers)
+            fqdns = self.database.fqdns_for_rows(rows)
+            out[cdn] = (len(fqdns), len(rows))
         return out

@@ -1,22 +1,133 @@
-"""The labeled-flows database (the "Flow Database" of Fig. 1).
+"""The labeled-flows database (the "Flow Database" of Fig. 1), columnar.
 
-An in-memory store over :class:`FlowRecord` with the exact query surface
-the analytics algorithms call: by second-level domain, by FQDN, by server
-address set, by destination port.  Indexes are built incrementally so the
-store can be fed while the sniffer runs.
+The seed implementation (retained as
+:mod:`repro.analytics.database_reference`) kept one Python list of
+:class:`FlowRecord` objects and answered every analytics question by
+walking per-flow objects.  At the traffic volumes the ROADMAP targets
+that layout makes the analyzer the bottleneck: every domain-tree,
+temporal or content query pays a Python-level attribute walk per flow.
+
+This engine stores flows as **columns** instead:
+
+* :class:`FlowColumns` — parallel ``array`` columns (zero-copy viewable
+  by numpy) for client/server address, ports, transport, start/end,
+  layer-7 protocol index, byte counters and packets;
+* **interned id tables** — each distinct lowercased FQDN and
+  second-level domain gets a small integer id; per-flow labels are one
+  ``int32`` column, and grouped analytics (domain trees, tracker
+  timelines, Tab. 5/8 rollups) aggregate by id instead of re-hashing
+  and re-tokenizing strings per flow;
+* **index arrays** — the by-fqdn/by-sld/by-server/by-port indexes map to
+  packed ``array("I")`` row-index arrays rather than lists of object
+  references.
+
+The public query surface of the seed store is preserved verbatim —
+``query_by_*`` still return :class:`FlowRecord` lists (records ingested
+as objects are returned as-is; records ingested from binary batches are
+materialized lazily, once, on first touch) — and a set of grouped
+aggregation methods is exposed on top for the vectorized analytics in
+:mod:`repro.analytics.temporal`, ``spatial``, ``domain_tree``,
+``trackers``, ``content``, ``tags``, ``tangle`` and ``wordcloud``.
+
+Ingestion has two paths:
+
+* :meth:`FlowDatabase.add` — one :class:`FlowRecord` object at a time
+  (the seed API, used by tests and small tools);
+* :meth:`FlowDatabase.ingest_batch` — one eventcodec flow batch
+  (:mod:`repro.sniffer.eventcodec`) absorbed column-wise with **no
+  per-record object churn**: the sniffer/fan-out side emits tagged-flow
+  batches (``SnifferPipeline.emit_tagged_batches`` or
+  ``FanoutPipeline(collect_flows=True)``) and this store lifts the hot
+  blocks straight into its columns.  This closes the sniffer→database
+  arrow of Fig. 1 in the same throughput class as the event loop.
+
+All aggregations use numpy when importable and fall back to pure-Python
+loops over the same columns otherwise (the ``array``/``struct`` idiom of
+:mod:`repro.sniffer.fanout`).  Addresses are IPv4 ``u32`` exactly as in
+the resolver and the codec.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Iterable, Iterator
+import struct
+from array import array
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.dns.name import second_level_domain
-from repro.net.flow import FlowRecord, Protocol
+from repro.net.flow import FiveTuple, FlowRecord, Protocol, TransportProto
+from repro.sniffer.eventcodec import (
+    BatchView,
+    CodecError,
+    FLOW_COLD,
+    FLOW_HOT,
+    PROTOCOL_INDEX,
+    PROTOCOLS,
+    STR_LEN,
+)
+
+_TRANSPORTS = frozenset(int(t) for t in TransportProto)
+
+try:  # numpy accelerates grouped aggregation; optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+_NONE_STR = 0xFFFF
+_EMPTY_ROWS: tuple[int, ...] = ()
+
+if _np is not None:
+    # Unaligned little-endian views of the codec's packed flow blocks.
+    _HOT_DT = _np.dtype(
+        {"names": ["client", "server", "start", "proto"],
+         "formats": ["<u4", "<u4", "<f8", "u1"],
+         "offsets": [0, 4, 8, 16], "itemsize": FLOW_HOT.size})
+    _COLD_DT = _np.dtype(
+        {"names": ["sport", "dport", "transport", "end", "up", "down",
+                   "pkts"],
+         "formats": ["<u2", "<u2", "u1", "<f8", "<u8", "<u8", "<u4"],
+         "offsets": [0, 2, 4, 5, 13, 21, 29], "itemsize": FLOW_COLD.size})
+
+
+class FlowColumns:
+    """Parallel per-flow arrays (struct-of-arrays layout).
+
+    Each attribute is one ``array`` column over all flows in insertion
+    order; ``fqdn_id`` is ``-1`` for untagged flows and otherwise an id
+    into the owning database's interned FQDN table.  numpy can view any
+    column zero-copy via ``numpy.frombuffer``.
+    """
+
+    __slots__ = (
+        "client_ip", "server_ip", "src_port", "dst_port", "transport",
+        "start", "end", "protocol", "bytes_up", "bytes_down", "packets",
+        "fqdn_id",
+    )
+
+    def __init__(self) -> None:
+        self.client_ip = array("I")
+        self.server_ip = array("I")
+        self.src_port = array("H")
+        self.dst_port = array("H")
+        self.transport = array("B")
+        self.start = array("d")
+        self.end = array("d")
+        self.protocol = array("B")   # index into PROTOCOLS
+        self.bytes_up = array("Q")
+        self.bytes_down = array("Q")
+        self.packets = array("I")
+        self.fqdn_id = array("i")    # -1 = untagged
+
+    def __len__(self) -> int:
+        return len(self.start)
+
+
+def _native(values, dtype):
+    """Contiguous native-endian bytes of a numpy array slice."""
+    return _np.ascontiguousarray(values, dtype=dtype).tobytes()
 
 
 class FlowDatabase:
-    """Indexed store of tagged flow records.
+    """Columnar indexed store of tagged flow records.
 
     Only tagged flows enter the domain indexes; untagged flows are kept
     (they matter for hit-ratio accounting) but are invisible to
@@ -25,29 +136,137 @@ class FlowDatabase:
     """
 
     def __init__(self) -> None:
-        self._flows: list[FlowRecord] = []
-        self._by_fqdn: dict[str, list[int]] = defaultdict(list)
-        self._by_sld: dict[str, list[int]] = defaultdict(list)
-        self._by_server: dict[int, list[int]] = defaultdict(list)
-        self._by_port: dict[int, list[int]] = defaultdict(list)
+        self.columns = FlowColumns()
+        # Lazily-materialized record cache: object-ingested rows hold
+        # the original record, batch-ingested rows start as None.
+        self._records: list[Optional[FlowRecord]] = []
+        self._raw_fqdns: list[Optional[str]] = []   # original-case label
+        self._cert_names: list[Optional[str]] = []
+        self._true_fqdns: list[Optional[str]] = []
+        # Interned id tables.
+        self._fqdn_names: list[str] = []            # id -> lowercased FQDN
+        self._fqdn_ids: dict[str, int] = {}
+        self._fqdn_sld = array("i")                 # fqdn id -> sld id
+        self._sld_names: list[str] = []
+        self._sld_ids: dict[str, int] = {}
+        self._sld_fqdns: list[array] = []           # sld id -> fqdn ids
+        self._raw_cache: dict[bytes, tuple[int, str]] = {}
+        # Row-index arrays.
+        self._by_fqdn: dict[int, array] = {}        # fqdn id -> rows
+        self._by_sld: dict[int, array] = {}         # sld id -> rows
+        self._by_server: dict[int, array] = {}
+        self._by_port: dict[int, array] = {}
+        self._tagged = array("I")                   # rows with a label
+        # Incremental statistics (no full scans on access).
+        self._protocol_counts = [0] * len(PROTOCOLS)
+        self._min_start = float("inf")
+        self._max_end = float("-inf")
 
-    # -- ingestion --------------------------------------------------------
+    # -- interning ---------------------------------------------------------
+
+    def _intern_fqdn(self, lowered: str) -> int:
+        """Id of ``lowered`` (a lowercased FQDN), creating it if new."""
+        fqdn_id = self._fqdn_ids.get(lowered)
+        if fqdn_id is None:
+            fqdn_id = len(self._fqdn_names)
+            self._fqdn_ids[lowered] = fqdn_id
+            self._fqdn_names.append(lowered)
+            sld = second_level_domain(lowered)
+            sld_id = self._sld_ids.get(sld)
+            if sld_id is None:
+                sld_id = len(self._sld_names)
+                self._sld_ids[sld] = sld_id
+                self._sld_names.append(sld)
+                self._by_sld[sld_id] = array("I")
+                self._sld_fqdns.append(array("i"))
+            self._fqdn_sld.append(sld_id)
+            self._sld_fqdns[sld_id].append(fqdn_id)
+            self._by_fqdn[fqdn_id] = array("I")
+        return fqdn_id
+
+    def fqdn_label(self, fqdn_id: int) -> str:
+        """The lowercased FQDN behind an interned id."""
+        return self._fqdn_names[fqdn_id]
+
+    def sld_label(self, sld_id: int) -> str:
+        """The second-level domain behind an interned id."""
+        return self._sld_names[sld_id]
+
+    def sld_of_fqdn(self, fqdn_id: int) -> int:
+        """Interned sld id of an interned FQDN id."""
+        return self._fqdn_sld[fqdn_id]
+
+    # -- ingestion ---------------------------------------------------------
 
     def add(self, flow: FlowRecord) -> None:
-        """Insert one flow record and index it."""
-        index = len(self._flows)
-        self._flows.append(flow)
-        self._by_server[flow.fid.server_ip].append(index)
-        self._by_port[flow.fid.dst_port].append(index)
-        if flow.fqdn:
-            fqdn = flow.fqdn.lower()
-            self._by_fqdn[fqdn].append(index)
-            self._by_sld[second_level_domain(fqdn)].append(index)
+        """Insert one flow record and index it.
+
+        The columnar store enforces the codec's field ranges (u32
+        addresses/packets, u16 ports, u64 byte counters) — the ranges
+        every wire-derived flow satisfies.  An out-of-range record is
+        rejected atomically with ``ValueError`` *before* any column is
+        touched; the parallel arrays can never desynchronize.
+        """
+        fid = flow.fid
+        proto_idx = PROTOCOL_INDEX.get(flow.protocol)
+        if proto_idx is None:
+            raise ValueError(f"unknown protocol {flow.protocol!r}")
+        fqdn = flow.fqdn
+        lowered = fqdn.lower() if fqdn else None
+        try:
+            # Validate-before-mutate: the codec structs share the
+            # columns' exact ranges and raise without side effects.
+            FLOW_HOT.pack(fid.client_ip, fid.server_ip, flow.start,
+                          proto_idx)
+            FLOW_COLD.pack(fid.src_port, fid.dst_port, fid.proto,
+                           flow.end, flow.bytes_up, flow.bytes_down,
+                           flow.packets)
+        except struct.error as exc:
+            raise ValueError(f"flow field out of range: {exc}") from exc
+        row = len(self._records)
+        cols = self.columns
+        cols.client_ip.append(fid.client_ip)
+        cols.server_ip.append(fid.server_ip)
+        cols.src_port.append(fid.src_port)
+        cols.dst_port.append(fid.dst_port)
+        cols.transport.append(fid.proto)
+        cols.start.append(flow.start)
+        cols.end.append(flow.end)
+        cols.protocol.append(proto_idx)
+        cols.bytes_up.append(flow.bytes_up)
+        cols.bytes_down.append(flow.bytes_down)
+        cols.packets.append(flow.packets)
+        self._protocol_counts[proto_idx] += 1
+        if fqdn:
+            fqdn_id = self._intern_fqdn(lowered)
+            self._by_fqdn[fqdn_id].append(row)
+            self._by_sld[self._fqdn_sld[fqdn_id]].append(row)
+            self._tagged.append(row)
+        else:
+            fqdn_id = -1
+        cols.fqdn_id.append(fqdn_id)
+        self._raw_fqdns.append(fqdn)
+        self._cert_names.append(flow.cert_name)
+        self._true_fqdns.append(flow.true_fqdn)
+        self._records.append(flow)
+        index = self._by_server.get(fid.server_ip)
+        if index is None:
+            index = self._by_server[fid.server_ip] = array("I")
+        index.append(row)
+        index = self._by_port.get(fid.dst_port)
+        if index is None:
+            index = self._by_port[fid.dst_port] = array("I")
+        index.append(row)
+        if flow.start < self._min_start:
+            self._min_start = flow.start
+        if flow.end > self._max_end:
+            self._max_end = flow.end
 
     def add_all(self, flows: Iterable[FlowRecord]) -> None:
         """Insert many flow records."""
+        add = self.add
         for flow in flows:
-            self.add(flow)
+            add(flow)
 
     @classmethod
     def from_flows(cls, flows: Iterable[FlowRecord]) -> "FlowDatabase":
@@ -56,36 +275,369 @@ class FlowDatabase:
         database.add_all(flows)
         return database
 
+    # -- batch ingestion (the sniffer→database deployment format) ---------
+
+    def ingest_batch(self, payload) -> int:
+        """Absorb one eventcodec batch of tagged flows, column-wise.
+
+        ``payload`` is an encoded batch as produced by
+        ``SnifferPipeline.emit_tagged_batches`` /
+        ``FanoutPipeline(collect_flows=True)`` (or any
+        :func:`repro.sniffer.eventcodec.encode_events` call).  Flow
+        blocks are lifted straight into the columns — no
+        :class:`FlowRecord` objects are created; queries materialize
+        records lazily on first touch.  DNS records in the batch are
+        ignored (the Flow Database stores flows).  Returns the number of
+        flows ingested.
+
+        Ingestion is atomic with respect to malformed input: every
+        variable-length block is parsed (``CodecError`` on truncation
+        or bad UTF-8) before the first shared structure is touched, so
+        a rejected batch leaves the store exactly as it was.
+        """
+        view = BatchView(payload)
+        n = view.n_flows
+        if not n:
+            return 0
+        # Parse-then-commit: every block is validated into locals
+        # first; the commit phase below cannot fail partway.
+        self._validate_flow_numeric(view)
+        entries = self._parse_flow_strings(view, n)
+        base = len(self._records)
+        if _np is not None:
+            self._ingest_hot_cold_numpy(view)
+        else:
+            self._ingest_hot_cold_python(view)
+        fqdn_ids = self._commit_flow_strings(entries)
+        self._index_batch(view, fqdn_ids, base, n)
+        self._records.extend([None] * n)
+        return n
+
+    @classmethod
+    def from_batches(cls, payloads: Iterable) -> "FlowDatabase":
+        """Build a database from encoded tagged-flow batches."""
+        database = cls()
+        for payload in payloads:
+            database.ingest_batch(payload)
+        return database
+
+    def _ingest_hot_cold_numpy(self, view: BatchView) -> None:
+        hot = _np.frombuffer(view.flow_hot, dtype=_HOT_DT)
+        cold = _np.frombuffer(view.flow_cold, dtype=_COLD_DT)
+        cols = self.columns
+        cols.client_ip.frombytes(_native(hot["client"], _np.uint32))
+        cols.server_ip.frombytes(_native(hot["server"], _np.uint32))
+        cols.start.frombytes(_native(hot["start"], _np.float64))
+        cols.protocol.frombytes(_native(hot["proto"], _np.uint8))
+        cols.src_port.frombytes(_native(cold["sport"], _np.uint16))
+        cols.dst_port.frombytes(_native(cold["dport"], _np.uint16))
+        cols.transport.frombytes(_native(cold["transport"], _np.uint8))
+        cols.end.frombytes(_native(cold["end"], _np.float64))
+        cols.bytes_up.frombytes(_native(cold["up"], _np.uint64))
+        cols.bytes_down.frombytes(_native(cold["down"], _np.uint64))
+        cols.packets.frombytes(_native(cold["pkts"], _np.uint32))
+        counts = _np.bincount(hot["proto"], minlength=len(PROTOCOLS))
+        for index, count in enumerate(counts.tolist()):
+            self._protocol_counts[index] += count
+        self._min_start = min(self._min_start, float(hot["start"].min()))
+        self._max_end = max(self._max_end, float(cold["end"].max()))
+
+    def _ingest_hot_cold_python(self, view: BatchView) -> None:
+        cols = self.columns
+        protocol_counts = self._protocol_counts
+        min_start, max_end = self._min_start, self._max_end
+        for (client, server, start, proto), (
+            sport, dport, transport, end, up, down, pkts
+        ) in zip(
+            FLOW_HOT.iter_unpack(view.flow_hot),
+            FLOW_COLD.iter_unpack(view.flow_cold),
+        ):
+            cols.client_ip.append(client)
+            cols.server_ip.append(server)
+            cols.start.append(start)
+            cols.protocol.append(proto)
+            cols.src_port.append(sport)
+            cols.dst_port.append(dport)
+            cols.transport.append(transport)
+            cols.end.append(end)
+            cols.bytes_up.append(up)
+            cols.bytes_down.append(down)
+            cols.packets.append(pkts)
+            protocol_counts[proto] += 1
+            if start < min_start:
+                min_start = start
+            if end > max_end:
+                max_end = end
+        self._min_start, self._max_end = min_start, max_end
+
+    @staticmethod
+    def _validate_flow_numeric(view: BatchView) -> None:
+        """Reject out-of-range protocol/transport bytes before commit.
+
+        The codec packs the layer-7 protocol as an index into
+        ``PROTOCOLS`` and the transport as an IP protocol number; a
+        corrupted batch must fail with :class:`CodecError` while the
+        store is still untouched, not with an ``IndexError`` halfway
+        through the column extension (or a deferred ``ValueError`` at
+        first lazy materialization).
+        """
+        if _np is not None:
+            if not view.n_flows:
+                return
+            hot = _np.frombuffer(view.flow_hot, dtype=_HOT_DT)
+            cold = _np.frombuffer(view.flow_cold, dtype=_COLD_DT)
+            if int(hot["proto"].max()) >= len(PROTOCOLS):
+                raise CodecError("protocol index out of range")
+            if not _np.isin(
+                cold["transport"], list(_TRANSPORTS)
+            ).all():
+                raise CodecError("invalid transport protocol number")
+            return
+        n_protocols = len(PROTOCOLS)
+        for _c, _s, _start, proto in FLOW_HOT.iter_unpack(view.flow_hot):
+            if proto >= n_protocols:
+                raise CodecError("protocol index out of range")
+        for fields in FLOW_COLD.iter_unpack(view.flow_cold):
+            if fields[2] not in _TRANSPORTS:
+                raise CodecError("invalid transport protocol number")
+
+    def _parse_flow_strings(
+        self, view: BatchView, n: int
+    ) -> list[tuple]:
+        """Validate and decode the per-flow string block into locals.
+
+        Returns one ``(fqdn_entry, cert_name, true_fqdn)`` tuple per
+        flow, where ``fqdn_entry`` is ``None`` (untagged), an already-
+        interned ``(fqdn_id, text)`` pair from the raw-bytes cache, or
+        a pending ``(raw_bytes, text)`` pair the commit phase interns.
+        Raises :class:`~repro.sniffer.eventcodec.CodecError` on
+        truncation or bad UTF-8 — without touching any shared state.
+        """
+        # One bytes copy up front: slicing/unpacking bytes is cheaper
+        # than going through the memoryview per field.
+        flow_str = bytes(view.flow_str)
+        total = len(flow_str)
+        unpack = STR_LEN.unpack_from
+        raw_cache = self._raw_cache
+        entries: list[tuple] = []
+        append = entries.append
+        pos = 0
+        try:
+            for _ in range(n):
+                (length,) = unpack(flow_str, pos)
+                pos += 2
+                if length == _NONE_STR:
+                    fqdn_entry = None
+                else:
+                    stop = pos + length
+                    if stop > total:
+                        raise CodecError("truncated flow_str block")
+                    raw = flow_str[pos:stop]
+                    pos = stop
+                    fqdn_entry = raw_cache.get(raw)
+                    if fqdn_entry is None:
+                        fqdn_entry = (raw, raw.decode("utf-8"))
+                cold_strings = []
+                for _ in range(2):
+                    (length,) = unpack(flow_str, pos)
+                    pos += 2
+                    if length == _NONE_STR:
+                        cold_strings.append(None)
+                    else:
+                        stop = pos + length
+                        if stop > total:
+                            raise CodecError("truncated flow_str block")
+                        cold_strings.append(
+                            flow_str[pos:stop].decode("utf-8")
+                        )
+                        pos = stop
+                append((fqdn_entry, cold_strings[0], cold_strings[1]))
+        except struct.error as exc:
+            raise CodecError(f"truncated flow_str block: {exc}") from exc
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"bad UTF-8 in flow_str: {exc}") from exc
+        return entries
+
+    def _commit_flow_strings(self, entries: list[tuple]) -> array:
+        """Intern and append parsed string entries (cannot fail)."""
+        fqdn_ids = array("i")
+        raw_cache = self._raw_cache
+        id_append = fqdn_ids.append
+        raw_append = self._raw_fqdns.append
+        cert_append = self._cert_names.append
+        true_append = self._true_fqdns.append
+        for fqdn_entry, cert_name, true_fqdn in entries:
+            if fqdn_entry is None:
+                id_append(-1)
+                raw_append(None)
+            else:
+                first, text = fqdn_entry
+                if type(first) is int:
+                    fqdn_id = first
+                else:
+                    fqdn_id = (
+                        self._intern_fqdn(text.lower()) if text else -1
+                    )
+                    raw_cache[first] = (fqdn_id, text)
+                id_append(fqdn_id)
+                raw_append(text)
+            cert_append(cert_name)
+            true_append(true_fqdn)
+        self.columns.fqdn_id.extend(fqdn_ids)
+        return fqdn_ids
+
+    def _index_batch(
+        self, view: BatchView, fqdn_ids: array, base: int, n: int
+    ) -> None:
+        if _np is None:
+            cols = self.columns
+            by_server, by_port = self._by_server, self._by_port
+            by_fqdn, by_sld = self._by_fqdn, self._by_sld
+            fqdn_sld = self._fqdn_sld
+            tagged = self._tagged
+            for offset in range(n):
+                row = base + offset
+                index = by_server.get(cols.server_ip[row])
+                if index is None:
+                    index = by_server[cols.server_ip[row]] = array("I")
+                index.append(row)
+                index = by_port.get(cols.dst_port[row])
+                if index is None:
+                    index = by_port[cols.dst_port[row]] = array("I")
+                index.append(row)
+                fqdn_id = fqdn_ids[offset]
+                if fqdn_id >= 0:
+                    by_fqdn[fqdn_id].append(row)
+                    by_sld[fqdn_sld[fqdn_id]].append(row)
+                    tagged.append(row)
+            return
+        hot = _np.frombuffer(view.flow_hot, dtype=_HOT_DT)
+        cold = _np.frombuffer(view.flow_cold, dtype=_COLD_DT)
+        rows = _np.arange(base, base + n, dtype=_np.uint32)
+        self._extend_index(self._by_server, hot["server"], rows)
+        self._extend_index(self._by_port, cold["dport"], rows)
+        ids = _np.frombuffer(fqdn_ids, dtype=_np.int32)
+        mask = ids >= 0
+        if mask.any():
+            tagged_rows = rows[mask]
+            tagged_ids = ids[mask]
+            self._tagged.frombytes(_native(tagged_rows, _np.uint32))
+            self._extend_index(self._by_fqdn, tagged_ids, tagged_rows)
+            sld_map = _np.frombuffer(self._fqdn_sld, dtype=_np.int32)
+            self._extend_index(
+                self._by_sld, sld_map[tagged_ids], tagged_rows
+            )
+
+    @staticmethod
+    def _extend_index(index: dict, keys, rows) -> None:
+        """Group ``rows`` by ``keys`` and append each group to its index
+        array, creating missing keys in first-appearance order (so the
+        ``servers()``/``ports()`` listings match the row store's)."""
+        order = _np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_rows = rows[order]
+        bounds = _np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+        starts = [0, *bounds.tolist()]
+        ends = [*bounds.tolist(), len(sorted_keys)]
+        # Stable sort keeps rows ascending within a group, so the first
+        # row of each group is that key's first appearance.
+        groups = sorted(range(len(starts)), key=lambda g: sorted_rows[starts[g]])
+        for group in groups:
+            lo, hi = starts[group], ends[group]
+            key = int(sorted_keys[lo])
+            arr = index.get(key)
+            if arr is None:
+                arr = index[key] = array("I")
+            arr.frombytes(_native(sorted_rows[lo:hi], _np.uint32))
+
+    # -- record materialization -------------------------------------------
+
+    def _record(self, row: int) -> FlowRecord:
+        record = self._records[row]
+        if record is None:
+            cols = self.columns
+            record = FlowRecord(
+                fid=FiveTuple(
+                    client_ip=cols.client_ip[row],
+                    server_ip=cols.server_ip[row],
+                    src_port=cols.src_port[row],
+                    dst_port=cols.dst_port[row],
+                    proto=TransportProto(cols.transport[row]),
+                ),
+                start=cols.start[row],
+                end=cols.end[row],
+                protocol=PROTOCOLS[cols.protocol[row]],
+                bytes_up=cols.bytes_up[row],
+                bytes_down=cols.bytes_down[row],
+                packets=cols.packets[row],
+                fqdn=self._raw_fqdns[row],
+                cert_name=self._cert_names[row],
+                true_fqdn=self._true_fqdns[row],
+            )
+            self._records[row] = record
+        return record
+
+    def _materialize(self, rows) -> list[FlowRecord]:
+        record = self._record
+        return [record(row) for row in rows]
+
+    # -- row-index views (what the vectorized analytics consume) ----------
+
+    def rows_for_fqdn(self, fqdn: str) -> Sequence[int]:
+        """Row indices of flows labeled exactly ``fqdn`` (do not mutate)."""
+        fqdn_id = self._fqdn_ids.get(fqdn.lower())
+        return self._by_fqdn[fqdn_id] if fqdn_id is not None else _EMPTY_ROWS
+
+    def rows_for_domain(self, sld: str) -> Sequence[int]:
+        """Row indices of flows under second-level domain ``sld``."""
+        sld_id = self._sld_ids.get(sld.lower())
+        return self._by_sld[sld_id] if sld_id is not None else _EMPTY_ROWS
+
+    def rows_for_port(self, dst_port: int) -> Sequence[int]:
+        """Row indices of flows to destination port ``dst_port``."""
+        return self._by_port.get(dst_port, _EMPTY_ROWS)
+
+    def rows_for_servers(self, servers: Iterable[int]) -> Sequence[int]:
+        """Concatenated row indices for an address set (deduped)."""
+        out = array("I")
+        by_server = self._by_server
+        for server in dict.fromkeys(servers):
+            index = by_server.get(server)
+            if index is not None:
+                out.extend(index)
+        return out
+
+    def tagged_rows(self) -> Sequence[int]:
+        """Row indices of every labeled flow (do not mutate)."""
+        return self._tagged
+
     # -- core queries (what Algorithms 2-4 call) --------------------------
 
     def query_by_fqdn(self, fqdn: str) -> list[FlowRecord]:
         """Flows labeled exactly ``fqdn``."""
-        return [self._flows[i] for i in self._by_fqdn.get(fqdn.lower(), ())]
+        return self._materialize(self.rows_for_fqdn(fqdn))
 
     def query_by_domain(self, sld: str) -> list[FlowRecord]:
         """Flows whose label falls under second-level domain ``sld``."""
-        return [self._flows[i] for i in self._by_sld.get(sld.lower(), ())]
+        return self._materialize(self.rows_for_domain(sld))
 
     def query_by_servers(self, servers: Iterable[int]) -> list[FlowRecord]:
-        """Flows to any address in ``servers``."""
-        out: list[FlowRecord] = []
-        for server in servers:
-            out.extend(self._flows[i] for i in self._by_server.get(server, ()))
-        return out
+        """Flows to any address in ``servers`` (duplicates ignored)."""
+        return self._materialize(self.rows_for_servers(servers))
 
     def query_by_port(self, dst_port: int) -> list[FlowRecord]:
         """Flows to destination port ``dst_port``."""
-        return [self._flows[i] for i in self._by_port.get(dst_port, ())]
+        return self._materialize(self.rows_for_port(dst_port))
 
     # -- aggregate views ---------------------------------------------------
 
     def fqdns(self) -> list[str]:
         """All distinct labels seen."""
-        return list(self._by_fqdn)
+        return list(self._fqdn_names)
 
     def slds(self) -> list[str]:
         """All distinct second-level domains seen."""
-        return list(self._by_sld)
+        return list(self._sld_names)
 
     def servers(self) -> list[int]:
         """All distinct server addresses seen."""
@@ -95,62 +647,460 @@ class FlowDatabase:
         """All distinct destination ports seen."""
         return list(self._by_port)
 
+    def _unique_servers(self, rows) -> set[int]:
+        if not len(rows):
+            return set()
+        if _np is not None:
+            column = _np.frombuffer(self.columns.server_ip, _np.uint32)
+            taken = column[_np.frombuffer(rows, _np.uint32)]
+            return set(_np.unique(taken).tolist())
+        column = self.columns.server_ip
+        return {column[row] for row in rows}
+
     def servers_for_fqdn(self, fqdn: str) -> set[int]:
         """Distinct serverIPs observed delivering ``fqdn``."""
-        return {
-            self._flows[i].fid.server_ip
-            for i in self._by_fqdn.get(fqdn.lower(), ())
-        }
+        return self._unique_servers(self.rows_for_fqdn(fqdn))
 
     def servers_for_domain(self, sld: str) -> set[int]:
         """Distinct serverIPs observed for the whole organization."""
-        return {
-            self._flows[i].fid.server_ip
-            for i in self._by_sld.get(sld.lower(), ())
-        }
+        return self._unique_servers(self.rows_for_domain(sld))
 
     def fqdns_for_servers(self, servers: Iterable[int]) -> set[str]:
         """Distinct labels delivered by the given server addresses."""
-        out: set[str] = set()
-        for server in servers:
-            for i in self._by_server.get(server, ()):
-                fqdn = self._flows[i].fqdn
-                if fqdn:
-                    out.add(fqdn.lower())
-        return out
+        return self.fqdns_for_rows(self.rows_for_servers(servers))
+
+    def fqdns_for_rows(self, rows) -> set[str]:
+        """Distinct labels among the flows of a row-index set."""
+        if not len(rows):
+            return set()
+        names = self._fqdn_names
+        if _np is not None:
+            column = _np.frombuffer(self.columns.fqdn_id, _np.int32)
+            ids = column[_np.frombuffer(rows, _np.uint32)]
+            return {
+                names[fqdn_id]
+                for fqdn_id in _np.unique(ids).tolist()
+                if fqdn_id >= 0
+            }
+        column = self.columns.fqdn_id
+        return {
+            names[fqdn_id]
+            for fqdn_id in {column[row] for row in rows}
+            if fqdn_id >= 0
+        }
 
     def fqdns_for_domain(self, sld: str) -> set[str]:
         """Distinct FQDNs under one second-level domain."""
-        return {
-            self._flows[i].fqdn.lower()
-            for i in self._by_sld.get(sld.lower(), ())
+        sld_id = self._sld_ids.get(sld.lower())
+        if sld_id is None:
+            return set()
+        names = self._fqdn_names
+        return {names[fqdn_id] for fqdn_id in self._sld_fqdns[sld_id]}
+
+    # -- grouped aggregations (vectorized analytics backends) --------------
+
+    def _take(self, column, rows):
+        """numpy gather of ``column`` at ``rows`` (numpy path only)."""
+        dtype = {
+            "I": _np.uint32, "H": _np.uint16, "B": _np.uint8,
+            "d": _np.float64, "Q": _np.uint64, "i": _np.int32,
+        }[column.typecode]
+        return _np.frombuffer(column, dtype)[
+            _np.frombuffer(rows, _np.uint32)
+            if isinstance(rows, array) else rows
+        ]
+
+    def _tagged_subset(self, rows):
+        """(rows', fqdn_ids') restricted to labeled flows (numpy path)."""
+        rows = (
+            _np.frombuffer(rows, _np.uint32)
+            if isinstance(rows, array) else _np.asarray(rows, _np.uint32)
+        )
+        ids = _np.frombuffer(self.columns.fqdn_id, _np.int32)[rows]
+        mask = ids >= 0
+        return rows[mask], ids[mask]
+
+    def _fqdn_pair_counts(
+        self, column, rows
+    ) -> list[tuple[int, int, int]]:
+        """Deduped ``(fqdn_id, column_value, flow_count)`` groups over
+        the labeled flows of ``rows`` — the shared grouping core of
+        :meth:`fqdn_server_counts` / :meth:`fqdn_client_counts`."""
+        if rows is None:
+            rows = self._tagged
+        if not len(rows):
+            return []
+        if _np is not None:
+            rows, ids = self._tagged_subset(rows)
+            values = _np.frombuffer(column, _np.uint32)[rows]
+            # ids < 2^31 and values < 2^32, so the packed key fits a
+            # signed int64 without overflow.
+            key = (ids.astype(_np.int64) << 32) | values.astype(_np.int64)
+            unique, counts = _np.unique(key, return_counts=True)
+            return list(zip(
+                (unique >> 32).tolist(),
+                (unique & 0xFFFFFFFF).tolist(),
+                counts.tolist(),
+            ))
+        counts: dict[tuple[int, int], int] = {}
+        fqdn_col = self.columns.fqdn_id
+        for row in rows:
+            fqdn_id = fqdn_col[row]
+            if fqdn_id >= 0:
+                pair = (fqdn_id, column[row])
+                counts[pair] = counts.get(pair, 0) + 1
+        return sorted(
+            (fqdn_id, value, count)
+            for (fqdn_id, value), count in counts.items()
+        )
+
+    def fqdn_server_counts(
+        self, rows=None
+    ) -> list[tuple[int, int, int]]:
+        """Deduped ``(fqdn_id, server_ip, flow_count)`` groups.
+
+        Grouping all labeled flows of ``rows`` (default: the whole
+        store) by interned label and server collapses the per-flow work
+        of the domain-tree/spatial/tangle analytics into one pass per
+        *distinct* pair.
+        """
+        return self._fqdn_pair_counts(self.columns.server_ip, rows)
+
+    def fqdn_client_counts(
+        self, rows=None
+    ) -> list[tuple[int, int, int]]:
+        """Deduped ``(fqdn_id, client_ip, flow_count)`` groups.
+
+        The Eq. 1 scorers (service tags, word cloud, token ranking)
+        need per-client flow counts per label; tokenization then runs
+        once per distinct FQDN instead of once per flow.
+        """
+        return self._fqdn_pair_counts(self.columns.client_ip, rows)
+
+    def fqdn_flow_byte_totals(
+        self, rows=None
+    ) -> list[tuple[int, int, int, int]]:
+        """Per-label ``(fqdn_id, flows, bytes_up, bytes_down)`` totals
+        (Tab. 8-style rollups) over the labeled flows of ``rows``."""
+        if rows is None:
+            rows = self._tagged
+        if not len(rows):
+            return []
+        if _np is not None:
+            rows, ids = self._tagged_subset(rows)
+            unique, inverse, counts = _np.unique(
+                ids, return_inverse=True, return_counts=True
+            )
+            up = _np.bincount(
+                inverse,
+                weights=self._take(self.columns.bytes_up, rows),
+            )
+            down = _np.bincount(
+                inverse,
+                weights=self._take(self.columns.bytes_down, rows),
+            )
+            return [
+                (int(fqdn_id), int(count), int(u), int(d))
+                for fqdn_id, count, u, d in zip(
+                    unique.tolist(), counts.tolist(),
+                    up.tolist(), down.tolist(),
+                )
+            ]
+        totals: dict[int, list[int]] = {}
+        cols = self.columns
+        for row in rows:
+            fqdn_id = cols.fqdn_id[row]
+            if fqdn_id < 0:
+                continue
+            bucket = totals.get(fqdn_id)
+            if bucket is None:
+                bucket = totals[fqdn_id] = [0, 0, 0]
+            bucket[0] += 1
+            bucket[1] += cols.bytes_up[row]
+            bucket[2] += cols.bytes_down[row]
+        return sorted(
+            (fqdn_id, flows, up, down)
+            for fqdn_id, (flows, up, down) in totals.items()
+        )
+
+    def server_flow_counts(self, rows=None) -> dict[int, int]:
+        """Flow count per serverIP over ``rows`` (default: all flows)."""
+        if rows is None:
+            if _np is not None:
+                servers = _np.frombuffer(self.columns.server_ip, _np.uint32)
+                unique, counts = _np.unique(servers, return_counts=True)
+                return dict(zip(unique.tolist(), counts.tolist()))
+            rows = range(len(self._records))
+        if not len(rows):
+            return {}
+        if _np is not None and isinstance(rows, (array, _np.ndarray)):
+            servers = self._take(self.columns.server_ip, rows)
+            unique, counts = _np.unique(servers, return_counts=True)
+            return dict(zip(unique.tolist(), counts.tolist()))
+        counts: dict[int, int] = {}
+        column = self.columns.server_ip
+        for row in rows:
+            server = column[row]
+            counts[server] = counts.get(server, 0) + 1
+        return counts
+
+    def unique_servers_per_bin(
+        self, sld: str, bin_seconds: float
+    ) -> list[tuple[float, int]]:
+        """Fig. 4 series: distinct serverIPs per time bin for one 2LD,
+        gap-filled from the first to the last active bin."""
+        rows = self.rows_for_domain(sld)
+        if not len(rows):
+            return []
+        if _np is not None:
+            starts = self._take(self.columns.start, rows)
+            servers = self._take(self.columns.server_ip, rows)
+            bins = _np.floor_divide(starts, bin_seconds).astype(_np.int64)
+            lo = int(bins.min())
+            hi = int(bins.max())
+            pair = ((bins - lo) << 32) | servers.astype(_np.int64)
+            per_bin = _np.bincount(
+                (_np.unique(pair) >> 32), minlength=hi - lo + 1
+            )
+            return [
+                ((lo + index) * bin_seconds, int(count))
+                for index, count in enumerate(per_bin.tolist())
+            ]
+        sets: dict[int, set[int]] = {}
+        start_col = self.columns.start
+        server_col = self.columns.server_ip
+        for row in rows:
+            bin_index = int(start_col[row] // bin_seconds)
+            bucket = sets.get(bin_index)
+            if bucket is None:
+                bucket = sets[bin_index] = set()
+            bucket.add(server_col[row])
+        lo, hi = min(sets), max(sets)
+        return [
+            (index * bin_seconds, len(sets.get(index, ())))
+            for index in range(lo, hi + 1)
+        ]
+
+    def server_bins_for_fqdn(
+        self, fqdn: str, bin_seconds: float
+    ) -> list[tuple[int, int]]:
+        """Deduped ``(bin_index, server_ip)`` pairs for one FQDN, sorted
+        by bin — the Sec. 4.1 track-over-time feed."""
+        rows = self.rows_for_fqdn(fqdn)
+        if not len(rows):
+            return []
+        if _np is not None:
+            starts = self._take(self.columns.start, rows)
+            servers = self._take(self.columns.server_ip, rows)
+            bins = _np.floor_divide(starts, bin_seconds).astype(_np.int64)
+            lo = int(bins.min())
+            pair = _np.unique(
+                ((bins - lo) << 32) | servers.astype(_np.int64)
+            )
+            return [
+                (int(key >> 32) + lo, int(key & 0xFFFFFFFF))
+                for key in pair.tolist()
+            ]
+        pairs = {
+            (int(self.columns.start[row] // bin_seconds),
+             self.columns.server_ip[row])
+            for row in rows
         }
+        return sorted(pairs)
+
+    def fqdn_bin_pairs(
+        self, bin_seconds: float, rows=None
+    ) -> list[tuple[int, int]]:
+        """Deduped ``(fqdn_id, bin_index)`` activity pairs over the
+        labeled flows of ``rows`` (Fig. 11 timelines)."""
+        if rows is None:
+            rows = self._tagged
+        if not len(rows):
+            return []
+        if _np is not None:
+            rows, ids = self._tagged_subset(rows)
+            if not len(ids):
+                return []
+            starts = self._take(self.columns.start, rows)
+            bins = _np.floor_divide(starts, bin_seconds).astype(_np.int64)
+            lo = int(bins.min())
+            keys = _np.unique((ids.astype(_np.int64) << 32) | (bins - lo))
+            return [
+                (int(key >> 32), int(key & 0xFFFFFFFF) + lo)
+                for key in keys.tolist()
+            ]
+        pairs = set()
+        fqdn_col = self.columns.fqdn_id
+        start_col = self.columns.start
+        for row in rows:
+            fqdn_id = fqdn_col[row]
+            if fqdn_id >= 0:
+                pairs.add((fqdn_id, int(start_col[row] // bin_seconds)))
+        return sorted(pairs)
+
+    def fqdn_first_seen(self, rows=None) -> dict[int, float]:
+        """Earliest flow start per interned label over ``rows``."""
+        if rows is None:
+            rows = self._tagged
+        if not len(rows):
+            return {}
+        if _np is not None:
+            rows, ids = self._tagged_subset(rows)
+            if not len(ids):
+                return {}
+            starts = self._take(self.columns.start, rows)
+            order = _np.argsort(ids, kind="stable")
+            sorted_ids = ids[order]
+            sorted_starts = starts[order]
+            bounds = _np.flatnonzero(sorted_ids[1:] != sorted_ids[:-1]) + 1
+            group_starts = _np.concatenate(([0], bounds))
+            mins = _np.minimum.reduceat(sorted_starts, group_starts)
+            return {
+                int(sorted_ids[index]): float(value)
+                for index, value in zip(
+                    group_starts.tolist(), mins.tolist()
+                )
+            }
+        first: dict[int, float] = {}
+        fqdn_col = self.columns.fqdn_id
+        start_col = self.columns.start
+        for row in rows:
+            fqdn_id = fqdn_col[row]
+            if fqdn_id < 0:
+                continue
+            start = start_col[row]
+            if fqdn_id not in first or start < first[fqdn_id]:
+                first[fqdn_id] = start
+        return first
+
+    def server_fqdn_bin_triples(
+        self, bin_seconds: float, rows=None
+    ) -> list[tuple[int, int, int]]:
+        """Deduped ``(server_ip, fqdn_id, bin_index)`` triples over the
+        labeled flows of ``rows`` — the Fig. 5 active-FQDNs feed."""
+        if rows is None:
+            rows = self._tagged
+        if not len(rows):
+            return []
+        if _np is not None:
+            rows, ids = self._tagged_subset(rows)
+            if not len(ids):
+                return []
+            starts = self._take(self.columns.start, rows)
+            servers = self._take(self.columns.server_ip, rows)
+            bins = _np.floor_divide(starts, bin_seconds).astype(_np.int64)
+            lo = int(bins.min())
+            n_bins = int(bins.max()) - lo + 1
+            n_ids = len(self._fqdn_names)
+            if n_ids * n_bins <= 1 << 31:
+                # (fqdn, bin) packs into the low 32 bits: one sort-
+                # unique over uint64 keys instead of a structured
+                # (void) unique.  The key must be unsigned — a server
+                # address >= 2^31 shifted into the high bits would
+                # overflow a signed int64 and come back negative.
+                combo = ids.astype(_np.uint64) * _np.uint64(n_bins) + (
+                    (bins - lo).astype(_np.uint64)
+                )
+                key = (
+                    servers.astype(_np.uint64) << _np.uint64(32)
+                ) | combo
+                unique = _np.unique(key)
+                combos = (unique & _np.uint64(0xFFFFFFFF)).astype(
+                    _np.int64
+                )
+                return list(zip(
+                    (unique >> _np.uint64(32)).astype(_np.int64).tolist(),
+                    (combos // n_bins).tolist(),
+                    (combos % n_bins + lo).tolist(),
+                ))
+            stacked = _np.empty(
+                len(rows),
+                dtype=[("s", _np.uint32), ("f", _np.int32),
+                       ("b", _np.int64)],
+            )
+            stacked["s"] = servers
+            stacked["f"] = ids
+            stacked["b"] = bins
+            unique = _np.unique(stacked)
+            return list(zip(
+                unique["s"].tolist(), unique["f"].tolist(),
+                unique["b"].tolist(),
+            ))
+        triples = set()
+        cols = self.columns
+        for row in rows:
+            fqdn_id = cols.fqdn_id[row]
+            if fqdn_id >= 0:
+                triples.add((
+                    cols.server_ip[row], fqdn_id,
+                    int(cols.start[row] // bin_seconds),
+                ))
+        return sorted(triples)
+
+    def sld_flow_stats(
+        self, rows
+    ) -> list[tuple[int, int, int]]:
+        """Per-organization ``(sld_id, flows, distinct_fqdns)`` over the
+        labeled flows of ``rows`` (the Tab. 5 ranking feed)."""
+        if not len(rows):
+            return []
+        if _np is not None:
+            rows, ids = self._tagged_subset(rows)
+            if not len(ids):
+                return []
+            sld_map = _np.frombuffer(self._fqdn_sld, dtype=_np.int32)
+            slds = sld_map[ids]
+            unique, counts = _np.unique(slds, return_counts=True)
+            flow_counts = dict(zip(unique.tolist(), counts.tolist()))
+            pair = (slds.astype(_np.int64) << 32) | ids.astype(_np.int64)
+            fqdn_counts = _np.unique(_np.unique(pair) >> 32,
+                                     return_counts=True)
+            distinct = dict(zip(fqdn_counts[0].tolist(),
+                                fqdn_counts[1].tolist()))
+            return [
+                (sld_id, flow_counts[sld_id], distinct[sld_id])
+                for sld_id in flow_counts
+            ]
+        flow_counts: dict[int, int] = {}
+        fqdn_sets: dict[int, set[int]] = {}
+        fqdn_col = self.columns.fqdn_id
+        sld_map = self._fqdn_sld
+        for row in rows:
+            fqdn_id = fqdn_col[row]
+            if fqdn_id < 0:
+                continue
+            sld_id = sld_map[fqdn_id]
+            flow_counts[sld_id] = flow_counts.get(sld_id, 0) + 1
+            fqdn_sets.setdefault(sld_id, set()).add(fqdn_id)
+        return [
+            (sld_id, count, len(fqdn_sets[sld_id]))
+            for sld_id, count in flow_counts.items()
+        ]
 
     # -- stats -------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._flows)
+        return len(self._records)
 
     def __iter__(self) -> Iterator[FlowRecord]:
-        return iter(self._flows)
+        record = self._record
+        return (record(row) for row in range(len(self._records)))
 
     @property
     def tagged_count(self) -> int:
-        """Number of flows carrying a label."""
-        return sum(len(v) for v in self._by_fqdn.values())
+        """Number of flows carrying a label (maintained incrementally)."""
+        return len(self._tagged)
 
     def count_by_protocol(self) -> dict[Protocol, int]:
-        """Flow counts per layer-7 protocol."""
-        counts: dict[Protocol, int] = defaultdict(int)
-        for flow in self._flows:
-            counts[flow.protocol] += 1
-        return dict(counts)
+        """Flow counts per layer-7 protocol (maintained incrementally)."""
+        return {
+            PROTOCOLS[index]: count
+            for index, count in enumerate(self._protocol_counts)
+            if count
+        }
 
     def time_span(self) -> tuple[float, float]:
-        """(earliest start, latest end) across all flows."""
-        if not self._flows:
+        """(earliest start, latest end), tracked during ingestion."""
+        if not self._records:
             return (0.0, 0.0)
-        return (
-            min(f.start for f in self._flows),
-            max(f.end for f in self._flows),
-        )
+        return (self._min_start, self._max_end)

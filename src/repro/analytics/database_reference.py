@@ -1,0 +1,171 @@
+"""The seed (row-oriented) Flow Database, retained as a reference.
+
+This is the PR 0-2 implementation of :class:`FlowDatabase` — one Python
+list of :class:`FlowRecord` objects plus dict-of-list indexes, with all
+aggregations walking per-flow objects.  The columnar engine in
+:mod:`repro.analytics.database` replaced it as the production store; this
+copy stays for two jobs:
+
+* **differential testing** — the property suite holds the columnar
+  store to answer every query identically to this one on randomized
+  flow sets (``tests/test_database_differential.py``);
+* **benchmarking** — ``benchmarks/run_bench.py`` times the columnar
+  ingest/query/analytics paths against this implementation on the same
+  machine, so the committed ``BENCH_<n>.json`` speedups are
+  apples-to-apples.
+
+One deliberate deviation from the seed: ``query_by_servers`` dedupes the
+``servers`` iterable before the index union.  The seed returned
+duplicate rows when a server address appeared twice in the argument —
+a bug, fixed here and in the columnar store alike so the two remain
+differentially identical.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.dns.name import second_level_domain
+from repro.net.flow import FlowRecord, Protocol
+
+
+class FlowDatabase:
+    """Indexed row store of tagged flow records (seed implementation).
+
+    Only tagged flows enter the domain indexes; untagged flows are kept
+    (they matter for hit-ratio accounting) but are invisible to
+    domain-keyed queries, matching the paper's design where the analyzer
+    operates on labeled flows.
+    """
+
+    def __init__(self) -> None:
+        self._flows: list[FlowRecord] = []
+        self._by_fqdn: dict[str, list[int]] = defaultdict(list)
+        self._by_sld: dict[str, list[int]] = defaultdict(list)
+        self._by_server: dict[int, list[int]] = defaultdict(list)
+        self._by_port: dict[int, list[int]] = defaultdict(list)
+
+    # -- ingestion --------------------------------------------------------
+
+    def add(self, flow: FlowRecord) -> None:
+        """Insert one flow record and index it."""
+        index = len(self._flows)
+        self._flows.append(flow)
+        self._by_server[flow.fid.server_ip].append(index)
+        self._by_port[flow.fid.dst_port].append(index)
+        if flow.fqdn:
+            fqdn = flow.fqdn.lower()
+            self._by_fqdn[fqdn].append(index)
+            self._by_sld[second_level_domain(fqdn)].append(index)
+
+    def add_all(self, flows: Iterable[FlowRecord]) -> None:
+        """Insert many flow records."""
+        for flow in flows:
+            self.add(flow)
+
+    @classmethod
+    def from_flows(cls, flows: Iterable[FlowRecord]) -> "FlowDatabase":
+        """Build a database from an iterable of flows."""
+        database = cls()
+        database.add_all(flows)
+        return database
+
+    # -- core queries (what Algorithms 2-4 call) --------------------------
+
+    def query_by_fqdn(self, fqdn: str) -> list[FlowRecord]:
+        """Flows labeled exactly ``fqdn``."""
+        return [self._flows[i] for i in self._by_fqdn.get(fqdn.lower(), ())]
+
+    def query_by_domain(self, sld: str) -> list[FlowRecord]:
+        """Flows whose label falls under second-level domain ``sld``."""
+        return [self._flows[i] for i in self._by_sld.get(sld.lower(), ())]
+
+    def query_by_servers(self, servers: Iterable[int]) -> list[FlowRecord]:
+        """Flows to any address in ``servers`` (duplicates ignored)."""
+        out: list[FlowRecord] = []
+        for server in dict.fromkeys(servers):
+            out.extend(self._flows[i] for i in self._by_server.get(server, ()))
+        return out
+
+    def query_by_port(self, dst_port: int) -> list[FlowRecord]:
+        """Flows to destination port ``dst_port``."""
+        return [self._flows[i] for i in self._by_port.get(dst_port, ())]
+
+    # -- aggregate views ---------------------------------------------------
+
+    def fqdns(self) -> list[str]:
+        """All distinct labels seen."""
+        return list(self._by_fqdn)
+
+    def slds(self) -> list[str]:
+        """All distinct second-level domains seen."""
+        return list(self._by_sld)
+
+    def servers(self) -> list[int]:
+        """All distinct server addresses seen."""
+        return list(self._by_server)
+
+    def ports(self) -> list[int]:
+        """All distinct destination ports seen."""
+        return list(self._by_port)
+
+    def servers_for_fqdn(self, fqdn: str) -> set[int]:
+        """Distinct serverIPs observed delivering ``fqdn``."""
+        return {
+            self._flows[i].fid.server_ip
+            for i in self._by_fqdn.get(fqdn.lower(), ())
+        }
+
+    def servers_for_domain(self, sld: str) -> set[int]:
+        """Distinct serverIPs observed for the whole organization."""
+        return {
+            self._flows[i].fid.server_ip
+            for i in self._by_sld.get(sld.lower(), ())
+        }
+
+    def fqdns_for_servers(self, servers: Iterable[int]) -> set[str]:
+        """Distinct labels delivered by the given server addresses."""
+        out: set[str] = set()
+        for server in servers:
+            for i in self._by_server.get(server, ()):
+                fqdn = self._flows[i].fqdn
+                if fqdn:
+                    out.add(fqdn.lower())
+        return out
+
+    def fqdns_for_domain(self, sld: str) -> set[str]:
+        """Distinct FQDNs under one second-level domain."""
+        return {
+            self._flows[i].fqdn.lower()
+            for i in self._by_sld.get(sld.lower(), ())
+        }
+
+    # -- stats -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(self._flows)
+
+    @property
+    def tagged_count(self) -> int:
+        """Number of flows carrying a label."""
+        return sum(len(v) for v in self._by_fqdn.values())
+
+    def count_by_protocol(self) -> dict[Protocol, int]:
+        """Flow counts per layer-7 protocol."""
+        counts: dict[Protocol, int] = defaultdict(int)
+        for flow in self._flows:
+            counts[flow.protocol] += 1
+        return dict(counts)
+
+    def time_span(self) -> tuple[float, float]:
+        """(earliest start, latest end) across all flows."""
+        if not self._flows:
+            return (0.0, 0.0)
+        return (
+            min(f.start for f in self._flows),
+            max(f.end for f in self._flows),
+        )

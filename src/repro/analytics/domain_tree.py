@@ -109,45 +109,59 @@ def build_domain_tree(
     """
     sld = second_level_domain(organization)
     org_short = sld.split(".")[0]
-    flows = database.query_by_domain(sld)
     root = TreeNode(token=sld)
     groups: dict[str, CdnGroup] = {}
     total = 0
-    for flow in flows:
-        fqdn = flow.fqdn.lower()
-        try:
-            labels = DomainName(fqdn).subdomain_labels
-        except Exception:
+    # Group the organization's flows by (interned FQDN, server) on the
+    # columnar store: the token path is computed once per distinct FQDN
+    # and each tree node is touched once per distinct pair, with the
+    # pair's flow count applied in bulk — not once per flow.
+    token_paths: dict[int, list[str] | None] = {}
+    owners: dict[int, str] = {}
+    rows = database.rows_for_domain(sld)
+    for fqdn_id, server, count in database.fqdn_server_counts(rows):
+        path = token_paths.get(fqdn_id, False)
+        if path is False:
+            fqdn = database.fqdn_label(fqdn_id)
+            try:
+                labels = DomainName(fqdn).subdomain_labels
+            except Exception:
+                path = None
+            else:
+                path = []
+                # Walk tokens from the label nearest the 2LD outward,
+                # i.e. reversed: www.media4 -> ['media4', 'www'].
+                for label in reversed(labels):
+                    tokens = tokenize_label(label)
+                    path.append("".join(tokens) if tokens else label)
+            token_paths[fqdn_id] = path
+        if path is None:
             continue
-        total += 1
-        server = flow.fid.server_ip
-        owner = None
-        if ipdb is not None:
-            owner = ipdb.lookup(server)
+        total += count
+        owner = owners.get(server)
         if owner is None:
-            owner = "unknown"
-        elif owner.lower() == org_short:
-            owner = org_short.capitalize()
+            owner = ipdb.lookup(server) if ipdb is not None else None
+            if owner is None:
+                owner = "unknown"
+            elif owner.lower() == org_short:
+                owner = org_short.capitalize()
+            owners[server] = owner
         group = groups.get(owner)
         if group is None:
             group = CdnGroup(organization=owner)
             groups[owner] = group
         group.servers.add(server)
-        group.flows += 1
-        group.fqdns.add(fqdn)
-        # Walk tokens from the label nearest the 2LD outward, i.e.
-        # reversed(subdomain_labels): www.media4 -> ['media4', 'www'].
+        group.flows += count
+        group.fqdns.add(database.fqdn_label(fqdn_id))
         node = root
-        node.flows += 1
+        node.flows += count
         node.servers.add(server)
-        node.cdns[owner] = node.cdns.get(owner, 0) + 1
-        for label in reversed(labels):
-            tokens = tokenize_label(label)
-            token_text = "".join(tokens) if tokens else label
+        node.cdns[owner] = node.cdns.get(owner, 0) + count
+        for token_text in path:
             node = node.child(token_text)
-            node.flows += 1
+            node.flows += count
             node.servers.add(server)
-            node.cdns[owner] = node.cdns.get(owner, 0) + 1
+            node.cdns[owner] = node.cdns.get(owner, 0) + count
     return DomainTokenTree(
         organization=sld, root=root, groups=groups, total_flows=total
     )

@@ -91,29 +91,31 @@ class SpatialDiscovery:
     def discover(self, target: str) -> SpatialReport:
         """Run Algorithm 2 for ``target`` (a FQDN or a 2LD).
 
-        Lines 4-5: extract the 2LD and pull every flow of the
-        organization; lines 6-9: per-FQDN server sets; the CDN grouping
-        implements the "which CDNs handle the queries" analysis of
-        Sec. 4.1/5.3.
+        Lines 4-5: extract the 2LD and pull the organization's row set;
+        lines 6-9: per-FQDN server sets; the CDN grouping implements the
+        "which CDNs handle the queries" analysis of Sec. 4.1/5.3.  All
+        grouping happens on the columnar store — the IP→org database is
+        probed once per distinct server, not once per flow.
         """
         organization = second_level_domain(target)
-        flows = self.database.query_by_domain(organization)
+        database = self.database
+        rows = database.rows_for_domain(organization)
         report = SpatialReport(target=target, organization=organization)
         org_short = organization.split(".")[0]
         per_fqdn: dict[str, set[int]] = defaultdict(set)
-        for flow in flows:
-            server = flow.fid.server_ip
+        for fqdn_id, server, _count in database.fqdn_server_counts(rows):
+            per_fqdn[database.fqdn_label(fqdn_id)].add(server)
+        report.per_fqdn = dict(per_fqdn)
+        for server, count in database.server_flow_counts(rows).items():
             report.server_set.add(server)
-            per_fqdn[flow.fqdn.lower()].add(server)
             owner = self._owner_of(server, org_short)
             share = report.per_cdn.get(owner)
             if share is None:
                 share = CdnShare(organization=owner)
                 report.per_cdn[owner] = share
             share.servers.add(server)
-            share.flows += 1
-            report.total_flows += 1
-        report.per_fqdn = dict(per_fqdn)
+            share.flows += count
+            report.total_flows += count
         return report
 
     def server_access_matrix(
@@ -128,18 +130,13 @@ class SpatialDiscovery:
         matrix: dict[str, dict[int, float]] = {}
         if report.total_flows == 0:
             return matrix
-        counts: dict[str, dict[int, int]] = defaultdict(
-            lambda: defaultdict(int)
-        )
         organization = report.organization.split(".")[0]
-        for flow in self.database.query_by_domain(report.organization):
-            owner = self._owner_of(flow.fid.server_ip, organization)
-            counts[owner][flow.fid.server_ip] += 1
-        for owner, servers in counts.items():
-            matrix[owner] = {
-                server: count / report.total_flows
-                for server, count in servers.items()
-            }
+        rows = self.database.rows_for_domain(report.organization)
+        for server, count in self.database.server_flow_counts(rows).items():
+            owner = self._owner_of(server, organization)
+            matrix.setdefault(owner, {})[server] = (
+                count / report.total_flows
+            )
         return matrix
 
     def track_changes(
@@ -147,10 +144,11 @@ class SpatialDiscovery:
     ) -> list[tuple[float, set[int]]]:
         """Server set per time bin for one FQDN — the "track over time"
         capability of Sec. 4.1 (and the anomaly-detection feed)."""
-        flows = self.database.query_by_fqdn(fqdn)
         bins: dict[int, set[int]] = defaultdict(set)
-        for flow in flows:
-            bins[int(flow.start // bin_seconds)].add(flow.fid.server_ip)
+        for bin_index, server in self.database.server_bins_for_fqdn(
+            fqdn, bin_seconds
+        ):
+            bins[bin_index].add(server)
         return [
             (index * bin_seconds, servers)
             for index, servers in sorted(bins.items())

@@ -46,16 +46,22 @@ class ServiceTagExtractor:
 
     def extract(self, dst_port: int, k: int = 10) -> list[TagScore]:
         """Return the top-``k`` tags for ``dst_port`` ranked by score."""
-        flows = self.database.query_by_port(dst_port)
-        # token -> client -> flow count  (N_X(c) of Eq. 1)
+        database = self.database
+        rows = database.rows_for_port(dst_port)
+        # token -> client -> flow count  (N_X(c) of Eq. 1), grouped by
+        # interned label so tokenization runs once per distinct FQDN.
         per_client: dict[str, dict[int, int]] = defaultdict(
             lambda: defaultdict(int)
         )
-        for flow in flows:
-            if not flow.fqdn:
-                continue
-            for token in set(tokenize_fqdn(flow.fqdn)):
-                per_client[token][flow.fid.client_ip] += 1
+        token_sets: dict[int, set[str]] = {}
+        for fqdn_id, client, count in database.fqdn_client_counts(rows):
+            tokens = token_sets.get(fqdn_id)
+            if tokens is None:
+                tokens = token_sets[fqdn_id] = set(
+                    tokenize_fqdn(database.fqdn_label(fqdn_id))
+                )
+            for token in tokens:
+                per_client[token][client] += count
         scored: list[TagScore] = []
         for token, clients in per_client.items():
             if self.use_log_score:
@@ -81,7 +87,7 @@ class ServiceTagExtractor:
         """Tag every port with at least ``min_flows`` flows."""
         out: dict[int, list[TagScore]] = {}
         for port in self.database.ports():
-            if len(self.database.query_by_port(port)) >= min_flows:
+            if len(self.database.rows_for_port(port)) >= min_flows:
                 tags = self.extract(port, k=k)
                 if tags:
                     out[port] = tags

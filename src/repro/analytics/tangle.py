@@ -61,19 +61,21 @@ class Cdf:
 
 def fanout_distribution(database: FlowDatabase) -> Cdf:
     """Fig. 3 top: distinct serverIP count per FQDN."""
-    counts = [
-        len(database.servers_for_fqdn(fqdn)) for fqdn in database.fqdns()
-    ]
-    return Cdf.from_counts(counts)
+    # One deduped (FQDN, server) pass over the columns; every interned
+    # FQDN has at least one flow, so counting pairs per label covers
+    # exactly database.fqdns().
+    counts: dict[int, int] = defaultdict(int)
+    for fqdn_id, _server, _flows in database.fqdn_server_counts():
+        counts[fqdn_id] += 1
+    return Cdf.from_counts(list(counts.values()))
 
 
 def fanin_distribution(database: FlowDatabase) -> Cdf:
     """Fig. 3 bottom: distinct FQDN count per serverIP."""
-    per_server: dict[int, set[str]] = defaultdict(set)
-    for flow in database:
-        if flow.fqdn:
-            per_server[flow.fid.server_ip].add(flow.fqdn.lower())
-    return Cdf.from_counts([len(v) for v in per_server.values()])
+    per_server: dict[int, int] = defaultdict(int)
+    for _fqdn_id, server, _flows in database.fqdn_server_counts():
+        per_server[server] += 1
+    return Cdf.from_counts(list(per_server.values()))
 
 
 def single_mapping_fractions(database: FlowDatabase) -> tuple[float, float]:

@@ -61,21 +61,67 @@ class TrackerActivityAnalysis:
         return any(token in lowered for token in cls.TRACKER_TOKENS)
 
     def observe(self, flow: FlowRecord) -> None:
-        """Feed one labeled flow."""
-        if not flow.fqdn or not self.classifier(flow.fqdn):
+        """Feed one labeled flow.
+
+        The classifier receives the canonical lowercased label and
+        ``first_seen`` is the earliest flow *start* (not stream
+        position), so per-flow and grouped ingestion
+        (:meth:`observe_database`) build identical timelines whatever
+        the input order.
+        """
+        if not flow.fqdn:
             return
         service = flow.fqdn.lower()
+        if not self.classifier(service):
+            return
         bin_index = int(flow.start // self.bin_seconds)
         self._max_bin = max(self._max_bin, bin_index)
         timeline = self._timelines.get(service)
         if timeline is None:
             timeline = ActivityTimeline(service=service, first_seen=flow.start)
             self._timelines[service] = timeline
+        elif flow.start < timeline.first_seen:
+            timeline.first_seen = flow.start
         timeline.active_bins.add(bin_index)
 
     def observe_all(self, flows: Iterable[FlowRecord]) -> None:
         for flow in flows:
             self.observe(flow)
+
+    def observe_database(self, database: FlowDatabase, rows=None) -> None:
+        """Feed a whole flow database through the grouped fast path.
+
+        Classification runs once per *distinct* label and activity bins
+        come from the store's deduped ``(fqdn_id, bin)`` pairs — the
+        per-flow :meth:`observe` loop collapses to one pass over unique
+        (service, bin) combinations, with identical results (the
+        classifier receives the canonical lowercased label on both
+        paths, and ``first_seen`` is the earliest flow start).
+        """
+        first_seen = database.fqdn_first_seen(rows)
+        classified: dict[int, ActivityTimeline | None] = {}
+        for fqdn_id, start in first_seen.items():
+            service = database.fqdn_label(fqdn_id)
+            if not self.classifier(service):
+                classified[fqdn_id] = None
+                continue
+            timeline = self._timelines.get(service)
+            if timeline is None:
+                timeline = ActivityTimeline(
+                    service=service, first_seen=start
+                )
+                self._timelines[service] = timeline
+            elif start < timeline.first_seen:
+                timeline.first_seen = start
+            classified[fqdn_id] = timeline
+        for fqdn_id, bin_index in database.fqdn_bin_pairs(
+            self.bin_seconds, rows
+        ):
+            timeline = classified[fqdn_id]
+            if timeline is not None:
+                if bin_index > self._max_bin:
+                    self._max_bin = bin_index
+                timeline.active_bins.add(bin_index)
 
     def timelines(self) -> list[ActivityTimeline]:
         """Timelines ordered by first appearance (Fig. 11's id order)."""
@@ -158,14 +204,17 @@ def service_breakdown(
         True: [0, 0, 0],   # flows, bytes_up, bytes_down
         False: [0, 0, 0],
     }
-    for flow in database.query_by_domain(domain):
-        fqdn = flow.fqdn.lower()
+    # One classification and one bucket update per distinct FQDN: the
+    # flow/byte sums per label come pre-aggregated from the columns.
+    rows = database.rows_for_domain(domain)
+    for fqdn_id, flows, up, down in database.fqdn_flow_byte_totals(rows):
+        fqdn = database.fqdn_label(fqdn_id)
         is_tracker = classify(fqdn)
         (tracker_fqdns if is_tracker else general_fqdns).add(fqdn)
         bucket = totals[is_tracker]
-        bucket[0] += 1
-        bucket[1] += flow.bytes_up
-        bucket[2] += flow.bytes_down
+        bucket[0] += flows
+        bucket[1] += up
+        bucket[2] += down
     trackers = ServiceClassTotals(
         label="Bittorrent Trackers",
         services=len(tracker_fqdns),

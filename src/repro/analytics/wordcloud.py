@@ -53,11 +53,20 @@ def build_word_cloud(
     per_client: dict[str, dict[int, int]] = defaultdict(
         lambda: defaultdict(int)
     )
-    for flow in database.query_by_domain(domain):
-        service = _service_name(flow.fqdn, domain)
+    # Grouped on the columnar store: the service name is derived once
+    # per distinct FQDN, client flow counts come pre-aggregated.
+    rows = database.rows_for_domain(domain)
+    services: dict[int, str | None] = {}
+    for fqdn_id, client, count in database.fqdn_client_counts(rows):
+        if fqdn_id in services:
+            service = services[fqdn_id]
+        else:
+            service = services[fqdn_id] = _service_name(
+                database.fqdn_label(fqdn_id), domain
+            )
         if service is None:
             continue
-        per_client[service][flow.fid.client_ip] += 1
+        per_client[service][client] += count
     weights = {
         service: sum(math.log(count + 1) for count in clients.values())
         for service, clients in per_client.items()

@@ -13,13 +13,15 @@ from repro.experiments.result import ExperimentResult
 
 
 def run(days: int = 18, seed: int = 11) -> ExperimentResult:
-    live, _database = get_live(days=days, seed=seed)
+    live, database = get_live(days=days, seed=seed)
     tracker_set = set(live.tracker_fqdns)
     analysis = TrackerActivityAnalysis(
         bin_seconds=4 * 3600.0,
         classifier=lambda fqdn: fqdn in tracker_set,
     )
-    analysis.observe_all(live.flows)
+    # Grouped columnar path: one classification per distinct service,
+    # activity from the store's deduped (service, bin) pairs.
+    analysis.observe_database(database)
     rendered = analysis.render(width_bins=days * 6 - 1)
     timelines = analysis.timelines()
     always = analysis.always_on(threshold=0.85)

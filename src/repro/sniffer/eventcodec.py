@@ -318,14 +318,77 @@ class BatchView:
             raise CodecError("flags block does not match event count")
         if len(self.flow_hot) != n_flows * FLOW_HOT.size:
             raise CodecError("flow_hot block does not match flow count")
+        if len(self.flow_cold) != n_flows * FLOW_COLD.size:
+            raise CodecError("flow_cold block does not match flow count")
         if len(self.dns_hot) != n_dns * DNS_HOT.size:
             raise CodecError("dns_hot block does not match DNS count")
+        if len(self.dns_cold) != n_dns * DNS_COLD.size:
+            raise CodecError("dns_cold block does not match DNS count")
 
 
 def batch_counts(buf) -> tuple[int, int, int]:
     """``(n_events, n_dns, n_flows)`` of an encoded batch."""
     view = BatchView(buf)
     return view.n_events, view.n_dns, view.n_flows
+
+
+def retag_flows(view: BatchView, labels) -> bytes:
+    """Re-encode a batch's flows as a flows-only batch with new labels.
+
+    ``labels`` holds one entry per flow in block order: the attached
+    FQDN as UTF-8 ``bytes``, or ``None`` for a cache miss.  The hot and
+    cold flow blocks are copied verbatim (no per-record decode); only
+    the string block is rebuilt — the fqdn slot takes the new label,
+    cert/true-fqdn strings carry over from the source batch.  DNS
+    records in the source batch are dropped.
+
+    This is how a fan-out worker emits its tagged flows toward
+    ``FlowDatabase.ingest_batch`` without materialising one
+    :class:`FlowRecord` per flow — the Fig. 1 sniffer→database arrow in
+    the codec's own deployment format.
+    """
+    n = view.n_flows
+    if len(labels) != n:
+        raise CodecError(
+            f"{len(labels)} labels for {n} flows in the batch"
+        )
+    src = view.flow_str
+    out = bytearray()
+    pos = 0
+    for label in labels:
+        (length,) = STR_LEN.unpack_from(src, pos)
+        pos += STR_LEN.size
+        if length != _NONE_STR:
+            pos += length  # discard the pre-tag fqdn slot
+        if label is None:
+            out += STR_LEN.pack(_NONE_STR)
+        else:
+            if len(label) > _MAX_STR:
+                raise CodecError(
+                    f"label of {len(label)} bytes exceeds codec limit"
+                )
+            out += STR_LEN.pack(len(label))
+            out += label
+        # cert_name and true_fqdn carry over verbatim.
+        for _ in range(2):
+            (length,) = STR_LEN.unpack_from(src, pos)
+            stop = pos + STR_LEN.size + (
+                0 if length == _NONE_STR else length
+            )
+            out += src[pos:stop]
+            pos = stop
+    blocks = (
+        b"\x00" * n,           # flags: all flows, block order
+        bytes(view.flow_hot),
+        bytes(view.flow_cold),
+        bytes(out),
+        b"", b"", b"", b"",    # no DNS blocks
+    )
+    parts = [HEADER.pack(MAGIC, VERSION, n, 0, n)]
+    for block in blocks:
+        parts.append(BLOCK_LEN.pack(len(block)))
+        parts.append(block)
+    return b"".join(parts)
 
 
 def _decode_str(buf, pos: int):

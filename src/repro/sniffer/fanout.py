@@ -56,6 +56,7 @@ from repro.sniffer.eventcodec import (
     FLOW_HOT,
     PROTOCOLS,
     encode_events,
+    retag_flows,
 )
 from repro.sniffer.resolver import DnsResolver, ResolverStats
 from repro.sniffer.sharding import shard_of
@@ -74,6 +75,7 @@ _OP_BATCH = b"B"      # + batch buffer; worker acks
 _OP_TRACE = b"T"      # + f64 trace start hint; worker acks
 _OP_RESET = b"R"      # drop all state; worker acks
 _OP_FLUSH = b"F"      # worker replies with its report (pickled dict)
+_OP_DRAIN = b"D"      # worker replies with buffered tagged-flow batches
 _OP_STOP = b"S"       # worker exits; no reply
 _ACK = b"A"
 
@@ -91,7 +93,8 @@ class _WorkerState:
     """Per-worker resolver + tag counters and the batch consume loop."""
 
     def __init__(self, clist_size: int, warmup: float,
-                 collect_labels: bool, use_numpy: bool):
+                 collect_labels: bool, use_numpy: bool,
+                 collect_flows: bool = False):
         self.resolver = DnsResolver(clist_size=clist_size)
         self.warmup = warmup
         self.use_numpy = use_numpy
@@ -103,6 +106,8 @@ class _WorkerState:
         self.events = 0
         self.flows = 0
         self.labels: Optional[Counter] = Counter() if collect_labels else None
+        self.collect_flows = collect_flows
+        self.tagged_batches: list[bytes] = []
 
     # -- batch-column precompute ------------------------------------------
 
@@ -205,6 +210,11 @@ class _WorkerState:
         miss_counts = self.miss_counts
         warmup_skipped = self.warmup_skipped
         labels = self.labels
+        # Attached label per flow (block order) when the worker emits
+        # tagged-flow batches toward FlowDatabase.ingest_batch.
+        flow_labels = (
+            [None] * view.n_flows if self.collect_flows else None
+        )
         empty = 0
         fpos = dpos = kpos = 0
         try:
@@ -270,11 +280,17 @@ class _WorkerState:
                         hits += 1
                         if labels is not None:
                             labels[fqdns[slot]] += 1
+                        if flow_labels is not None:
+                            flow_labels[fpos] = fqdns[slot]
                         if fwarm[fpos]:
                             warmup_skipped += 1
                         else:
                             hit_counts[fproto[fpos]] += 1
                     fpos += 1
+            if flow_labels is not None and view.n_flows:
+                self.tagged_batches.append(
+                    retag_flows(view, flow_labels)
+                )
         finally:
             resolver._next_slot = idx
             resolver._used = used
@@ -320,9 +336,11 @@ if _np is not None:
 
 
 def _worker_main(conn, clist_size: int, warmup: float,
-                 collect_labels: bool, use_numpy: bool) -> None:
+                 collect_labels: bool, use_numpy: bool,
+                 collect_flows: bool = False) -> None:
     """Worker process loop: frames in, acks/reports out."""
-    state = _WorkerState(clist_size, warmup, collect_labels, use_numpy)
+    state = _WorkerState(clist_size, warmup, collect_labels, use_numpy,
+                         collect_flows)
     try:
         while True:
             try:
@@ -339,9 +357,14 @@ def _worker_main(conn, clist_size: int, warmup: float,
                 conn.send_bytes(_ACK)
             elif op == _OP_FLUSH:
                 conn.send(state.report())
+            elif op == _OP_DRAIN:
+                batches = state.tagged_batches
+                state.tagged_batches = []
+                conn.send(batches)
             elif op == _OP_RESET:
                 state = _WorkerState(
-                    clist_size, warmup, collect_labels, use_numpy
+                    clist_size, warmup, collect_labels, use_numpy,
+                    collect_flows,
                 )
                 conn.send_bytes(_ACK)
             elif op == _OP_STOP:
@@ -409,6 +432,11 @@ class FanoutPipeline:
         collect_labels: have workers histogram the labels they attach
             (`FanoutReport.label_counts`); costs one dict update per
             tagged flow.
+        collect_flows: have workers re-encode every consumed flow —
+            with its attached label — as tagged-flow codec batches for
+            :meth:`drain_tagged_batches`, the zero-object-churn feed of
+            ``FlowDatabase.ingest_batch`` (the Fig. 1 sniffer→database
+            arrow).  Batches buffer in the workers until drained.
         start_method: multiprocessing start method (default ``fork``
             where available — workers inherit the warm interpreter).
         use_numpy: force the vectorised (True) or pure-struct (False)
@@ -423,6 +451,7 @@ class FanoutPipeline:
         batch_events: int = 8192,
         max_pending: int = 4,
         collect_labels: bool = False,
+        collect_flows: bool = False,
         start_method: Optional[str] = None,
         use_numpy: Optional[bool] = None,
     ):
@@ -442,6 +471,7 @@ class FanoutPipeline:
         self.batch_events = batch_events
         self.max_pending = max_pending
         self.collect_labels = collect_labels
+        self.collect_flows = collect_flows
         self.use_numpy = use_numpy
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
@@ -470,7 +500,8 @@ class FanoutPipeline:
             proc = ctx.Process(
                 target=_worker_main,
                 args=(child, per_worker, self.warmup,
-                      self.collect_labels, self.use_numpy),
+                      self.collect_labels, self.use_numpy,
+                      self.collect_flows),
                 name=f"fanout-worker-{index}",
                 daemon=True,
             )
@@ -651,6 +682,32 @@ class FanoutPipeline:
             except (EOFError, OSError) as exc:
                 raise self._worker_failed(index, exc) from exc
         return self._merge(reports)
+
+    def drain_tagged_batches(self) -> list[bytes]:
+        """Flush, then fetch (and clear) every worker's buffered
+        tagged-flow batches, in shard order.
+
+        Only meaningful with ``collect_flows=True`` (returns ``[]``
+        otherwise).  Each payload is a flows-only codec batch carrying
+        the labels the workers attached — feed them to
+        ``FlowDatabase.ingest_batch``.  Statistics are unaffected;
+        workers keep their resolver state and the stream may continue.
+        """
+        self.flush()
+        for index, conn in enumerate(self._conns):
+            while self._pending[index]:
+                self._recv_ack(index)
+            try:
+                conn.send_bytes(_OP_DRAIN)
+            except (BrokenPipeError, OSError) as exc:
+                raise self._worker_failed(index, exc) from exc
+        batches: list[bytes] = []
+        for index, conn in enumerate(self._conns):
+            try:
+                batches.extend(conn.recv())
+            except (EOFError, OSError) as exc:
+                raise self._worker_failed(index, exc) from exc
+        return batches
 
     def reset(self) -> None:
         """Drop all worker state (a fresh pipeline without respawning)."""

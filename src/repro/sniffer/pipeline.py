@@ -85,6 +85,11 @@ class SnifferPipeline:
         batch_events: events per fan-out batch (``processes > 1`` only).
         collect_labels: have fan-out workers histogram attached labels
             (``fanout_report.label_counts``).
+        collect_flows: have fan-out workers buffer their tagged flows
+            as codec batches for :meth:`emit_tagged_batches` — the
+            zero-object-churn feed of ``FlowDatabase.ingest_batch``
+            (``processes > 1`` only; the single-process pipeline can
+            always emit batches from its ``tagged_flows``).
     """
 
     def __init__(
@@ -97,6 +102,7 @@ class SnifferPipeline:
         processes: int = 1,
         batch_events: int = 8192,
         collect_labels: bool = False,
+        collect_flows: bool = False,
     ):
         if shards <= 0:
             raise ValueError("shards must be positive")
@@ -117,6 +123,7 @@ class SnifferPipeline:
         self.processes = processes
         self.batch_events = batch_events
         self.collect_labels = collect_labels
+        self.collect_flows = collect_flows
         self.fanout_report: Optional[FanoutReport] = None
         self._fanout: Optional[FanoutPipeline] = None
         self._fanout_baseline: Optional[FanoutReport] = None
@@ -139,6 +146,7 @@ class SnifferPipeline:
         self.policy = policy
         self.tagged_flows: list[FlowRecord] = []
         self.blocked_flows: list[FlowRecord] = []
+        self._emitted_flows = 0  # emit_tagged_batches drain cursor
 
     # -- packet path ------------------------------------------------------
 
@@ -545,6 +553,7 @@ class SnifferPipeline:
                 warmup=self.tagger.warmup,
                 batch_events=self.batch_events,
                 collect_labels=self.collect_labels,
+                collect_flows=self.collect_flows,
             )
         return self._fanout.start()
 
@@ -591,6 +600,47 @@ class SnifferPipeline:
         )
         self.fanout_report = report
         self._fanout_baseline = report
+
+    # -- flow-database feed ------------------------------------------------
+
+    def emit_tagged_batches(self, batch_events: int = 8192):
+        """Tagged flows as eventcodec batches — the Flow Database feed.
+
+        Returns the payloads ``FlowDatabase.ingest_batch`` absorbs.
+        Both modes drain: each call emits only the flows tagged since
+        the previous call, so a periodic emit→ingest loop stores every
+        flow exactly once whatever the process count.  With
+        ``processes > 1`` (requires ``collect_flows=True``) the batches
+        were re-encoded by the workers where the flows were tagged — no
+        :class:`FlowRecord` ever materialises — and their framing
+        follows the pool's construction-time ``batch_events``; this
+        method's ``batch_events`` argument applies only to the
+        single-process encode path, which batches the new tail of the
+        in-memory ``tagged_flows``, paying one object walk at emit
+        time.
+        """
+        if self.processes > 1:
+            if not self.collect_flows:
+                raise ValueError(
+                    "emit_tagged_batches with processes > 1 needs "
+                    "collect_flows=True"
+                )
+            if self._fanout is None:
+                return []
+            return self._fanout.drain_tagged_batches()
+        from repro.sniffer.eventcodec import BatchEncoder
+
+        payloads: list[bytes] = []
+        encoder = BatchEncoder()
+        pending = self.tagged_flows[self._emitted_flows:]
+        self._emitted_flows += len(pending)
+        for flow in pending:
+            encoder.add_flow(flow)
+            if len(encoder) >= batch_events:
+                payloads.append(encoder.take())
+        if len(encoder):
+            payloads.append(encoder.take())
+        return payloads
 
     # -- shared -----------------------------------------------------------
 

@@ -1,9 +1,13 @@
-"""Tests for the labeled-flows database."""
+"""Tests for the labeled-flows database (columnar engine)."""
 
 import pytest
 
 from repro.analytics.database import FlowDatabase
+from repro.analytics.database_reference import (
+    FlowDatabase as ReferenceDatabase,
+)
 from repro.net.flow import FiveTuple, FlowRecord, Protocol, TransportProto
+from repro.sniffer.eventcodec import encode_events
 
 C1, C2 = 101, 102
 S1, S2, S3 = 201, 202, 203
@@ -111,3 +115,201 @@ class TestAggregates:
         database = FlowDatabase.from_flows([_flow(fqdn="a.b.com")])
         assert len(database) == 1
         assert database.tagged_count == 1
+
+
+class TestServerDedupe:
+    """Regression: duplicate entries in the ``servers`` argument must not
+    duplicate result rows (seed bug, fixed in both stores)."""
+
+    @pytest.mark.parametrize("store", [FlowDatabase, ReferenceDatabase])
+    def test_duplicate_servers_no_duplicate_rows(self, store):
+        database = store.from_flows(
+            [_flow(fqdn="www.google.com", server=S1),
+             _flow(fqdn="mail.google.com", server=S2)]
+        )
+        rows = database.query_by_servers([S1, S1, S2, S1])
+        assert len(rows) == 2
+        assert [f.fqdn for f in rows] == [
+            "www.google.com", "mail.google.com",
+        ]
+
+
+class TestBatchIngest:
+    def _flows(self):
+        return [
+            _flow(fqdn="www.google.com", server=S1, start=0.0),
+            _flow(fqdn=None, server=S2, start=5.0, proto=Protocol.P2P),
+            _flow(fqdn="WWW.Google.COM", server=S3, start=9.0),
+        ]
+
+    def test_ingest_batch_matches_object_path(self):
+        flows = self._flows()
+        via_objects = FlowDatabase.from_flows(flows)
+        via_batch = FlowDatabase.from_batches([encode_events(flows)])
+        assert list(via_batch) == list(via_objects)
+        assert via_batch.tagged_count == 2
+        assert via_batch.time_span() == (0.0, 10.0)
+        assert via_batch.fqdns() == ["www.google.com"]
+        assert via_batch.servers_for_fqdn("www.google.com") == {S1, S3}
+
+    def test_ingest_batch_materializes_lazily(self):
+        database = FlowDatabase()
+        assert database.ingest_batch(encode_events(self._flows())) == 3
+        assert database._records == [None, None, None]
+        record = database.query_by_fqdn("www.google.com")[0]
+        assert record.fqdn == "www.google.com"
+        # materialized once, cached
+        assert database.query_by_fqdn("www.google.com")[0] is record
+
+    def test_ingest_batch_ignores_dns_events(self):
+        from repro.net.flow import DnsObservation
+
+        events = [
+            DnsObservation(timestamp=1.0, client_ip=C1,
+                           fqdn="www.google.com", answers=[S1]),
+            self._flows()[0],
+        ]
+        database = FlowDatabase()
+        assert database.ingest_batch(encode_events(events)) == 1
+        assert len(database) == 1
+
+    def test_empty_batch(self):
+        database = FlowDatabase()
+        assert database.ingest_batch(encode_events([])) == 0
+        assert len(database) == 0
+
+
+class TestIncrementalStats:
+    """tagged_count / time_span / protocol counts are maintained during
+    ingestion, not recomputed by scans on access."""
+
+    def test_counters_track_adds(self):
+        database = FlowDatabase()
+        assert database.time_span() == (0.0, 0.0)
+        database.add(_flow(fqdn="a.example.com", start=10.0))
+        assert (database.tagged_count, database.time_span()) == (
+            1, (10.0, 11.0)
+        )
+        database.add(_flow(fqdn=None, start=2.0, proto=Protocol.P2P))
+        assert (database.tagged_count, database.time_span()) == (
+            2 - 1, (2.0, 11.0)
+        )
+        database.ingest_batch(
+            encode_events([_flow(fqdn="b.example.com", start=50.0)])
+        )
+        assert database.tagged_count == 2
+        assert database.time_span() == (2.0, 51.0)
+        assert database.count_by_protocol() == {
+            Protocol.HTTP: 2, Protocol.P2P: 1,
+        }
+
+
+class TestNumpyPathEdgeCases:
+    """Regressions for the vectorized grouping paths."""
+
+    def test_high_bit_server_addresses_in_triples(self):
+        # serverIPs >= 2^31 must not wrap negative in the packed-key
+        # dedupe (signed-shift overflow regression).
+        server = 0xDEADBEEF
+        database = FlowDatabase.from_flows(
+            [_flow(fqdn="www.google.com", server=server, start=100.0)]
+        )
+        assert database.server_fqdn_bin_triples(600.0) == [
+            (server, 0, 0)
+        ]
+        assert database.fqdn_server_counts() == [(0, server, 1)]
+
+    def test_grouped_methods_on_untagged_only_rows(self):
+        # A row set with no labeled flows must return empty results,
+        # not crash, on both backends.
+        database = FlowDatabase.from_flows(
+            [_flow(fqdn=None, server=S1, dport=51413,
+                   proto=Protocol.P2P)]
+        )
+        rows = database.rows_for_port(51413)
+        assert len(rows) == 1
+        assert database.fqdn_first_seen(rows) == {}
+        assert database.fqdn_bin_pairs(600.0, rows) == []
+        assert database.server_fqdn_bin_triples(600.0, rows) == []
+        assert database.fqdn_server_counts(rows) == []
+        assert database.fqdn_flow_byte_totals(rows) == []
+
+
+class TestIngestAtomicity:
+    def test_truncated_string_block_rejected_without_mutation(self):
+        from repro.sniffer.eventcodec import (
+            BLOCK_LEN, CodecError, HEADER, MAGIC, VERSION,
+        )
+
+        good = encode_events(
+            [_flow(fqdn="www.google.com"), _flow(fqdn="mail.google.com")]
+        )
+        # Truncate the flow_str block's payload but fix up every block
+        # length so BatchView still accepts the frame.
+        pos = HEADER.size
+        blocks = []
+        buf = memoryview(good)
+        for _ in range(8):
+            (length,) = BLOCK_LEN.unpack_from(buf, pos)
+            pos += BLOCK_LEN.size
+            blocks.append(bytes(buf[pos:pos + length]))
+            pos += length
+        blocks[3] = blocks[3][:-4]  # chop the tail of flow_str
+        bad = HEADER.pack(MAGIC, VERSION, 2, 0, 2)
+        for block in blocks:
+            bad += BLOCK_LEN.pack(len(block)) + block
+        database = FlowDatabase()
+        database.add(_flow(fqdn="seed.example.com"))
+        with pytest.raises(CodecError):
+            database.ingest_batch(bad)
+        # the failed batch left nothing behind
+        assert len(database) == 1
+        assert len(database.columns) == 1
+        assert database.fqdns() == ["seed.example.com"]
+        # and the store still ingests good batches afterwards
+        assert database.ingest_batch(good) == 2
+        assert len(database) == 3
+
+    def test_out_of_range_protocol_rejected_without_mutation(self):
+        from repro.sniffer.eventcodec import CodecError, FLOW_HOT
+
+        good = encode_events([_flow(fqdn="www.google.com")])
+        # Locate the flow_hot block (5th length-prefixed region) and
+        # corrupt the protocol byte of the first flow.
+        from repro.sniffer.eventcodec import BLOCK_LEN, HEADER
+
+        pos = HEADER.size
+        for _ in range(1):  # flags block
+            (length,) = BLOCK_LEN.unpack_from(good, pos)
+            pos += BLOCK_LEN.size + length
+        (length,) = BLOCK_LEN.unpack_from(good, pos)
+        assert length == FLOW_HOT.size
+        proto_offset = pos + BLOCK_LEN.size + FLOW_HOT.size - 1
+        bad = bytearray(good)
+        bad[proto_offset] = 250
+        database = FlowDatabase()
+        with pytest.raises(CodecError):
+            database.ingest_batch(bytes(bad))
+        assert len(database) == 0
+        assert len(database.columns) == 0
+        assert database.ingest_batch(good) == 1
+
+
+class TestAddAtomicity:
+    def test_out_of_range_record_rejected_without_mutation(self):
+        database = FlowDatabase()
+        database.add(_flow(fqdn="a.example.com"))
+        bad = _flow(fqdn="b.example.com")
+        bad.packets = 1 << 40  # exceeds the u32 column range
+        with pytest.raises(ValueError):
+            database.add(bad)
+        # nothing of the rejected record stuck anywhere
+        assert len(database) == 1
+        assert len(database.columns) == 1
+        assert len(database.columns.client_ip) == 1
+        assert database.fqdns() == ["a.example.com"]
+        database.add(_flow(fqdn="c.example.com", start=5.0))
+        assert [f.fqdn for f in database] == [
+            "a.example.com", "c.example.com",
+        ]
+        assert database.query_by_fqdn("c.example.com")[0].start == 5.0

@@ -438,3 +438,47 @@ class TestAnomalyDetector:
 
         with pytest.raises(ValueError):
             MappingAnomalyDetector(prefix_bits=0)
+
+
+class TestTrackerPathEquivalence:
+    """observe()/observe_all() and the grouped observe_database() path
+    must build identical timelines — case-folded labels, out-of-order
+    streams and all (regression for the PR 3 fast path)."""
+
+    def _flows(self):
+        return [
+            _flow(1, 10, "Tracker1.Appspot.COM", start=50_000.0),
+            _flow(2, 11, "tracker1.appspot.com", start=100.0),
+            _flow(1, 12, "app5.appspot.com", start=200.0),
+            _flow(3, 10, "tracker2.appspot.com", start=30_000.0),
+        ]
+
+    def test_same_timelines_and_order(self):
+        database = FlowDatabase.from_flows(self._flows())
+        per_flow = TrackerActivityAnalysis(bin_seconds=3600.0)
+        per_flow.observe_all(self._flows())
+        grouped = TrackerActivityAnalysis(bin_seconds=3600.0)
+        grouped.observe_database(database)
+        assert [
+            (t.service, t.first_seen, sorted(t.active_bins))
+            for t in per_flow.timelines()
+        ] == [
+            (t.service, t.first_seen, sorted(t.active_bins))
+            for t in grouped.timelines()
+        ]
+        # mixed-case label folded into one service, first_seen = min start
+        assert per_flow.timelines()[0].service == "tracker1.appspot.com"
+        assert per_flow.timelines()[0].first_seen == 100.0
+
+    def test_classifier_sees_lowercased_label_on_both_paths(self):
+        wanted = {"tracker1.appspot.com"}
+        database = FlowDatabase.from_flows(self._flows())
+        per_flow = TrackerActivityAnalysis(
+            bin_seconds=3600.0, classifier=lambda fqdn: fqdn in wanted
+        )
+        per_flow.observe_all(self._flows())
+        grouped = TrackerActivityAnalysis(
+            bin_seconds=3600.0, classifier=lambda fqdn: fqdn in wanted
+        )
+        grouped.observe_database(database)
+        assert len(per_flow.timelines()) == len(grouped.timelines()) == 1

@@ -1,0 +1,319 @@
+"""Differential/property tests: columnar FlowDatabase vs the seed store.
+
+The columnar engine (:mod:`repro.analytics.database`) must answer every
+query identically to the retained seed implementation
+(:mod:`repro.analytics.database_reference`) on randomized flow sets —
+including untagged flows, empty-string labels, case-folded FQDNs, and
+both ingestion paths (per-record ``add`` and binary ``ingest_batch``),
+with and without numpy.
+"""
+
+from contextlib import contextmanager
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.analytics.database as database_module
+from repro.analytics.database import FlowDatabase
+from repro.analytics.database_reference import FlowDatabase as ReferenceDatabase
+from repro.net.flow import FiveTuple, FlowRecord, Protocol, TransportProto
+from repro.sniffer.eventcodec import encode_events
+
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+u48 = st.integers(min_value=0, max_value=0xFFFFFFFFFFFF)
+# Bounded trace times: the gap-filled bin series ranges over
+# (max - min) / bin_seconds entries, so keep the window day-sized.
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, width=64,
+    min_value=-3600.0, max_value=86400.0,
+)
+# Small pools force collisions: shared labels (mixed case), shared
+# servers/clients/ports — the interesting regime for interning/indexes.
+labels = st.none() | st.sampled_from([
+    "", "www.google.com", "WWW.Google.COM", "mail.google.com",
+    "cdn1.fbcdn.net", "CDN1.fbcdn.net", "static.bbc.co.uk",
+    "a.b.c.example.org", "tracker.appspot.com", "x",
+]) | st.text(min_size=1, max_size=20)
+# Mostly a small colliding pool, plus high-bit addresses (>= 2^31) to
+# catch signed-overflow bugs in packed-key numpy paths.
+addresses = st.integers(min_value=1, max_value=40) | st.sampled_from(
+    [0x80000000, 0xDEADBEEF, 0xFFFFFFFF]
+)
+ports = st.sampled_from([80, 443, 8080, 51413])
+
+flows = st.builds(
+    FlowRecord,
+    fid=st.builds(
+        FiveTuple,
+        client_ip=addresses,
+        server_ip=addresses,
+        src_port=u16,
+        dst_port=ports,
+        proto=st.sampled_from(TransportProto),
+    ),
+    start=finite,
+    end=finite,
+    protocol=st.sampled_from(Protocol),
+    bytes_up=u48,
+    bytes_down=u48,
+    packets=u32,
+    fqdn=labels,
+    cert_name=st.none() | st.sampled_from(["cert.example.com"]),
+    true_fqdn=st.none() | st.sampled_from(["true.example.com"]),
+)
+
+flow_lists = st.lists(flows, min_size=0, max_size=60)
+
+
+@contextmanager
+def _without_numpy():
+    saved = database_module._np
+    database_module._np = None
+    try:
+        yield
+    finally:
+        database_module._np = saved
+
+
+def _assert_equivalent(db: FlowDatabase, ref: ReferenceDatabase) -> None:
+    assert len(db) == len(ref)
+    assert db.tagged_count == ref.tagged_count
+    assert db.time_span() == ref.time_span()
+    assert db.count_by_protocol() == ref.count_by_protocol()
+    assert db.fqdns() == ref.fqdns()
+    assert db.slds() == ref.slds()
+    assert db.servers() == ref.servers()
+    assert db.ports() == ref.ports()
+    assert list(db) == list(ref)
+    for fqdn in [*ref.fqdns(), "missing.example.net", ""]:
+        assert db.query_by_fqdn(fqdn) == ref.query_by_fqdn(fqdn)
+        assert db.query_by_fqdn(fqdn.upper()) == ref.query_by_fqdn(
+            fqdn.upper()
+        )
+        assert db.servers_for_fqdn(fqdn) == ref.servers_for_fqdn(fqdn)
+    for sld in [*ref.slds(), "missing.example.net"]:
+        assert db.query_by_domain(sld) == ref.query_by_domain(sld)
+        assert db.servers_for_domain(sld) == ref.servers_for_domain(sld)
+        assert db.fqdns_for_domain(sld) == ref.fqdns_for_domain(sld)
+    servers = ref.servers()
+    probe_sets = [servers, servers[:3] * 2, [999999], []]
+    for probe in probe_sets:
+        assert db.query_by_servers(probe) == ref.query_by_servers(probe)
+        assert db.fqdns_for_servers(probe) == ref.fqdns_for_servers(probe)
+    for port in [*ref.ports(), 1]:
+        assert db.query_by_port(port) == ref.query_by_port(port)
+
+
+class TestObjectIngestDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(flow_lists)
+    def test_add_path_matches_reference(self, flow_list):
+        ref = ReferenceDatabase.from_flows(flow_list)
+        _assert_equivalent(FlowDatabase.from_flows(flow_list), ref)
+
+    @settings(max_examples=25, deadline=None)
+    @given(flow_lists)
+    def test_add_path_matches_reference_without_numpy(self, flow_list):
+        ref = ReferenceDatabase.from_flows(flow_list)
+        with _without_numpy():
+            db = FlowDatabase.from_flows(flow_list)
+            _assert_equivalent(db, ref)
+
+
+class TestBatchIngestDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(flow_lists, st.integers(min_value=1, max_value=17))
+    def test_batch_path_matches_reference(self, flow_list, batch_size):
+        ref = ReferenceDatabase.from_flows(flow_list)
+        payloads = [
+            encode_events(flow_list[pos:pos + batch_size])
+            for pos in range(0, len(flow_list), batch_size)
+        ]
+        _assert_equivalent(FlowDatabase.from_batches(payloads), ref)
+
+    @settings(max_examples=25, deadline=None)
+    @given(flow_lists, st.integers(min_value=1, max_value=17))
+    def test_batch_path_matches_reference_without_numpy(
+        self, flow_list, batch_size
+    ):
+        ref = ReferenceDatabase.from_flows(flow_list)
+        payloads = [
+            encode_events(flow_list[pos:pos + batch_size])
+            for pos in range(0, len(flow_list), batch_size)
+        ]
+        with _without_numpy():
+            db = FlowDatabase.from_batches(payloads)
+            _assert_equivalent(db, ref)
+
+    @settings(max_examples=20, deadline=None)
+    @given(flow_lists)
+    def test_mixed_add_and_batch(self, flow_list):
+        half = len(flow_list) // 2
+        ref = ReferenceDatabase.from_flows(flow_list)
+        db = FlowDatabase.from_flows(flow_list[:half])
+        if flow_list[half:]:
+            db.ingest_batch(encode_events(flow_list[half:]))
+        _assert_equivalent(db, ref)
+
+
+class TestGroupedAggregations:
+    """The grouped methods the vectorized analytics ride on, checked
+    against brute-force recomputation from the reference store."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(flow_lists, st.floats(min_value=30.0, max_value=7200.0))
+    def test_fqdn_server_counts(self, flow_list, bin_seconds):
+        ref = ReferenceDatabase.from_flows(flow_list)
+        db = FlowDatabase.from_flows(flow_list)
+        expected: dict[tuple[str, int], int] = {}
+        for flow in ref:
+            if flow.fqdn:
+                key = (flow.fqdn.lower(), flow.fid.server_ip)
+                expected[key] = expected.get(key, 0) + 1
+        got = {
+            (db.fqdn_label(fqdn_id), server): count
+            for fqdn_id, server, count in db.fqdn_server_counts()
+        }
+        assert got == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(flow_lists, st.floats(min_value=30.0, max_value=7200.0))
+    def test_unique_servers_per_bin(self, flow_list, bin_seconds):
+        ref = ReferenceDatabase.from_flows(flow_list)
+        db = FlowDatabase.from_flows(flow_list)
+        for sld in ref.slds():
+            sets: dict[int, set[int]] = {}
+            for flow in ref.query_by_domain(sld):
+                sets.setdefault(
+                    int(flow.start // bin_seconds), set()
+                ).add(flow.fid.server_ip)
+            lo, hi = min(sets), max(sets)
+            expected = [
+                (index * bin_seconds, len(sets.get(index, ())))
+                for index in range(lo, hi + 1)
+            ]
+            assert db.unique_servers_per_bin(sld, bin_seconds) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(flow_lists)
+    def test_fqdn_flow_byte_totals_and_client_counts(self, flow_list):
+        ref = ReferenceDatabase.from_flows(flow_list)
+        db = FlowDatabase.from_flows(flow_list)
+        totals: dict[str, list[int]] = {}
+        clients: dict[tuple[str, int], int] = {}
+        for flow in ref:
+            if not flow.fqdn:
+                continue
+            fqdn = flow.fqdn.lower()
+            bucket = totals.setdefault(fqdn, [0, 0, 0])
+            bucket[0] += 1
+            bucket[1] += flow.bytes_up
+            bucket[2] += flow.bytes_down
+            key = (fqdn, flow.fid.client_ip)
+            clients[key] = clients.get(key, 0) + 1
+        assert {
+            db.fqdn_label(fqdn_id): [flows, up, down]
+            for fqdn_id, flows, up, down in db.fqdn_flow_byte_totals()
+        } == totals
+        assert {
+            (db.fqdn_label(fqdn_id), client): count
+            for fqdn_id, client, count in db.fqdn_client_counts()
+        } == clients
+
+    @settings(max_examples=40, deadline=None)
+    @given(flow_lists)
+    def test_sld_flow_stats_and_server_counts(self, flow_list):
+        ref = ReferenceDatabase.from_flows(flow_list)
+        db = FlowDatabase.from_flows(flow_list)
+        servers = ref.servers()
+        rows = db.rows_for_servers(servers)
+        flow_counts: dict[str, int] = {}
+        fqdn_sets: dict[str, set[str]] = {}
+        server_counts: dict[int, int] = {}
+        for flow in ref.query_by_servers(servers):
+            server_counts[flow.fid.server_ip] = (
+                server_counts.get(flow.fid.server_ip, 0) + 1
+            )
+            if not flow.fqdn:
+                continue
+            from repro.dns.name import second_level_domain
+
+            sld = second_level_domain(flow.fqdn)
+            flow_counts[sld] = flow_counts.get(sld, 0) + 1
+            fqdn_sets.setdefault(sld, set()).add(flow.fqdn.lower())
+        assert {
+            db.sld_label(sld_id): (flows, distinct)
+            for sld_id, flows, distinct in db.sld_flow_stats(rows)
+        } == {
+            sld: (count, len(fqdn_sets[sld]))
+            for sld, count in flow_counts.items()
+        }
+        assert db.server_flow_counts(rows) == server_counts
+
+    @settings(max_examples=40, deadline=None)
+    @given(flow_lists, st.floats(min_value=30.0, max_value=7200.0))
+    def test_bin_pairs_and_first_seen(self, flow_list, bin_seconds):
+        ref = ReferenceDatabase.from_flows(flow_list)
+        db = FlowDatabase.from_flows(flow_list)
+        pairs = set()
+        first: dict[str, float] = {}
+        for flow in ref:
+            if not flow.fqdn:
+                continue
+            fqdn = flow.fqdn.lower()
+            pairs.add((fqdn, int(flow.start // bin_seconds)))
+            if fqdn not in first or flow.start < first[fqdn]:
+                first[fqdn] = flow.start
+        assert {
+            (db.fqdn_label(fqdn_id), bin_index)
+            for fqdn_id, bin_index in db.fqdn_bin_pairs(bin_seconds)
+        } == pairs
+        assert {
+            db.fqdn_label(fqdn_id): start
+            for fqdn_id, start in db.fqdn_first_seen().items()
+        } == first
+
+    @settings(max_examples=30, deadline=None)
+    @given(flow_lists, st.floats(min_value=30.0, max_value=7200.0))
+    def test_server_fqdn_bin_triples(self, flow_list, bin_seconds):
+        ref = ReferenceDatabase.from_flows(flow_list)
+        db = FlowDatabase.from_flows(flow_list)
+        expected = {
+            (
+                flow.fid.server_ip,
+                flow.fqdn.lower(),
+                int(flow.start // bin_seconds),
+            )
+            for flow in ref
+            if flow.fqdn
+        }
+        got = {
+            (server, db.fqdn_label(fqdn_id), bin_index)
+            for server, fqdn_id, bin_index in db.server_fqdn_bin_triples(
+                bin_seconds
+            )
+        }
+        assert got == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(flow_lists)
+    def test_grouped_aggregations_without_numpy(self, flow_list):
+        db_np = FlowDatabase.from_flows(flow_list)
+        with _without_numpy():
+            db_py = FlowDatabase.from_flows(flow_list)
+            assert sorted(db_py.fqdn_server_counts()) == sorted(
+                db_np.fqdn_server_counts()
+            )
+            assert sorted(db_py.fqdn_client_counts()) == sorted(
+                db_np.fqdn_client_counts()
+            )
+            assert sorted(db_py.fqdn_flow_byte_totals()) == sorted(
+                db_np.fqdn_flow_byte_totals()
+            )
+            assert db_py.fqdn_first_seen() == db_np.fqdn_first_seen()
+            assert db_py.fqdn_bin_pairs(60.0) == db_np.fqdn_bin_pairs(60.0)
+            for sld in db_np.slds():
+                assert db_py.unique_servers_per_bin(
+                    sld, 600.0
+                ) == db_np.unique_servers_per_bin(sld, 600.0)

@@ -396,3 +396,76 @@ class TestLookupKey:
         key = fuse_key(0x0A000105, 42)
         assert sharded.lookup_key(key) == "svc.example.com"
         assert sharded.lookup_key(fuse_key(0x0A000105, 43)) is None
+
+
+class TestCollectFlows:
+    """Worker-side tagged-flow batch emission toward the Flow Database."""
+
+    @pytest.mark.parametrize("use_numpy", CONSUME_PATHS)
+    def test_drained_batches_match_single_process(self, use_numpy):
+        from collections import Counter
+
+        from repro.analytics.database import FlowDatabase
+
+        events = make_events(1500, seed=11)
+        single = run_single(events)
+        expected = FlowDatabase.from_flows(single.tagged_flows)
+        fanout = FanoutPipeline(
+            processes=2, clist_size=4096, collect_flows=True,
+            use_numpy=use_numpy,
+        )
+        with fanout:
+            fanout.feed_events(events)
+            report = fanout.collect()
+            batches = fanout.drain_tagged_batches()
+            # draining clears the worker buffers
+            assert fanout.drain_tagged_batches() == []
+        assert_report_matches(report, single)
+        database = FlowDatabase.from_batches(batches)
+        assert len(database) == len(expected)
+        assert database.tagged_count == expected.tagged_count
+        assert sorted(database.fqdns()) == sorted(expected.fqdns())
+        assert database.count_by_protocol() == expected.count_by_protocol()
+
+        def signature(db):
+            return Counter(
+                (f.fid.client_ip, f.fid.server_ip, f.start, f.fqdn)
+                for f in db
+            )
+
+        assert signature(database) == signature(expected)
+
+    def test_pipeline_emit_tagged_batches_fanout(self):
+        from repro.analytics.database import FlowDatabase
+
+        events = make_events(800, seed=4)
+        single = run_single(events)
+        pipeline = SnifferPipeline(
+            clist_size=4096, processes=2, collect_flows=True
+        )
+        try:
+            pipeline.process_events(events)
+            database = FlowDatabase.from_batches(
+                pipeline.emit_tagged_batches()
+            )
+        finally:
+            pipeline.close()
+        assert len(database) == len(single.tagged_flows)
+        assert database.tagged_count == sum(
+            1 for f in single.tagged_flows if f.fqdn
+        )
+
+    def test_pipeline_emit_tagged_batches_single_process(self):
+        from repro.analytics.database import FlowDatabase
+
+        events = make_events(500, seed=5)
+        pipeline = run_single(events)
+        payloads = pipeline.emit_tagged_batches(batch_events=128)
+        database = FlowDatabase.from_batches(payloads)
+        assert list(database) == pipeline.tagged_flows
+
+    def test_emit_requires_collect_flows(self):
+        pipeline = SnifferPipeline(processes=2)
+        with pytest.raises(ValueError):
+            pipeline.emit_tagged_batches()
+        pipeline.close()

@@ -249,3 +249,35 @@ class TestPacketEventEquivalence:
         )
         assert packet_flows[0].fqdn == event_flows[0].fqdn
         assert packet_flows[0].fid == event_flows[0].fid
+
+
+class TestEmitTaggedBatchesDrains:
+    """emit_tagged_batches drains in both modes: each call returns only
+    the flows tagged since the previous call (regression: the
+    single-process path used to re-emit the full list every call)."""
+
+    def test_single_process_emit_is_incremental(self):
+        from repro.analytics.database import FlowDatabase
+        from repro.net.flow import DnsObservation
+
+        def burst(base_ts):
+            return [
+                DnsObservation(timestamp=base_ts, client_ip=7,
+                               fqdn="svc.example.com", answers=[42]),
+                FlowRecord(
+                    fid=FiveTuple(7, 42, 40000, 80, TransportProto.TCP),
+                    start=base_ts + 1.0,
+                ),
+            ]
+
+        pipeline = SnifferPipeline(clist_size=128)
+        database = FlowDatabase()
+        pipeline.process_events(burst(0.0))
+        for payload in pipeline.emit_tagged_batches():
+            database.ingest_batch(payload)
+        pipeline.process_events(burst(1000.0))
+        for payload in pipeline.emit_tagged_batches():
+            database.ingest_batch(payload)
+        assert pipeline.emit_tagged_batches() == []
+        assert len(database) == len(pipeline.tagged_flows) == 2
+        assert list(database) == pipeline.tagged_flows
