@@ -39,6 +39,14 @@ Benches
 * ``flowdb_query``           — a mixed analytics query workload
   (domain/fqdn server sets, fqdns-for-servers, tagged counts, spans)
   against warm stores, same public API on both sides; queries/sec.
+* ``flowdb_spill_ingest``    — durable ingest: the segmented on-disk
+  columnar store (``FlowDatabase(spill_dir=...)``) absorbing batches
+  while spilling CRC-checked segments, vs the seed persistence path
+  (row store + JSON-lines dump) on the same filesystem; flows/sec.
+* ``flowdb_reopen_query``    — cold-reopen the durable dataset and run
+  the mixed query workload: segment-directory reopen vs JSON-lines
+  reload into the row store; queries/sec.  ``--spill-dir`` points both
+  benches' artifacts at a chosen filesystem (CI uses a tmpfs).
 * ``analytics_experiments``  — a representative Fig. 3/4/5/11 +
   Tab. 5/8 + Alg. 2 sweep: the vectorized analytics on the columnar
   store vs faithful replicas of the seed per-flow loops on the seed
@@ -79,7 +87,10 @@ import argparse
 import gc
 import json
 import random
+import re
+import shutil
 import sys
+import tempfile
 import time
 import tracemalloc
 from datetime import datetime, timezone
@@ -747,16 +758,10 @@ def bench_flowdb_ingest(quick: bool) -> dict:
     }, run_fast, run_seed)
 
 
-def bench_flowdb_query(quick: bool) -> dict:
-    n_flows = 120_000  # fixed across quick/full; see bench_flowdb_ingest
-    flows, _ipdb, domains, _cdns = make_flow_workload(n_flows)
-    fast_db = FlowDatabase.from_flows(flows)
-    seed_db = ReferenceDatabase.from_flows(flows)
-    repetitions = 2 if quick else 5
-    fqdn_sample = seed_db.fqdns()[::3]
-    server_chunks = [
-        seed_db.servers()[pos::7] for pos in range(7)
-    ]
+def _mixed_query_workload(domains, fqdn_sample, server_chunks):
+    """The shared mixed analytics query workload of ``flowdb_query``
+    and ``flowdb_reopen_query``: a checksum-returning closure plus its
+    query count."""
     n_ops = (
         3 * len(domains) + 2 * len(fqdn_sample) + len(server_chunks) + 3
     )
@@ -777,6 +782,23 @@ def bench_flowdb_query(quick: bool) -> dict:
         acc += int(db.time_span()[1])
         return acc
 
+    return run_queries, n_ops
+
+
+def bench_flowdb_query(quick: bool) -> dict:
+    n_flows = 120_000  # fixed across quick/full; see bench_flowdb_ingest
+    flows, _ipdb, domains, _cdns = make_flow_workload(n_flows)
+    fast_db = FlowDatabase.from_flows(flows)
+    seed_db = ReferenceDatabase.from_flows(flows)
+    repetitions = 2 if quick else 5
+    fqdn_sample = seed_db.fqdns()[::3]
+    server_chunks = [
+        seed_db.servers()[pos::7] for pos in range(7)
+    ]
+    run_queries, n_ops = _mixed_query_workload(
+        domains, fqdn_sample, server_chunks
+    )
+
     def run_fast():
         return run_queries(fast_db)
 
@@ -792,6 +814,150 @@ def bench_flowdb_query(quick: bool) -> dict:
             "public API both sides: per-domain/per-FQDN server sets, "
             "labels-for-servers, record fetches, tagged counts, "
             "protocol histogram, time span"
+        ),
+        "workload": {"flows": n_flows, "queries": n_ops},
+        "unit": "queries/s",
+        "seed_s": seed,
+        "fast_s": fast,
+        "seed_ops_per_s": n_ops / seed,
+        "fast_ops_per_s": n_ops / fast,
+        "speedup": seed / fast,
+    }, run_fast, run_seed)
+
+
+# -- on-disk flow store benches (PR 4) -------------------------------------
+
+_SPILL_ROOT: Path | None = None  # --spill-dir; tempdir when unset
+
+
+def _spill_root() -> Path:
+    global _SPILL_ROOT
+    if _SPILL_ROOT is None:
+        _SPILL_ROOT = Path(tempfile.mkdtemp(prefix="flowstore-bench-"))
+    _SPILL_ROOT.mkdir(parents=True, exist_ok=True)
+    return _SPILL_ROOT
+
+
+def bench_flowdb_spill_ingest(quick: bool) -> dict:
+    """Durable ingest: segment spill vs the seed JSON-lines persistence.
+
+    Both sides absorb the same pre-encoded tagged-flow batches *and*
+    leave a reloadable on-disk artifact on the same filesystem — the
+    fast side a spilled segment directory
+    (``FlowDatabase(spill_dir=...)``), the seed side the row store plus
+    the JSON-lines dump that was the repo's only durable format before
+    the segmented store (``repro.analytics.persistence``).
+    """
+    from repro.analytics.persistence import dump_flows
+    from repro.analytics.storage import FlowStore
+    from repro.sniffer.eventcodec import iter_decoded_events
+
+    n_flows = 120_000  # fixed across quick/full; see bench_flowdb_ingest
+    spill_rows = 16_384
+    flows, _ipdb, domains, _cdns = make_flow_workload(n_flows)
+    payloads = _encode_flow_batches(flows)
+    repetitions = 2 if quick else 5
+    root = _spill_root() / "spill_ingest"
+    fast_dir = root / "fast"
+    seed_dir = root / "seed"
+    seed_dir.mkdir(parents=True, exist_ok=True)
+
+    def run_fast():
+        shutil.rmtree(fast_dir, ignore_errors=True)
+        store = FlowStore(fast_dir, spill_rows=spill_rows)
+        ingest = store.ingest_batch
+        for payload in payloads:
+            ingest(payload)
+        store.close()
+        return store
+
+    def run_seed():
+        database = ReferenceDatabase()
+        with open(seed_dir / "flows.jsonl", "w", encoding="utf-8") as out:
+            for payload in payloads:
+                batch = list(iter_decoded_events(payload))
+                database.add_all(batch)
+                dump_flows(batch, out)
+        return database
+
+    # Same durable dataset out of both paths before timing anything:
+    # the spilled directory must reopen to the seed store's answers.
+    seed_db = run_seed()
+    reopened = FlowStore(run_fast().directory)
+    assert len(reopened) == len(seed_db)
+    assert reopened.tagged_count == seed_db.tagged_count
+    assert reopened.fqdns() == seed_db.fqdns()
+    for sld in domains:
+        assert reopened.servers_for_domain(sld) == (
+            seed_db.servers_for_domain(sld)
+        )
+    fast = best_of(run_fast, repetitions)
+    seed = best_of(run_seed, repetitions)
+    return add_peaks({
+        "description": (
+            "Durable ingest of a day of labeled flows arriving as "
+            "pre-encoded eventcodec batches: columnar segment spill "
+            "(FlowStore, sealed every 16k rows, CRC-checked files) vs "
+            "the seed persistence path (row store + JSON-lines dump), "
+            "both writing reloadable artifacts to the same filesystem"
+        ),
+        "workload": {
+            "flows": n_flows, "batch_events": 8192,
+            "spill_rows": spill_rows,
+        },
+        "unit": "flows/s",
+        "seed_s": seed,
+        "fast_s": fast,
+        "seed_ops_per_s": n_flows / seed,
+        "fast_ops_per_s": n_flows / fast,
+        "speedup": seed / fast,
+    }, run_fast, run_seed)
+
+
+def bench_flowdb_reopen_query(quick: bool) -> dict:
+    """Reopen a durable dataset cold and answer the mixed query
+    workload: segment-directory reopen vs JSON-lines reload."""
+    from repro.analytics.persistence import dump_flows, load_flows
+    from repro.analytics.storage import FlowStore
+
+    n_flows = 120_000  # fixed across quick/full; see bench_flowdb_ingest
+    flows, _ipdb, domains, _cdns = make_flow_workload(n_flows)
+    repetitions = 2 if quick else 5
+    root = _spill_root() / "reopen_query"
+    store_dir = root / "store"
+    shutil.rmtree(store_dir, ignore_errors=True)
+    root.mkdir(parents=True, exist_ok=True)
+    store = FlowStore(store_dir, spill_rows=16_384)
+    store.add_all(flows)
+    store.close()
+    jsonl = root / "flows.jsonl"
+    with open(jsonl, "w", encoding="utf-8") as out:
+        dump_flows(flows, out)
+    probe = ReferenceDatabase.from_flows(flows)
+    fqdn_sample = probe.fqdns()[::3]
+    server_chunks = [probe.servers()[pos::7] for pos in range(7)]
+    run_queries, n_ops = _mixed_query_workload(
+        domains, fqdn_sample, server_chunks
+    )
+
+    def run_fast():
+        return run_queries(FlowStore(store_dir))
+
+    def run_seed():
+        database = ReferenceDatabase()
+        with open(jsonl, "r", encoding="utf-8") as handle:
+            database.add_all(load_flows(handle))
+        return run_queries(database)
+
+    assert run_fast() == run_seed()  # identical answers before timing
+    fast = best_of(run_fast, repetitions)
+    seed = best_of(run_seed, repetitions)
+    return add_peaks({
+        "description": (
+            "Cold reopen of the durable dataset plus the mixed "
+            "analytics query workload: segment-directory reopen "
+            "(validate CRCs, rebuild columns/indexes on demand) vs "
+            "reloading the seed JSON-lines dump into the row store"
         ),
         "workload": {"flows": n_flows, "queries": n_ops},
         "unit": "queries/s",
@@ -1076,6 +1242,8 @@ BENCHES = {
     "dns_decode": bench_dns_decode,
     "flowdb_ingest": bench_flowdb_ingest,
     "flowdb_query": bench_flowdb_query,
+    "flowdb_spill_ingest": bench_flowdb_spill_ingest,
+    "flowdb_reopen_query": bench_flowdb_reopen_query,
     "analytics_experiments": bench_analytics_experiments,
 }
 
@@ -1092,12 +1260,18 @@ def latest_bench_path(root: Path = REPO_ROOT) -> Path | None:
 
     ``--compare latest`` resolves through this so CI always ratchets
     against the newest committed baseline without editing the workflow
-    on every perf PR.
+    on every perf PR.  The directory is globbed rather than counted up
+    from 1, so a numbering gap (e.g. only ``BENCH_5.json`` present)
+    still resolves instead of silently reporting no baseline.
     """
-    index = 1
-    while (root / f"BENCH_{index}.json").exists():
-        index += 1
-    return root / f"BENCH_{index - 1}.json" if index > 1 else None
+    best: Path | None = None
+    best_index = 0
+    for path in root.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match and int(match.group(1)) > best_index:
+            best_index = int(match.group(1))
+            best = path
+    return best
 
 
 def compare_benches(
@@ -1110,7 +1284,8 @@ def compare_benches(
     transfers across hardware where raw ops/sec does not.  Returns
     ``(regressions, compared, skipped)``: a bench regresses when its
     current speedup falls below ``tolerance x previous``; previous
-    benches missing from the current run (coverage lost) and benches
+    benches missing from the current run (coverage lost), current
+    benches absent from the baseline (no coverage yet) and benches
     without a speedup on both sides are listed in ``skipped``.
     """
     regressions = []
@@ -1118,11 +1293,16 @@ def compare_benches(
     skipped = []
     current_benches = current.get("benches", {})
     previous_benches = previous.get("benches", {})
-    for name in sorted(previous_benches):
+    for name in sorted(set(previous_benches) | set(current_benches)):
         if name not in current_benches:
             # A bench that existed before but was not run now has lost
             # its regression coverage — say so instead of going quiet.
             skipped.append(f"{name} (not in current run)")
+            continue
+        if name not in previous_benches:
+            # A bench the baseline has never seen cannot regress — but
+            # a silent pass would look like coverage it does not have.
+            skipped.append(f"{name} (new bench, no baseline)")
             continue
         cur = current_benches[name].get("speedup")
         prev = previous_benches[name].get("speedup")
@@ -1164,14 +1344,23 @@ def run_compare_gate(
     )
     label = previous.get("bench", previous_path.name)
     print(f"[compare] vs {label} (tolerance {tolerance:.2f}):")
+    # A failing gate must read as a diff table, not a bare exit 1: one
+    # aligned row per bench with both seed-relative speedups, the
+    # floor, and the relative move.
+    width = max(
+        [len(entry["bench"]) for entry in compared] + [len("bench")]
+    )
+    print(
+        f"[compare]   {'bench':<{width}}  {'previous':>9} {'current':>9} "
+        f"{'floor':>9} {'delta':>8}  verdict"
+    )
     for entry in compared:
-        verdict = (
-            "REGRESSED" if entry in regressions else "ok"
-        )
+        verdict = "REGRESSED" if entry in regressions else "ok"
+        delta = (entry["ratio"] - 1.0) * 100.0
         print(
-            f"[compare]   {entry['bench']}: speedup "
-            f"{entry['current_speedup']:.2f}x vs {entry['previous_speedup']:.2f}x "
-            f"(floor {entry['floor']:.2f}x) {verdict}"
+            f"[compare]   {entry['bench']:<{width}}  "
+            f"{entry['previous_speedup']:>8.2f}x {entry['current_speedup']:>8.2f}x "
+            f"{entry['floor']:>8.2f}x {delta:>+7.1f}%  {verdict}"
         )
     for name in skipped:
         print(f"[compare]   skipped: {name}")
@@ -1209,7 +1398,19 @@ def main(argv=None) -> int:
         help="regression floor as a fraction of the previous speedup "
              "(with --compare; default 0.85)",
     )
+    parser.add_argument(
+        "--spill-dir", type=Path, default=None, metavar="DIR",
+        help="directory for the flow-store persistence benches' "
+             "segment spills and JSON-lines dumps (point it at a "
+             "tmpfs, e.g. /dev/shm, so CI measures the format rather "
+             "than the runner's disk; default: a fresh temp dir). "
+             "The last run's artifacts are left in place for "
+             "inspection",
+    )
     args = parser.parse_args(argv)
+    if args.spill_dir is not None:
+        global _SPILL_ROOT
+        _SPILL_ROOT = args.spill_dir
     if not 0.0 < args.tolerance <= 1.0:
         parser.error("--tolerance must be in (0, 1]")
     compare_path: Path | None = None

@@ -133,9 +133,34 @@ class FlowDatabase:
     (they matter for hit-ratio accounting) but are invisible to
     domain-keyed queries, matching the paper's design where the analyzer
     operates on labeled flows.
+
+    Passing ``spill_dir`` constructs the durable, disk-backed variant
+    instead: ``FlowDatabase(spill_dir=path, spill_rows=...)`` returns a
+    :class:`repro.analytics.storage.FlowStore`, which serves the same
+    query surface over an on-disk directory of columnar segments plus a
+    live in-memory tail (see :mod:`repro.analytics.storage`).
     """
 
-    def __init__(self) -> None:
+    def __new__(cls, spill_dir=None, spill_rows=None, spill_bytes=None):
+        if spill_dir is not None and cls is FlowDatabase:
+            from repro.analytics.storage import FlowStore
+
+            return FlowStore(
+                spill_dir, spill_rows=spill_rows, spill_bytes=spill_bytes
+            )
+        return super().__new__(cls)
+
+    def __init__(self, spill_dir=None, spill_rows=None, spill_bytes=None) -> None:
+        # spill_* are consumed by __new__ (which builds a FlowStore and
+        # never reaches this initializer).  Reaching here with spill_dir
+        # set means a subclass asked for durability the factory cannot
+        # provide — ignoring it would silently drop data on the floor.
+        if spill_dir is not None:
+            raise TypeError(
+                f"spill_dir is only supported on FlowDatabase itself; "
+                f"construct repro.analytics.storage.FlowStore directly "
+                f"for {type(self).__name__}"
+            )
         self.columns = FlowColumns()
         # Lazily-materialized record cache: object-ingested rows hold
         # the original record, batch-ingested rows start as None.
@@ -886,7 +911,15 @@ class FlowDatabase:
     ) -> list[tuple[int, int]]:
         """Deduped ``(bin_index, server_ip)`` pairs for one FQDN, sorted
         by bin — the Sec. 4.1 track-over-time feed."""
-        rows = self.rows_for_fqdn(fqdn)
+        return self.bin_server_pairs(self.rows_for_fqdn(fqdn), bin_seconds)
+
+    def bin_server_pairs(
+        self, rows, bin_seconds: float
+    ) -> list[tuple[int, int]]:
+        """Deduped ``(bin_index, server_ip)`` pairs over ``rows`` —
+        the per-segment primitive behind the on-disk store's
+        :meth:`unique_servers_per_bin` merge (distinct-server counts
+        cannot merge across segments; the pairs can)."""
         if not len(rows):
             return []
         if _np is not None:
@@ -894,16 +927,17 @@ class FlowDatabase:
             servers = self._take(self.columns.server_ip, rows)
             bins = _np.floor_divide(starts, bin_seconds).astype(_np.int64)
             lo = int(bins.min())
-            pair = _np.unique(
+            keys = _np.unique(
                 ((bins - lo) << 32) | servers.astype(_np.int64)
             )
             return [
                 (int(key >> 32) + lo, int(key & 0xFFFFFFFF))
-                for key in pair.tolist()
+                for key in keys.tolist()
             ]
+        start_col = self.columns.start
+        server_col = self.columns.server_ip
         pairs = {
-            (int(self.columns.start[row] // bin_seconds),
-             self.columns.server_ip[row])
+            (int(start_col[row] // bin_seconds), server_col[row])
             for row in rows
         }
         return sorted(pairs)

@@ -9,60 +9,75 @@
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
-
-import numpy as np
 
 from repro.net.flow import DnsObservation, FlowRecord
 
 
 @dataclass
 class DelayAnalysis:
-    """Computed delay distributions and the useless-response fraction."""
+    """Computed delay distributions and the useless-response fraction.
 
-    first_flow_delays: np.ndarray
-    any_flow_gaps: np.ndarray
+    The distributions are plain sorted tuples and every accessor is a
+    ``bisect`` probe or a linear interpolation — no numpy, so the
+    module imports (and answers identically) on the no-numpy CI leg.
+    """
+
+    first_flow_delays: Sequence[float]
+    any_flow_gaps: Sequence[float]
     useless_fraction: float
     total_responses: int
+
+    def __post_init__(self) -> None:
+        # The accessors bisect, so the fields must be sorted; normalize
+        # here so a hand-built instance is as safe as analyze_delays's
+        # (already-sorted) output.
+        self.first_flow_delays = tuple(sorted(self.first_flow_delays))
+        self.any_flow_gaps = tuple(sorted(self.any_flow_gaps))
+
+    def _data(self, which: str) -> Sequence[float]:
+        return (
+            self.first_flow_delays if which == "first" else self.any_flow_gaps
+        )
 
     def cdf_points(
         self, which: str = "first", points: Sequence[float] = ()
     ) -> list[tuple[float, float]]:
         """CDF samples at the given delay values (seconds)."""
-        data = (
-            self.first_flow_delays if which == "first" else self.any_flow_gaps
-        )
-        if data.size == 0:
+        data = self._data(which)
+        if not len(data):
             return [(p, 0.0) for p in points]
-        sorted_data = np.sort(data)
         return [
-            (
-                float(p),
-                float(np.searchsorted(sorted_data, p, side="right"))
-                / len(sorted_data),
-            )
+            (float(p), bisect_right(data, p) / len(data))
             for p in points
         ]
 
     def fraction_within(self, seconds: float, which: str = "first") -> float:
         """P(delay <= seconds)."""
-        data = (
-            self.first_flow_delays if which == "first" else self.any_flow_gaps
-        )
-        if data.size == 0:
+        data = self._data(which)
+        if not len(data):
             return 0.0
-        return float(np.mean(data <= seconds))
+        return bisect_right(data, seconds) / len(data)
 
     def percentile(self, q: float, which: str = "first") -> float:
-        """The q-quantile of the chosen delay distribution (q in [0,100])."""
-        data = (
-            self.first_flow_delays if which == "first" else self.any_flow_gaps
-        )
-        if data.size == 0:
+        """The q-quantile of the chosen delay distribution (q in [0,100])
+        with linear interpolation (numpy.percentile's default)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile q must be in [0, 100]")
+        data = self._data(which)
+        if not len(data):
             raise ValueError("no delay samples")
-        return float(np.percentile(data, q))
+        position = (q / 100.0) * (len(data) - 1)
+        lower = math.floor(position)
+        upper = math.ceil(position)
+        fraction = position - lower
+        return float(
+            data[lower] + (data[upper] - data[lower]) * fraction
+        )
 
 
 def analyze_delays(
@@ -106,7 +121,7 @@ def analyze_delays(
         times = response_times.get(key)
         if not times:
             continue
-        position = np.searchsorted(times, flow.start, side="right") - 1
+        position = bisect_right(times, flow.start) - 1
         if position < 0:
             continue
         response_ts = times[position]
@@ -123,8 +138,8 @@ def analyze_delays(
     for rid, observation in enumerate(response_list):
         observation.useless = rid not in first_delay
     return DelayAnalysis(
-        first_flow_delays=np.asarray(sorted(first_delay.values())),
-        any_flow_gaps=np.asarray(sorted(any_gaps)),
+        first_flow_delays=tuple(sorted(first_delay.values())),
+        any_flow_gaps=tuple(sorted(any_gaps)),
         useless_fraction=useless / total if total else 0.0,
         total_responses=total,
     )

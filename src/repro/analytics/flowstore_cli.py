@@ -1,0 +1,198 @@
+"""``repro-flowstore`` — inspect and maintain on-disk flow stores.
+
+Subcommands:
+
+* ``inspect DIR``        — manifest, per-segment rows/labels/bytes and
+  totals (validates headers, sizes and CRCs on open);
+* ``verify DIR``         — additionally materialize every segment, so
+  id-table consistency is checked end to end;
+* ``compact DIR``        — merge sealed segments (all of them, or only
+  adjacent runs of segments below ``--small-rows``);
+* ``ingest-trace NAME DIR`` — build a standard simulation trace, run
+  the sniffer pipeline over it and persist the tagged flows into
+  ``DIR/NAME``, making the trace usable as a stored dataset source for
+  ``repro-exp --flow-store DIR``.
+
+Run as ``python -m repro.analytics.flowstore_cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analytics.storage import FlowStore, StorageError
+
+
+def _open_existing(directory) -> FlowStore:
+    """Open a store that must already exist.
+
+    ``FlowStore`` itself creates missing directories (the writer-side
+    behaviour); for read/maintenance commands a mistyped path must be
+    an error, not a freshly-created empty store reported as healthy.
+    """
+    from pathlib import Path
+
+    if not Path(directory).is_dir():
+        raise StorageError(f"no flow store at {directory}")
+    return FlowStore(directory)
+
+
+def _cmd_inspect(args) -> int:
+    store = _open_existing(args.directory)
+    stats = store.stats()
+    print(f"flow store : {stats['directory']}")
+    print(f"format     : v{stats['format']}")
+    print(f"rows       : {stats['rows']} "
+          f"(sealed {stats['sealed_rows']}, tail {stats['tail_rows']})")
+    print(f"fqdns/slds : {stats['fqdns']} / {stats['slds']}")
+    print(f"on disk    : {stats['bytes_on_disk']} bytes "
+          f"in {len(stats['segments'])} segments")
+    if stats["segments"]:
+        print("\nsegments:")
+        for segment in stats["segments"]:
+            print(
+                f"  {segment['name']}  rows={segment['rows']:<10d}"
+                f"labels={segment['labels']:<8d}bytes={segment['bytes']}"
+            )
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    store = _open_existing(args.directory)
+    total = 0
+    for reader in store.segments:
+        database = reader.database()
+        print(f"  {reader.name}: {len(database)} rows ok")
+        total += len(database)
+        reader.release()
+    print(f"verified {len(store.segments)} segments, {total} rows")
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    store = _open_existing(args.directory)
+    before = len(store.segments)
+    removed = store.compact(small_rows=args.small_rows)
+    print(
+        f"compacted {before} segments -> {len(store.segments)} "
+        f"({removed} files merged away)"
+    )
+    return 0
+
+
+def _cmd_ingest_trace(args) -> int:
+    import json
+    import shutil
+    from pathlib import Path
+
+    from repro.experiments.datasets import DEFAULT_CLIST, DEFAULT_SEED, get_trace
+    from repro.sniffer.pipeline import SnifferPipeline
+
+    seed = DEFAULT_SEED if args.seed is None else args.seed
+    directory = Path(args.directory) / args.trace
+    if (directory / "MANIFEST.json").exists():
+        # Appending to an existing store would silently double every
+        # flow count the experiments read.
+        if not args.force:
+            print(
+                f"error: {directory} already holds a stored dataset; "
+                f"re-run with --force to replace it",
+                file=sys.stderr,
+            )
+            return 1
+        shutil.rmtree(directory)
+    trace = get_trace(args.trace, seed)
+    store = FlowStore(directory, spill_rows=args.spill_rows)
+    # Sidecar first, marked in-progress: a crash mid-ingest leaves a
+    # store with committed segments but only part of the trace, and
+    # repro-exp must refuse it rather than compute figures from a
+    # fraction of the data.  The marker clears on success below.
+    sidecar = directory / "DATASET.json"
+    sidecar.write_text(
+        json.dumps({"trace": args.trace, "seed": seed, "building": True})
+        + "\n",
+        encoding="utf-8",
+    )
+    pipeline = SnifferPipeline(
+        clist_size=DEFAULT_CLIST, flow_store=store,
+        # Everything streams to disk; keeping the tagged-flow list too
+        # would grow the parent unboundedly on multi-day traces.
+        retain_flows=False,
+    )
+    pipeline.process_trace(trace)
+    pipeline.close()
+    # Sidecar the provenance so repro-exp --flow-store can refuse a
+    # store built from a different seed (and clear the building mark).
+    sidecar.write_text(
+        json.dumps({"trace": args.trace, "seed": seed}) + "\n",
+        encoding="utf-8",
+    )
+    stats = store.stats()
+    print(
+        f"stored {stats['rows']} tagged flows of {args.trace} "
+        f"(seed {seed}) in {len(stats['segments'])} segments at "
+        f"{stats['directory']}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-flowstore",
+        description="Inspect and maintain on-disk columnar flow stores.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    inspect = sub.add_parser(
+        "inspect", help="summarize a store directory"
+    )
+    inspect.add_argument("directory", help="flow store directory")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    verify = sub.add_parser(
+        "verify", help="materialize every segment (full validation)"
+    )
+    verify.add_argument("directory", help="flow store directory")
+    verify.set_defaults(func=_cmd_verify)
+
+    compact = sub.add_parser(
+        "compact", help="merge sealed segments"
+    )
+    compact.add_argument("directory", help="flow store directory")
+    compact.add_argument(
+        "--small-rows", type=int, default=None, metavar="N",
+        help="only merge adjacent runs of segments smaller than N rows "
+             "(default: merge everything into one segment)",
+    )
+    compact.set_defaults(func=_cmd_compact)
+
+    ingest = sub.add_parser(
+        "ingest-trace",
+        help="sniff a standard simulation trace into DIR/NAME",
+    )
+    ingest.add_argument("trace", help="trace name (e.g. EU1-FTTH)")
+    ingest.add_argument("directory", help="stored-dataset root directory")
+    ingest.add_argument(
+        "--seed", type=int, default=None, help="dataset seed override"
+    )
+    ingest.add_argument(
+        "--spill-rows", type=int, default=65536,
+        help="rows per spilled segment (default 65536)",
+    )
+    ingest.add_argument(
+        "--force", action="store_true",
+        help="replace an existing stored dataset instead of refusing",
+    )
+    ingest.set_defaults(func=_cmd_ingest_trace)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (StorageError, OSError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

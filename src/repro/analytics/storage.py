@@ -1,0 +1,1507 @@
+"""On-disk segmented columnar storage for the Flow Database.
+
+The columnar engine of :mod:`repro.analytics.database` is memory-only:
+a restart loses the dataset, and the multi-day vantage-point captures
+the paper analyses (Tab. 2 traces span up to 3 days) do not fit one
+process forever.  This module adds the durable layer underneath it —
+an **append-only directory of segment files** plus a merge-on-read
+query engine:
+
+* :func:`write_segment` / :class:`SegmentWriter` — seal one in-memory
+  :class:`~repro.analytics.database.FlowDatabase` (its ``FlowColumns``
+  plus the per-row label/cert/true-fqdn strings, interned into string
+  tables) into a single versioned, CRC-checked segment file;
+* :class:`SegmentReader` — validate and lazily materialize one segment
+  back into an in-memory columnar database (columns are rebuilt with
+  ``frombytes``, ids re-interned, indexes regrouped — no per-row
+  object churn on the numpy path);
+* :class:`FlowStore` — the durable store: an ordered list of sealed
+  segments plus a live in-memory *tail*.  ``add()`` / ``ingest_batch``
+  land in the tail; when the tail crosses the configured row/byte
+  budget it is spilled to a new segment.  Every method of the
+  ``FlowDatabase`` query surface is served by running the query
+  **per segment** and merging (grouped aggregations merge-sum by
+  globally interned id; record queries concatenate in row order, so
+  results are identical to one big in-memory store), and
+  :meth:`FlowStore.compact` rewrites runs of small segments into one,
+  re-interning string-table ids.
+
+``FlowDatabase(spill_dir=..., spill_rows=...)`` constructs a
+:class:`FlowStore` directly, so callers opt into durability with two
+keyword arguments and keep the exact same query surface.
+
+Segment file format (version 1, all integers little-endian)::
+
+    header     <4sHHIIIIIQ   magic b"FSG1", version, flags,
+                             n_rows, n_labels, n_certs, n_trues,
+                             crc32(payload), payload_len
+    directory  17 x u64      byte length of each payload block
+    payload    17 blocks, in order:
+      0-10   numeric columns  client_ip u32, server_ip u32,
+                              src_port u16, dst_port u16, transport u8,
+                              start f64, end f64, protocol u8,
+                              bytes_up u64, bytes_down u64, packets u32
+      11-13  id columns i32   label_id, cert_id, true_id
+                              (-1 encodes None)
+      14-16  string tables    distinct label / cert_name / true_fqdn
+                              strings in first-appearance order, each
+                              entry u32 length + UTF-8 bytes
+
+A torn write can never corrupt the store: segments are written to a
+temp file, fsynced and atomically renamed, and only then recorded in
+``MANIFEST.json`` (itself replaced atomically).  A segment file not in
+the manifest is an uncommitted orphan and is ignored on open; a
+truncated or bit-flipped segment fails the size/CRC validation in
+:meth:`SegmentReader.open` and the open raises :class:`StorageError`
+without leaving partial state behind.
+
+Like the in-memory engine, everything here uses numpy when importable
+and falls back to pure-Python loops over the same blocks otherwise —
+the gate is read dynamically from :mod:`repro.analytics.database` so
+the two layers always agree on which path is active.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import sys
+import zlib
+from array import array
+from bisect import bisect_right
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.analytics import database as _dbmod
+from repro.analytics.database import FlowDatabase, _TRANSPORTS
+from repro.net.flow import FlowRecord, Protocol
+from repro.sniffer.eventcodec import PROTOCOLS
+
+MAGIC = b"FSG1"
+FORMAT_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+SEGMENT_SUFFIX = ".fseg"
+
+#: Default spill threshold: ~256k rows per segment (~13 MB of columns).
+DEFAULT_SPILL_ROWS = 1 << 18
+
+_HEADER = struct.Struct("<4sHHIIIIIQ")
+_BLOCK_LEN = struct.Struct("<Q")
+_STR_LEN = struct.Struct("<I")
+
+#: The eleven fixed-width value columns, in block order (matches the
+#: ``FlowColumns`` attribute of the same name).  Append only —
+#: reordering breaks previously-written segments.
+_NUMERIC_COLUMNS = (
+    ("client_ip", "I"), ("server_ip", "I"),
+    ("src_port", "H"), ("dst_port", "H"),
+    ("transport", "B"), ("start", "d"), ("end", "d"),
+    ("protocol", "B"),
+    ("bytes_up", "Q"), ("bytes_down", "Q"), ("packets", "I"),
+)
+_N_NUMERIC = len(_NUMERIC_COLUMNS)
+_N_ID = 3          # label_id, cert_id, true_id
+_N_TABLES = 3      # labels, certs, trues
+_N_BLOCKS = _N_NUMERIC + _N_ID + _N_TABLES
+
+#: Fixed column bytes per in-memory row (the 11 value columns plus the
+#: fqdn_id column) — the per-row term of :meth:`FlowStore.tail_bytes`.
+_ROW_BYTES = sum(
+    array(code).itemsize for _name, code in _NUMERIC_COLUMNS
+) + array("i").itemsize
+
+_SEGMENT_RE = re.compile(r"^seg-(\d{8})\.fseg$")
+
+
+class StorageError(ValueError):
+    """A segment file or store directory is malformed or corrupted."""
+
+
+def _le(arr: array) -> bytes:
+    """Little-endian bytes of an array (byteswap on BE hosts)."""
+    if sys.byteorder != "little":  # pragma: no cover - x86/arm are LE
+        arr = arr[:]
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _from_le(typecode: str, raw) -> array:
+    """Array from little-endian bytes (byteswap on BE hosts)."""
+    arr = array(typecode)
+    arr.frombytes(raw)
+    if sys.byteorder != "little":  # pragma: no cover - x86/arm are LE
+        arr.byteswap()
+    return arr
+
+
+def _le_np(values, dtype) -> bytes:
+    """Little-endian bytes of a numpy array (the ``array.frombytes``
+    feed used by every numpy-path column/index builder here)."""
+    np = _dbmod._np
+    if sys.byteorder != "little":  # pragma: no cover - x86/arm are LE
+        return values.astype(_np_le_dtype(dtype)).tobytes()
+    return np.ascontiguousarray(values, dtype).tobytes()
+
+
+def _np_le_dtype(dtype) -> str:  # pragma: no cover - BE hosts only
+    return _dbmod._np.dtype(dtype).newbyteorder("<").str
+
+
+def _encode_table(table: Sequence[bytes]) -> bytes:
+    """String-table blob: u32 length prefix + UTF-8 bytes per entry."""
+    blob = bytearray()
+    for raw in table:
+        blob += _STR_LEN.pack(len(raw))
+        blob += raw
+    return bytes(blob)
+
+
+def _intern_rows(values: Sequence[Optional[str]]) -> tuple[array, bytes, int]:
+    """Intern one per-row optional-string column for the file format.
+
+    Returns ``(ids, table_blob, n_entries)`` — an ``i32`` id per row
+    (``-1`` for None) into a table of distinct strings in
+    first-appearance order, encoded as u32-length-prefixed UTF-8.
+    """
+    ids = array("i")
+    index: dict[str, int] = {}
+    table: list[bytes] = []
+    append = ids.append
+    for value in values:
+        if value is None:
+            append(-1)
+            continue
+        entry = index.get(value)
+        if entry is None:
+            entry = index[value] = len(table)
+            table.append(value.encode("utf-8"))
+        append(entry)
+    return ids, _encode_table(table), len(table)
+
+
+def _parse_table(raw, count: int, what: str) -> tuple[str, ...]:
+    """Decode one string-table block back into a tuple of strings."""
+    out: list[str] = []
+    pos = 0
+    total = len(raw)
+    for _ in range(count):
+        if pos + _STR_LEN.size > total:
+            raise StorageError(f"truncated {what} table")
+        (length,) = _STR_LEN.unpack_from(raw, pos)
+        pos += _STR_LEN.size
+        if pos + length > total:
+            raise StorageError(f"truncated {what} table entry")
+        try:
+            out.append(bytes(raw[pos:pos + length]).decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise StorageError(f"bad UTF-8 in {what} table: {exc}") from exc
+        pos += length
+    if pos != total:
+        raise StorageError(f"{what} table has trailing bytes")
+    return tuple(out)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync so renames survive a crash."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _write_segment_file(
+    path: Path,
+    n_rows: int,
+    blocks: list[bytes],
+    n_labels: int,
+    n_certs: int,
+    n_trues: int,
+) -> None:
+    """Serialize pre-built payload blocks atomically to ``path``."""
+    assert len(blocks) == _N_BLOCKS
+    payload_len = sum(len(block) for block in blocks)
+    crc = 0
+    for block in blocks:
+        crc = zlib.crc32(block, crc)
+    header = _HEADER.pack(
+        MAGIC, FORMAT_VERSION, 0, n_rows,
+        n_labels, n_certs, n_trues, crc, payload_len,
+    )
+    directory = b"".join(_BLOCK_LEN.pack(len(block)) for block in blocks)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(header)
+        handle.write(directory)
+        for block in blocks:
+            handle.write(block)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)
+
+
+def write_segment(path, database: FlowDatabase) -> int:
+    """Seal an in-memory columnar database into one segment file.
+
+    Returns the number of rows written.  The write is atomic: the
+    segment appears under its final name only after a successful
+    ``fsync`` + rename, so a crash mid-write leaves at most a
+    ``*.tmp`` file that readers never look at.
+    """
+    path = Path(path)
+    cols = database.columns
+    n_rows = len(cols)
+    blocks: list[bytes] = [
+        _le(getattr(cols, name)) for name, _code in _NUMERIC_COLUMNS
+    ]
+    label_ids, label_blob, n_labels = _intern_rows(database._raw_fqdns)
+    cert_ids, cert_blob, n_certs = _intern_rows(database._cert_names)
+    true_ids, true_blob, n_trues = _intern_rows(database._true_fqdns)
+    blocks += [_le(label_ids), _le(cert_ids), _le(true_ids)]
+    blocks += [label_blob, cert_blob, true_blob]
+    _write_segment_file(path, n_rows, blocks, n_labels, n_certs, n_trues)
+    return n_rows
+
+
+class SegmentWriter:
+    """Names and writes sequence-numbered segment files in a directory.
+
+    The writer only produces files; committing them to the store's
+    manifest is the :class:`FlowStore`'s job (that ordering is what
+    makes a torn spill invisible to readers).
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def next_name(self) -> str:
+        """Next free sequence-numbered segment file name.
+
+        Scans the directory (not the manifest) so an uncommitted orphan
+        from a crashed spill is never silently overwritten with
+        unrelated rows — it just burns one sequence number.
+        """
+        highest = 0
+        for entry in self.directory.iterdir():
+            match = _SEGMENT_RE.match(entry.name)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        return f"seg-{highest + 1:08d}{SEGMENT_SUFFIX}"
+
+    def write(self, database: FlowDatabase) -> str:
+        """Seal ``database`` into the next segment file; returns its name."""
+        name = self.next_name()
+        write_segment(self.directory / name, database)
+        return name
+
+
+class SegmentReader:
+    """One validated on-disk segment, lazily materializable.
+
+    :meth:`open` reads and fully validates the file (header sanity,
+    per-block sizes against ``n_rows``, whole-payload CRC32, string
+    tables) and keeps only the small parts resident — the tables and
+    the block offsets.  :meth:`database` re-reads the column blocks and
+    rebuilds an in-memory :class:`FlowDatabase` on first use, cached
+    until :meth:`release`.
+
+    A cold open+query therefore reads each segment twice (validate,
+    then materialize).  That is deliberate: holding the open-time bytes
+    until a query *might* need them would pin the whole store in memory
+    at open — the opposite of what spilling exists for — and the second
+    read is a page-cache hit right after the first.
+    """
+
+    __slots__ = (
+        "path", "n_rows", "n_labels", "n_certs", "n_trues",
+        "labels", "certs", "trues", "crc", "file_size",
+        "_lengths", "_offsets", "_database", "_summary", "fqdn_map",
+    )
+
+    def __init__(self):
+        self._database = None
+        self._summary = None
+        self.fqdn_map: Optional[array] = None
+
+    @property
+    def name(self) -> str:
+        return self.path.name
+
+    @classmethod
+    def open(cls, path) -> "SegmentReader":
+        """Validate the segment at ``path``; raises :class:`StorageError`
+        on any truncation, corruption or version mismatch."""
+        path = Path(path)
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise StorageError(f"cannot read segment {path}: {exc}") from exc
+        if len(data) < _HEADER.size + _N_BLOCKS * _BLOCK_LEN.size:
+            raise StorageError(f"segment {path.name}: truncated header")
+        (magic, version, _flags, n_rows, n_labels, n_certs, n_trues,
+         crc, payload_len) = _HEADER.unpack_from(data, 0)
+        if magic != MAGIC:
+            raise StorageError(f"segment {path.name}: bad magic {magic!r}")
+        if version != FORMAT_VERSION:
+            raise StorageError(
+                f"segment {path.name}: unsupported version {version}"
+            )
+        lengths = []
+        pos = _HEADER.size
+        for _ in range(_N_BLOCKS):
+            (length,) = _BLOCK_LEN.unpack_from(data, pos)
+            lengths.append(length)
+            pos += _BLOCK_LEN.size
+        body = pos
+        if sum(lengths) != payload_len or body + payload_len != len(data):
+            raise StorageError(
+                f"segment {path.name}: size mismatch (truncated or "
+                f"trailing bytes)"
+            )
+        for index, (name, code) in enumerate(_NUMERIC_COLUMNS):
+            expected = n_rows * array(code).itemsize
+            if lengths[index] != expected:
+                raise StorageError(
+                    f"segment {path.name}: column {name} is "
+                    f"{lengths[index]} bytes, expected {expected}"
+                )
+        for offset in range(_N_ID):
+            if lengths[_N_NUMERIC + offset] != n_rows * 4:
+                raise StorageError(
+                    f"segment {path.name}: id column {offset} has wrong size"
+                )
+        if zlib.crc32(memoryview(data)[body:]) != crc:
+            raise StorageError(f"segment {path.name}: payload CRC mismatch")
+        offsets = []
+        cursor = body
+        for length in lengths:
+            offsets.append(cursor)
+            cursor += length
+        view = memoryview(data)
+        table_base = _N_NUMERIC + _N_ID
+        tables = []
+        for index, (count, what) in enumerate(
+            ((n_labels, "label"), (n_certs, "cert"), (n_trues, "true-fqdn"))
+        ):
+            block = table_base + index
+            start = offsets[block]
+            tables.append(_parse_table(
+                view[start:start + lengths[block]], count, what
+            ))
+        reader = cls()
+        reader.path = path
+        reader.n_rows = n_rows
+        reader.n_labels = n_labels
+        reader.n_certs = n_certs
+        reader.n_trues = n_trues
+        reader.labels, reader.certs, reader.trues = tables
+        reader.crc = crc
+        reader.file_size = len(data)
+        reader._lengths = lengths
+        reader._offsets = offsets
+        return reader
+
+    # -- block access ------------------------------------------------------
+
+    def read_blocks(self) -> list[bytes]:
+        """Re-read all payload blocks (compaction's raw input)."""
+        data = self._read_validated()
+        return [
+            data[offset:offset + length]
+            for offset, length in zip(self._offsets, self._lengths)
+        ]
+
+    def _read_validated(self) -> bytes:
+        try:
+            data = Path(self.path).read_bytes()
+        except OSError as exc:
+            raise StorageError(
+                f"cannot read segment {self.path}: {exc}"
+            ) from exc
+        if len(data) != self.file_size or zlib.crc32(
+            memoryview(data)[_HEADER.size + _N_BLOCKS * _BLOCK_LEN.size:]
+        ) != self.crc:
+            raise StorageError(
+                f"segment {self.name} changed on disk since open"
+            )
+        return data
+
+    def _read_block(self, index: int) -> bytes:
+        """One payload block by seek+read (sizes/CRC validated at open)."""
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offsets[index])
+            data = handle.read(self._lengths[index])
+        if len(data) != self._lengths[index]:
+            raise StorageError(f"segment {self.name} truncated since open")
+        return data
+
+    def summary(self) -> dict:
+        """Cheap per-segment statistics — ``min_start``/``max_end``,
+        the protocol histogram and the tagged-row count — from the four
+        relevant column blocks only.  Nothing is materialized or
+        cached beyond the small result, so whole-store stats
+        (``time_span``, ``count_by_protocol``, ``tagged_count``) never
+        force a multi-GB store resident.  Served straight from the
+        in-memory form when the segment happens to be resident."""
+        if self._database is not None:
+            db = self._database
+            return {
+                "min_start": db._min_start,
+                "max_end": db._max_end,
+                "protocol_counts": list(db._protocol_counts),
+                "tagged_rows": len(db._tagged),
+            }
+        if self._summary is None:
+            self._summary = self._compute_summary()
+        return self._summary
+
+    def _compute_summary(self) -> dict:
+        n = self.n_rows
+        if not n:
+            return {
+                "min_start": float("inf"), "max_end": float("-inf"),
+                "protocol_counts": [0] * len(PROTOCOLS), "tagged_rows": 0,
+            }
+        starts = _from_le("d", self._read_block(5))     # start column
+        ends = _from_le("d", self._read_block(6))       # end column
+        protocols = self._read_block(7)                 # protocol column
+        label_ids = _from_le("i", self._read_block(_N_NUMERIC))
+        # A row is tagged iff its label is truthy — id -1 (None) and
+        # entries holding "" both count as untagged, exactly as the
+        # materialized database derives fqdn_id.
+        untagged_entries = [
+            index for index, text in enumerate(self.labels) if not text
+        ]
+        np = _dbmod._np
+        if np is not None:
+            counts = np.bincount(
+                np.frombuffer(protocols, np.uint8),
+                minlength=len(PROTOCOLS),
+            ).tolist()
+            if len(counts) > len(PROTOCOLS):
+                raise StorageError("protocol index out of range")
+            ids = np.frombuffer(label_ids, np.int32)
+            tagged = int((ids >= 0).sum())
+            if untagged_entries:
+                tagged -= int(np.isin(ids, untagged_entries).sum())
+            min_start = float(np.frombuffer(starts, np.float64).min())
+            max_end = float(np.frombuffer(ends, np.float64).max())
+        else:
+            counts = [0] * len(PROTOCOLS)
+            for value in protocols:
+                if value >= len(PROTOCOLS):
+                    raise StorageError("protocol index out of range")
+                counts[value] += 1
+            skip = set(untagged_entries)
+            tagged = sum(
+                1 for value in label_ids
+                if value >= 0 and value not in skip
+            )
+            min_start = min(starts)
+            max_end = max(ends)
+        return {
+            "min_start": min_start, "max_end": max_end,
+            "protocol_counts": counts, "tagged_rows": tagged,
+        }
+
+    # -- materialization ---------------------------------------------------
+
+    def database(self) -> FlowDatabase:
+        """The segment as an in-memory columnar database (cached)."""
+        if self._database is None:
+            self._database = self._build_database()
+        return self._database
+
+    def release(self) -> None:
+        """Drop the cached in-memory form; rebuilt on next query."""
+        self._database = None
+
+    @property
+    def resident(self) -> bool:
+        return self._database is not None
+
+    def _build_database(self) -> FlowDatabase:
+        data = self._read_validated()
+        offsets, lengths = self._offsets, self._lengths
+
+        def block(index: int):
+            return memoryview(data)[
+                offsets[index]:offsets[index] + lengths[index]
+            ]
+
+        db = FlowDatabase()
+        cols = db.columns
+        for index, (name, code) in enumerate(_NUMERIC_COLUMNS):
+            getattr(cols, name)[:] = _from_le(code, block(index))
+        n = self.n_rows
+        label_ids = _from_le("i", block(_N_NUMERIC))
+        cert_ids = _from_le("i", block(_N_NUMERIC + 1))
+        true_ids = _from_le("i", block(_N_NUMERIC + 2))
+        self._validate_ids(label_ids, self.n_labels, "label")
+        self._validate_ids(cert_ids, self.n_certs, "cert")
+        self._validate_ids(true_ids, self.n_trues, "true-fqdn")
+        self._validate_enums(cols)
+        # Local interning: table order reproduces first-appearance
+        # order of each distinct lowered label over the segment's rows,
+        # so the rebuilt id tables match what the live store held.
+        local_of_label = array("i")
+        for text in self.labels:
+            local_of_label.append(
+                db._intern_fqdn(text.lower()) if text else -1
+            )
+        np = _dbmod._np
+        if np is not None and n:
+            ids = np.frombuffer(label_ids, np.int32)
+            if self.n_labels:
+                lut = np.frombuffer(local_of_label, np.int32)
+                fqdn_ids = np.where(
+                    ids >= 0, lut[np.maximum(ids, 0)], np.int32(-1)
+                ).astype(np.int32)
+            else:
+                fqdn_ids = np.full(n, -1, np.int32)
+            cols.fqdn_id.frombytes(_le_np(fqdn_ids, np.int32))
+        else:
+            append = cols.fqdn_id.append
+            for entry in label_ids:
+                append(local_of_label[entry] if entry >= 0 else -1)
+        labels, certs, trues = self.labels, self.certs, self.trues
+        db._raw_fqdns = [
+            labels[entry] if entry >= 0 else None for entry in label_ids
+        ]
+        db._cert_names = [
+            certs[entry] if entry >= 0 else None for entry in cert_ids
+        ]
+        db._true_fqdns = [
+            trues[entry] if entry >= 0 else None for entry in true_ids
+        ]
+        db._records = [None] * n
+        self._rebuild_stats_and_indexes(db)
+        return db
+
+    @staticmethod
+    def _validate_ids(ids: array, count: int, what: str) -> None:
+        np = _dbmod._np
+        if not len(ids):
+            return
+        if np is not None:
+            column = np.frombuffer(ids, np.int32)
+            lo, hi = int(column.min()), int(column.max())
+        else:
+            lo, hi = min(ids), max(ids)
+        if lo < -1 or hi >= count:
+            raise StorageError(f"{what} id out of table range")
+
+    def _validate_enums(self, cols) -> None:
+        """Protocol/transport bytes must be materializable values."""
+        n = len(cols.start)
+        if not n:
+            return
+        np = _dbmod._np
+        if np is not None:
+            protocols = np.frombuffer(cols.protocol, np.uint8)
+            if int(protocols.max()) >= len(PROTOCOLS):
+                raise StorageError("protocol index out of range")
+            transports = np.frombuffer(cols.transport, np.uint8)
+            if not np.isin(transports, list(_TRANSPORTS)).all():
+                raise StorageError("invalid transport protocol number")
+            return
+        n_protocols = len(PROTOCOLS)
+        for value in cols.protocol:
+            if value >= n_protocols:
+                raise StorageError("protocol index out of range")
+        for value in cols.transport:
+            if value not in _TRANSPORTS:
+                raise StorageError("invalid transport protocol number")
+
+    def _rebuild_stats_and_indexes(self, db: FlowDatabase) -> None:
+        cols = db.columns
+        n = len(cols)
+        if not n:
+            return
+        np = _dbmod._np
+        if np is not None:
+            protocols = np.frombuffer(cols.protocol, np.uint8)
+            counts = np.bincount(protocols, minlength=len(PROTOCOLS))
+            for index, count in enumerate(counts.tolist()):
+                db._protocol_counts[index] += count
+            starts = np.frombuffer(cols.start, np.float64)
+            ends = np.frombuffer(cols.end, np.float64)
+            db._min_start = float(starts.min())
+            db._max_end = float(ends.max())
+            rows = np.arange(n, dtype=np.uint32)
+            servers = np.frombuffer(cols.server_ip, np.uint32)
+            ports = np.frombuffer(cols.dst_port, np.uint16)
+            db._extend_index(db._by_server, servers, rows)
+            db._extend_index(db._by_port, ports.astype(np.uint32), rows)
+            ids = np.frombuffer(cols.fqdn_id, np.int32)
+            mask = ids >= 0
+            if mask.any():
+                tagged_rows = rows[mask]
+                tagged_ids = ids[mask]
+                db._tagged.frombytes(_le_np(tagged_rows, np.uint32))
+                db._extend_index(db._by_fqdn, tagged_ids, tagged_rows)
+                sld_map = np.frombuffer(db._fqdn_sld, np.int32)
+                db._extend_index(
+                    db._by_sld, sld_map[tagged_ids], tagged_rows
+                )
+            return
+        by_server, by_port = db._by_server, db._by_port
+        by_fqdn, by_sld = db._by_fqdn, db._by_sld
+        fqdn_sld = db._fqdn_sld
+        tagged = db._tagged
+        protocol_counts = db._protocol_counts
+        min_start, max_end = db._min_start, db._max_end
+        server_col, port_col = cols.server_ip, cols.dst_port
+        start_col, end_col = cols.start, cols.end
+        fqdn_col, proto_col = cols.fqdn_id, cols.protocol
+        for row in range(n):
+            protocol_counts[proto_col[row]] += 1
+            start = start_col[row]
+            end = end_col[row]
+            if start < min_start:
+                min_start = start
+            if end > max_end:
+                max_end = end
+            index = by_server.get(server_col[row])
+            if index is None:
+                index = by_server[server_col[row]] = array("I")
+            index.append(row)
+            index = by_port.get(port_col[row])
+            if index is None:
+                index = by_port[port_col[row]] = array("I")
+            index.append(row)
+            fqdn_id = fqdn_col[row]
+            if fqdn_id >= 0:
+                by_fqdn[fqdn_id].append(row)
+                by_sld[fqdn_sld[fqdn_id]].append(row)
+                tagged.append(row)
+        db._min_start, db._max_end = min_start, max_end
+
+
+def _map_local_fqdns(interns: FlowDatabase, labels: Sequence[str]) -> array:
+    """Local→global fqdn-id map for a segment's label table.
+
+    Replays the table through the global intern tables exactly as
+    :meth:`SegmentReader._build_database` replays it through the local
+    ones, so index ``k`` of the result is the global id of the
+    segment's local fqdn id ``k``.
+    """
+    fqdn_map = array("i")
+    seen: set[str] = set()
+    for text in labels:
+        if not text:
+            continue
+        lowered = text.lower()
+        if lowered not in seen:
+            seen.add(lowered)
+            fqdn_map.append(interns._intern_fqdn(lowered))
+    return fqdn_map
+
+
+def _merge_segment_files(
+    readers: Sequence[SegmentReader], path: Path
+) -> None:
+    """Rewrite several adjacent segments as one (compaction's kernel).
+
+    Numeric blocks concatenate verbatim; string tables merge with
+    first-appearance dedupe and the id columns are rewritten through
+    the resulting lookup tables.  Row order — and therefore every
+    query result — is preserved.  Blocks are assembled in memory, so
+    one compaction holds roughly the merged file size transiently.
+    """
+    all_blocks = [reader.read_blocks() for reader in readers]
+    merged: list[bytes] = [
+        b"".join(blocks[index] for blocks in all_blocks)
+        for index in range(_N_NUMERIC)
+    ]
+    np = _dbmod._np
+    table_counts = []
+    for offset, attr in enumerate(("labels", "certs", "trues")):
+        index: dict[str, int] = {}
+        table: list[bytes] = []
+        id_parts: list[bytes] = []
+        for reader, blocks in zip(readers, all_blocks):
+            lut = array("i")
+            for text in getattr(reader, attr):
+                entry = index.get(text)
+                if entry is None:
+                    entry = index[text] = len(table)
+                    table.append(text.encode("utf-8"))
+                lut.append(entry)
+            ids = _from_le("i", blocks[_N_NUMERIC + offset])
+            if np is not None and len(ids):
+                values = np.frombuffer(ids, np.int32)
+                if len(lut):
+                    lut_np = np.frombuffer(lut, np.int32)
+                    remapped = np.where(
+                        values >= 0,
+                        lut_np[np.maximum(values, 0)],
+                        np.int32(-1),
+                    ).astype(np.int32)
+                else:
+                    remapped = np.full(len(ids), -1, np.int32)
+                out = array("i")
+                out.frombytes(_le_np(remapped, np.int32))
+            else:
+                out = array("i", (
+                    lut[value] if value >= 0 else -1 for value in ids
+                ))
+            id_parts.append(_le(out))
+        merged.append(b"".join(id_parts))
+        table_counts.append((len(table), _encode_table(table)))
+    merged += [blob for _count, blob in table_counts]
+    _write_segment_file(
+        path,
+        sum(reader.n_rows for reader in readers),
+        merged,
+        table_counts[0][0], table_counts[1][0], table_counts[2][0],
+    )
+
+
+class FlowStore:
+    """Durable Flow Database: sealed segments plus a live in-memory tail.
+
+    ``FlowStore(directory)`` opens (or creates) a store.  Ingestion
+    (:meth:`add`, :meth:`add_all`, :meth:`ingest_batch`) lands in an
+    in-memory :class:`FlowDatabase` tail and spills to a new segment
+    whenever the tail reaches ``spill_rows`` rows (or, if given,
+    ``spill_bytes`` of column/label data).  :meth:`flush` seals the
+    tail explicitly; :meth:`compact` merges segment runs.
+
+    Every read method of the in-memory ``FlowDatabase`` is available
+    and answers over *all* rows — sealed and live alike: string-keyed
+    queries run per segment and concatenate in row order; id-keyed
+    grouped aggregations run per segment on local ids, remap through
+    per-segment id maps onto one global intern table (built from the
+    segment string tables in segment order, which reproduces global
+    first-appearance order) and merge.  The analytics layer therefore
+    runs unchanged on a store that never held the dataset in one piece.
+    """
+
+    def __init__(
+        self,
+        directory,
+        spill_rows: Optional[int] = None,
+        spill_bytes: Optional[int] = None,
+        cache_segments: bool = True,
+    ):
+        if spill_rows is None:
+            spill_rows = DEFAULT_SPILL_ROWS
+        if spill_rows <= 0:
+            raise ValueError("spill_rows must be positive")
+        if spill_bytes is not None and spill_bytes <= 0:
+            raise ValueError("spill_bytes must be positive")
+        self.directory = Path(directory)
+        self.spill_rows = spill_rows
+        self.spill_bytes = spill_bytes
+        #: True (default) keeps materialized segments cached for the
+        #: next query — right when the dataset fits and queries repeat
+        #: (the experiments sweep).  False streams every whole-store
+        #: pass load→merge→release, holding one segment at a time —
+        #: right for larger-than-memory stores.
+        self.cache_segments = cache_segments
+        self._writer = SegmentWriter(self.directory)
+        self._interns = FlowDatabase()   # global id tables only (0 rows)
+        self._segments: list[SegmentReader] = []
+        self._tail = FlowDatabase()
+        self._tail_map = array("i")      # tail-local fqdn id -> global
+        self._tail_label_bytes = 0       # incremental tail_bytes() state
+        self._tail_label_count = 0
+        for name in self._read_manifest():
+            reader = SegmentReader.open(self.directory / name)
+            reader.fqdn_map = _map_local_fqdns(self._interns, reader.labels)
+            self._segments.append(reader)
+
+    # -- manifest ----------------------------------------------------------
+
+    def _read_manifest(self) -> list[str]:
+        path = self.directory / MANIFEST_NAME
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        except OSError as exc:
+            raise StorageError(f"cannot read {path}: {exc}") from exc
+        try:
+            manifest = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"malformed manifest {path}: {exc}") from exc
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") != FORMAT_VERSION
+            or not isinstance(manifest.get("segments"), list)
+        ):
+            raise StorageError(f"unsupported manifest {path}")
+        names = manifest["segments"]
+        for name in names:
+            if (
+                not isinstance(name, str)
+                or not _SEGMENT_RE.match(name)
+            ):
+                raise StorageError(f"bad segment name {name!r} in manifest")
+        return names
+
+    def _write_manifest(self) -> None:
+        payload = json.dumps({
+            "format": FORMAT_VERSION,
+            "segments": [reader.name for reader in self._segments],
+        }, indent=2) + "\n"
+        path = self.directory / MANIFEST_NAME
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_directory(self.directory)
+
+    # -- ingestion / spilling ---------------------------------------------
+
+    def add(self, flow: FlowRecord) -> None:
+        """Insert one flow record (spills when the budget is crossed)."""
+        self._tail.add(flow)
+        self._maybe_spill()
+
+    def add_all(self, flows: Iterable[FlowRecord]) -> None:
+        """Insert many flow records."""
+        # self._tail rebinds on spill — re-fetch it every iteration.
+        for flow in flows:
+            self._tail.add(flow)
+            self._maybe_spill()
+
+    def ingest_batch(self, payload) -> int:
+        """Absorb one eventcodec tagged-flow batch (see
+        :meth:`FlowDatabase.ingest_batch`); spills past the budget."""
+        count = self._tail.ingest_batch(payload)
+        self._maybe_spill()
+        return count
+
+    def tail_bytes(self) -> int:
+        """Approximate byte weight of the live tail (columns + labels).
+
+        O(1) amortized — ``_maybe_spill`` calls this per inserted flow
+        when a byte budget is set, so the label-byte total is tracked
+        incrementally (the intern table is append-only) instead of
+        re-summed over every distinct FQDN each time.
+        """
+        names = self._tail._fqdn_names
+        while self._tail_label_count < len(names):
+            self._tail_label_bytes += len(names[self._tail_label_count])
+            self._tail_label_count += 1
+        return len(self._tail) * _ROW_BYTES + self._tail_label_bytes
+
+    def _maybe_spill(self) -> None:
+        tail = self._tail
+        if not len(tail):
+            return
+        if len(tail) >= self.spill_rows or (
+            self.spill_bytes is not None
+            and self.tail_bytes() >= self.spill_bytes
+        ):
+            self.flush()
+
+    def flush(self) -> Optional[str]:
+        """Seal the live tail into a new segment; returns its file name
+        (None when the tail is empty).
+
+        The sealed tail is *released*, not cached: spilling is what
+        bounds resident memory on a multi-day ingest, so the rows now
+        live on disk only and rematerialize lazily if queried."""
+        tail = self._tail
+        if not len(tail):
+            return None
+        self._sync_tail_map()
+        name = self._writer.write(tail)
+        # Deliberate read-back: re-opening the file we just wrote
+        # verifies the write end to end (size + CRC over what actually
+        # hit the filesystem) before the manifest commits it — one
+        # extra sequential read per sealed segment, page-cache warm.
+        reader = SegmentReader.open(self.directory / name)
+        reader.fqdn_map = self._tail_map
+        self._segments.append(reader)
+        self._write_manifest()
+        self._tail = FlowDatabase()
+        self._tail_map = array("i")
+        self._tail_label_bytes = 0
+        self._tail_label_count = 0
+        return name
+
+    def close(self) -> None:
+        """Seal any live rows.  The store object stays usable."""
+        self.flush()
+
+    def __enter__(self) -> "FlowStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- maintenance -------------------------------------------------------
+
+    @property
+    def segments(self) -> tuple[SegmentReader, ...]:
+        return tuple(self._segments)
+
+    def release_segments(self) -> None:
+        """Drop every cached in-memory segment materialization."""
+        for reader in self._segments:
+            reader.release()
+
+    def compact(self, small_rows: Optional[int] = None) -> int:
+        """Merge segment runs into single segments; returns the number
+        of segment files removed.
+
+        With ``small_rows=None`` every sealed segment merges into one.
+        Otherwise only *adjacent* runs of two or more segments, each
+        smaller than ``small_rows`` rows, are rewritten (adjacency
+        preserves global row order, which the query surface relies
+        on).  String-table ids are re-interned into the merged tables;
+        the old files are unlinked only after the new segment is
+        committed to the manifest.
+        """
+        self.flush()
+        segments = self._segments
+        if small_rows is None:
+            runs = [(0, len(segments))] if len(segments) >= 2 else []
+        else:
+            runs = []
+            start = None
+            for index, reader in enumerate(segments):
+                if reader.n_rows < small_rows:
+                    if start is None:
+                        start = index
+                    continue
+                if start is not None and index - start >= 2:
+                    runs.append((start, index))
+                start = None
+            if start is not None and len(segments) - start >= 2:
+                runs.append((start, len(segments)))
+        removed = 0
+        for start, stop in reversed(runs):
+            run = segments[start:stop]
+            name = self._writer.next_name()
+            _merge_segment_files(run, self.directory / name)
+            merged = SegmentReader.open(self.directory / name)
+            merged.fqdn_map = _map_local_fqdns(self._interns, merged.labels)
+            segments[start:stop] = [merged]
+            self._write_manifest()
+            for reader in run:
+                try:
+                    reader.path.unlink()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+            removed += len(run) - 1
+        return removed
+
+    def stats(self) -> dict:
+        """Inspection summary (the ``repro-flowstore inspect`` payload)."""
+        self._sync_tail_map()  # fqdns/slds counts must include the tail
+        segments = [
+            {
+                "name": reader.name,
+                "rows": reader.n_rows,
+                "labels": reader.n_labels,
+                "bytes": reader.file_size,
+                "resident": reader.resident,
+            }
+            for reader in self._segments
+        ]
+        return {
+            "directory": str(self.directory),
+            "format": FORMAT_VERSION,
+            "segments": segments,
+            "sealed_rows": sum(reader.n_rows for reader in self._segments),
+            "tail_rows": len(self._tail),
+            "rows": len(self),
+            "fqdns": len(self._interns._fqdn_names),
+            "slds": len(self._interns._sld_names),
+            "bytes_on_disk": sum(
+                reader.file_size for reader in self._segments
+            ),
+        }
+
+    # -- merge plumbing ----------------------------------------------------
+
+    def _sync_tail_map(self) -> None:
+        names = self._tail._fqdn_names
+        tail_map = self._tail_map
+        intern = self._interns._intern_fqdn
+        while len(tail_map) < len(names):
+            tail_map.append(intern(names[len(tail_map)]))
+
+    def _source_bounds(self) -> tuple[list[int], list[int]]:
+        """Per-source (base, end) global row ranges — derived from the
+        segment headers alone, so no segment is materialized."""
+        bases: list[int] = []
+        ends: list[int] = []
+        base = 0
+        for reader in self._segments:
+            bases.append(base)
+            base += reader.n_rows
+            ends.append(base)
+        if len(self._tail):
+            bases.append(base)
+            ends.append(base + len(self._tail))
+        return bases, ends
+
+    def _each(self):
+        """Yield ``(base_row, database, local→global fqdn map)`` per
+        source in row order.
+
+        Sealed segments materialize on demand.  With
+        ``cache_segments=False`` a segment this pass materialized is
+        released again as soon as the consumer advances — a whole-store
+        query then holds one segment in memory at a time instead of
+        pinning the full dataset.
+        """
+        self._sync_tail_map()
+        base = 0
+        for reader in self._segments:
+            was_resident = reader.resident
+            yield base, reader.database(), reader.fqdn_map
+            if not self.cache_segments and not was_resident:
+                reader.release()
+            base += reader.n_rows
+        if len(self._tail):
+            yield base, self._tail, self._tail_map
+
+    @staticmethod
+    def _extend_offset(out: array, rows, base: int) -> None:
+        """Append ``rows + base`` to ``out`` (vectorized when possible)."""
+        if not len(rows):
+            return
+        np = _dbmod._np
+        if np is not None:
+            taken = (
+                np.frombuffer(rows, np.uint32)
+                if isinstance(rows, array)
+                else np.asarray(rows, np.uint32)
+            )
+            out.frombytes(_le_np(taken + base, np.uint32))
+            return
+        out.extend(row + base for row in rows)
+
+    def _split_rows(self, rows) -> list[array]:
+        """Partition global row indices into per-source local rows
+        (bounds come from the headers; nothing is materialized)."""
+        bases, ends = self._source_bounds()
+        out = [array("I") for _ in bases]
+        if rows is None or not len(rows):
+            return out
+        np = _dbmod._np
+        if np is not None:
+            taken = (
+                np.frombuffer(rows, np.uint32)
+                if isinstance(rows, array)
+                else np.asarray(rows, np.uint32)
+            )
+            which = np.searchsorted(
+                np.asarray(bases, np.int64), taken, side="right"
+            ) - 1
+            for index in range(len(bases)):
+                mask = which == index
+                if mask.any():
+                    local = taken[mask] - bases[index]
+                    out[index].frombytes(_le_np(local, np.uint32))
+            return out
+        for row in rows:
+            index = bisect_right(bases, row) - 1
+            if 0 <= index < len(bases) and row < ends[index]:
+                out[index].append(row - bases[index])
+        return out
+
+    def _sources_with_rows(self, rows):
+        """Yield ``(db, fqdn_map, local_rows)`` per source — the shared
+        scaffold of every grouped-aggregation merge.  With ``rows``
+        given, sources that hold none of the selected rows are skipped
+        (``local_rows`` is their split); with ``rows=None`` every
+        source is visited with ``local_rows=None`` (its own default
+        row set)."""
+        split = self._split_rows(rows) if rows is not None else None
+        for index, (_base, db, fqdn_map) in enumerate(self._each()):
+            local_rows = split[index] if split is not None else None
+            if split is not None and not len(local_rows):
+                continue
+            yield db, fqdn_map, local_rows
+
+    def _merged_pairs(self, method_name: str, rows) -> list[tuple]:
+        """Shared merge core of the (fqdn_id, value, count) groupers."""
+        merged: dict[tuple[int, int], int] = {}
+        for db, fqdn_map, local_rows in self._sources_with_rows(rows):
+            for fqdn_id, value, count in getattr(db, method_name)(
+                local_rows
+            ):
+                key = (fqdn_map[fqdn_id], value)
+                merged[key] = merged.get(key, 0) + count
+        return [
+            (fqdn_id, value, count)
+            for (fqdn_id, value), count in sorted(merged.items())
+        ]
+
+    # -- interned label tables --------------------------------------------
+
+    def fqdn_label(self, fqdn_id: int) -> str:
+        """The lowercased FQDN behind a (global) interned id."""
+        self._sync_tail_map()
+        return self._interns._fqdn_names[fqdn_id]
+
+    def sld_label(self, sld_id: int) -> str:
+        """The second-level domain behind a (global) interned id."""
+        self._sync_tail_map()
+        return self._interns._sld_names[sld_id]
+
+    def sld_of_fqdn(self, fqdn_id: int) -> int:
+        """Global sld id of a global FQDN id."""
+        self._sync_tail_map()
+        return self._interns._fqdn_sld[fqdn_id]
+
+    def fqdns(self) -> list[str]:
+        """All distinct labels, in global first-appearance order."""
+        self._sync_tail_map()
+        return list(self._interns._fqdn_names)
+
+    def slds(self) -> list[str]:
+        """All distinct second-level domains seen."""
+        self._sync_tail_map()
+        return list(self._interns._sld_names)
+
+    def servers(self) -> list[int]:
+        """All distinct server addresses, first-appearance order."""
+        seen: dict[int, None] = {}
+        for _base, db, _m in self._each():
+            for server in db._by_server:
+                if server not in seen:
+                    seen[server] = None
+        return list(seen)
+
+    def ports(self) -> list[int]:
+        """All distinct destination ports, first-appearance order."""
+        seen: dict[int, None] = {}
+        for _base, db, _m in self._each():
+            for port in db._by_port:
+                if port not in seen:
+                    seen[port] = None
+        return list(seen)
+
+    def fqdns_for_domain(self, sld: str) -> set[str]:
+        """Distinct FQDNs under one second-level domain."""
+        self._sync_tail_map()
+        interns = self._interns
+        sld_id = interns._sld_ids.get(sld.lower())
+        if sld_id is None:
+            return set()
+        names = interns._fqdn_names
+        return {names[fqdn_id] for fqdn_id in interns._sld_fqdns[sld_id]}
+
+    # -- row-index views ---------------------------------------------------
+
+    def rows_for_fqdn(self, fqdn: str) -> Sequence[int]:
+        """Global row indices of flows labeled exactly ``fqdn``."""
+        out = array("I")
+        for base, db, _m in self._each():
+            self._extend_offset(out, db.rows_for_fqdn(fqdn), base)
+        return out
+
+    def rows_for_domain(self, sld: str) -> Sequence[int]:
+        """Global row indices of flows under 2LD ``sld``."""
+        out = array("I")
+        for base, db, _m in self._each():
+            self._extend_offset(out, db.rows_for_domain(sld), base)
+        return out
+
+    def rows_for_port(self, dst_port: int) -> Sequence[int]:
+        """Global row indices of flows to ``dst_port``."""
+        out = array("I")
+        for base, db, _m in self._each():
+            self._extend_offset(out, db.rows_for_port(dst_port), base)
+        return out
+
+    def rows_for_servers(self, servers: Iterable[int]) -> Sequence[int]:
+        """Concatenated global row indices for an address set (deduped,
+        grouped by server exactly like the in-memory store).
+
+        Iteration is source-major (one streaming pass) but the output
+        stays server-major: per-server chunks are gathered per source
+        and concatenated in probe order afterwards.
+        """
+        order = list(dict.fromkeys(servers))
+        chunks: dict[int, array] = {server: array("I") for server in order}
+        for base, db, _m in self._each():
+            by_server = db._by_server
+            for server in order:
+                index = by_server.get(server)
+                if index is not None:
+                    self._extend_offset(chunks[server], index, base)
+        out = array("I")
+        for server in order:
+            out.extend(chunks[server])
+        return out
+
+    def tagged_rows(self) -> Sequence[int]:
+        """Global row indices of every labeled flow."""
+        out = array("I")
+        for base, db, _m in self._each():
+            self._extend_offset(out, db._tagged, base)
+        return out
+
+    # -- record queries ----------------------------------------------------
+
+    def query_by_fqdn(self, fqdn: str) -> list[FlowRecord]:
+        """Flows labeled exactly ``fqdn``, in global row order."""
+        out: list[FlowRecord] = []
+        for _base, db, _m in self._each():
+            out.extend(db.query_by_fqdn(fqdn))
+        return out
+
+    def query_by_domain(self, sld: str) -> list[FlowRecord]:
+        """Flows whose label falls under 2LD ``sld``."""
+        out: list[FlowRecord] = []
+        for _base, db, _m in self._each():
+            out.extend(db.query_by_domain(sld))
+        return out
+
+    def query_by_servers(self, servers: Iterable[int]) -> list[FlowRecord]:
+        """Flows to any address in ``servers`` (duplicates ignored);
+        source-major pass, server-major output (see
+        :meth:`rows_for_servers`)."""
+        order = list(dict.fromkeys(servers))
+        chunks: dict[int, list[FlowRecord]] = {
+            server: [] for server in order
+        }
+        for _base, db, _m in self._each():
+            by_server = db._by_server
+            for server in order:
+                index = by_server.get(server)
+                if index is not None:
+                    chunks[server].extend(db._materialize(index))
+        out: list[FlowRecord] = []
+        for server in order:
+            out.extend(chunks[server])
+        return out
+
+    def query_by_port(self, dst_port: int) -> list[FlowRecord]:
+        """Flows to destination port ``dst_port``."""
+        out: list[FlowRecord] = []
+        for _base, db, _m in self._each():
+            out.extend(db.query_by_port(dst_port))
+        return out
+
+    # -- aggregate views ---------------------------------------------------
+
+    def servers_for_fqdn(self, fqdn: str) -> set[int]:
+        """Distinct serverIPs observed delivering ``fqdn``."""
+        out: set[int] = set()
+        for _base, db, _m in self._each():
+            out |= db.servers_for_fqdn(fqdn)
+        return out
+
+    def servers_for_domain(self, sld: str) -> set[int]:
+        """Distinct serverIPs observed for the whole organization."""
+        out: set[int] = set()
+        for _base, db, _m in self._each():
+            out |= db.servers_for_domain(sld)
+        return out
+
+    def fqdns_for_servers(self, servers: Iterable[int]) -> set[str]:
+        """Distinct labels delivered by the given server addresses."""
+        servers = list(dict.fromkeys(servers))
+        out: set[str] = set()
+        for _base, db, _m in self._each():
+            out |= db.fqdns_for_servers(servers)
+        return out
+
+    def fqdns_for_rows(self, rows) -> set[str]:
+        """Distinct labels among the flows of a global row-index set."""
+        out: set[str] = set()
+        for db, _fqdn_map, local_rows in self._sources_with_rows(rows):
+            out |= db.fqdns_for_rows(local_rows)
+        return out
+
+    # -- grouped aggregations ----------------------------------------------
+
+    def fqdn_server_counts(self, rows=None) -> list[tuple[int, int, int]]:
+        """Deduped ``(fqdn_id, server_ip, flow_count)`` groups (global
+        ids), merged across segments."""
+        return self._merged_pairs("fqdn_server_counts", rows)
+
+    def fqdn_client_counts(self, rows=None) -> list[tuple[int, int, int]]:
+        """Deduped ``(fqdn_id, client_ip, flow_count)`` groups."""
+        return self._merged_pairs("fqdn_client_counts", rows)
+
+    def fqdn_flow_byte_totals(
+        self, rows=None
+    ) -> list[tuple[int, int, int, int]]:
+        """Per-label ``(fqdn_id, flows, bytes_up, bytes_down)`` totals."""
+        merged: dict[int, list[int]] = {}
+        for db, fqdn_map, local_rows in self._sources_with_rows(rows):
+            for fqdn_id, flows, up, down in db.fqdn_flow_byte_totals(
+                local_rows
+            ):
+                bucket = merged.get(fqdn_map[fqdn_id])
+                if bucket is None:
+                    merged[fqdn_map[fqdn_id]] = [flows, up, down]
+                else:
+                    bucket[0] += flows
+                    bucket[1] += up
+                    bucket[2] += down
+        return [
+            (fqdn_id, flows, up, down)
+            for fqdn_id, (flows, up, down) in sorted(merged.items())
+        ]
+
+    def server_flow_counts(self, rows=None) -> dict[int, int]:
+        """Flow count per serverIP over ``rows`` (default: all flows)."""
+        merged: dict[int, int] = {}
+        for db, _fqdn_map, local_rows in self._sources_with_rows(rows):
+            for server, count in db.server_flow_counts(local_rows).items():
+                merged[server] = merged.get(server, 0) + count
+        return dict(sorted(merged.items()))
+
+    def unique_servers_per_bin(
+        self, sld: str, bin_seconds: float
+    ) -> list[tuple[float, int]]:
+        """Fig. 4 series: distinct serverIPs per time bin for one 2LD,
+        gap-filled — deduped across segments before counting."""
+        pairs: set[tuple[int, int]] = set()
+        for _base, db, _m in self._each():
+            rows = db.rows_for_domain(sld)
+            if len(rows):
+                pairs.update(db.bin_server_pairs(rows, bin_seconds))
+        if not pairs:
+            return []
+        per_bin: dict[int, int] = {}
+        for bin_index, _server in pairs:
+            per_bin[bin_index] = per_bin.get(bin_index, 0) + 1
+        lo, hi = min(per_bin), max(per_bin)
+        return [
+            (index * bin_seconds, per_bin.get(index, 0))
+            for index in range(lo, hi + 1)
+        ]
+
+    def server_bins_for_fqdn(
+        self, fqdn: str, bin_seconds: float
+    ) -> list[tuple[int, int]]:
+        """Deduped ``(bin_index, server_ip)`` pairs for one FQDN."""
+        pairs: set[tuple[int, int]] = set()
+        for _base, db, _m in self._each():
+            pairs.update(db.server_bins_for_fqdn(fqdn, bin_seconds))
+        return sorted(pairs)
+
+    def fqdn_bin_pairs(
+        self, bin_seconds: float, rows=None
+    ) -> list[tuple[int, int]]:
+        """Deduped ``(fqdn_id, bin_index)`` activity pairs (global ids)."""
+        pairs: set[tuple[int, int]] = set()
+        for db, fqdn_map, local_rows in self._sources_with_rows(rows):
+            for fqdn_id, bin_index in db.fqdn_bin_pairs(
+                bin_seconds, local_rows
+            ):
+                pairs.add((fqdn_map[fqdn_id], bin_index))
+        return sorted(pairs)
+
+    def fqdn_first_seen(self, rows=None) -> dict[int, float]:
+        """Earliest flow start per (global) interned label."""
+        merged: dict[int, float] = {}
+        for db, fqdn_map, local_rows in self._sources_with_rows(rows):
+            for fqdn_id, start in db.fqdn_first_seen(local_rows).items():
+                global_id = fqdn_map[fqdn_id]
+                if global_id not in merged or start < merged[global_id]:
+                    merged[global_id] = start
+        return dict(sorted(merged.items()))
+
+    def server_fqdn_bin_triples(
+        self, bin_seconds: float, rows=None
+    ) -> list[tuple[int, int, int]]:
+        """Deduped ``(server_ip, fqdn_id, bin_index)`` triples."""
+        triples: set[tuple[int, int, int]] = set()
+        for db, fqdn_map, local_rows in self._sources_with_rows(rows):
+            for server, fqdn_id, bin_index in db.server_fqdn_bin_triples(
+                bin_seconds, local_rows
+            ):
+                triples.add((server, fqdn_map[fqdn_id], bin_index))
+        return sorted(triples)
+
+    def sld_flow_stats(self, rows) -> list[tuple[int, int, int]]:
+        """Per-organization ``(sld_id, flows, distinct_fqdns)`` over the
+        labeled flows of ``rows`` (global sld ids)."""
+        per_fqdn: dict[int, int] = {}
+        for db, fqdn_map, local_rows in self._sources_with_rows(rows):
+            for fqdn_id, flows, _up, _down in db.fqdn_flow_byte_totals(
+                local_rows
+            ):
+                global_id = fqdn_map[fqdn_id]
+                per_fqdn[global_id] = per_fqdn.get(global_id, 0) + flows
+        sld_map = self._interns._fqdn_sld
+        flow_counts: dict[int, int] = {}
+        fqdn_counts: dict[int, int] = {}
+        for fqdn_id, flows in per_fqdn.items():
+            sld_id = sld_map[fqdn_id]
+            flow_counts[sld_id] = flow_counts.get(sld_id, 0) + flows
+            fqdn_counts[sld_id] = fqdn_counts.get(sld_id, 0) + 1
+        return [
+            (sld_id, count, fqdn_counts[sld_id])
+            for sld_id, count in sorted(flow_counts.items())
+        ]
+
+    # -- stats -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(
+            reader.n_rows for reader in self._segments
+        ) + len(self._tail)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        for _base, db, _m in self._each():
+            yield from db
+
+    @property
+    def tagged_count(self) -> int:
+        """Number of flows carrying a label (segment summaries + live
+        tail — no segment is materialized for this)."""
+        return sum(
+            reader.summary()["tagged_rows"] for reader in self._segments
+        ) + self._tail.tagged_count
+
+    def count_by_protocol(self) -> dict[Protocol, int]:
+        """Flow counts per layer-7 protocol (summaries + live tail)."""
+        totals = list(self._tail._protocol_counts)
+        for reader in self._segments:
+            for index, count in enumerate(
+                reader.summary()["protocol_counts"]
+            ):
+                totals[index] += count
+        return {
+            PROTOCOLS[index]: count
+            for index, count in enumerate(totals)
+            if count
+        }
+
+    def time_span(self) -> tuple[float, float]:
+        """(earliest start, latest end) across all rows (summaries +
+        live tail)."""
+        if not len(self):
+            return (0.0, 0.0)
+        lo = float("inf")
+        hi = float("-inf")
+        for reader in self._segments:
+            summary = reader.summary()
+            if summary["min_start"] < lo:
+                lo = summary["min_start"]
+            if summary["max_end"] > hi:
+                hi = summary["max_end"]
+        if len(self._tail):
+            start, end = self._tail.time_span()
+            if start < lo:
+                lo = start
+            if end > hi:
+                hi = end
+        return (lo, hi)

@@ -8,17 +8,22 @@ serverIP and 73% of serverIPs serve one FQDN, with heavy tails.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.analytics.database import FlowDatabase
 
 
 @dataclass(frozen=True, slots=True)
 class Cdf:
-    """An empirical CDF over positive integer counts."""
+    """An empirical CDF over positive integer counts.
+
+    Pure stdlib on purpose: every operation is a scalar probe of an
+    already-sorted tuple (``bisect`` territory), so the class works
+    unchanged on the CI leg that strips numpy out.
+    """
 
     values: tuple[int, ...]
 
@@ -30,9 +35,7 @@ class Cdf:
         """P(value <= x)."""
         if not self.values:
             return 0.0
-        return float(
-            np.searchsorted(np.asarray(self.values), x, side="right")
-        ) / len(self.values)
+        return bisect_right(self.values, x) / len(self.values)
 
     def percentile(self, q: float) -> int:
         """The smallest value v with CDF(v) >= q."""
@@ -40,7 +43,7 @@ class Cdf:
             raise ValueError("empty CDF")
         if not 0 < q <= 1:
             raise ValueError("q must be in (0, 1]")
-        index = int(np.ceil(q * len(self.values))) - 1
+        index = math.ceil(q * len(self.values)) - 1
         return self.values[max(index, 0)]
 
     @property
@@ -49,13 +52,10 @@ class Cdf:
 
     def points(self) -> list[tuple[int, float]]:
         """(value, CDF) pairs at each distinct value, for plotting."""
-        if not self.values:
-            return []
-        array = np.asarray(self.values)
-        distinct = np.unique(array)
+        values = self.values
         return [
-            (int(v), float(np.searchsorted(array, v, side="right")) / len(array))
-            for v in distinct
+            (value, bisect_right(values, value) / len(values))
+            for value in dict.fromkeys(values)
         ]
 
 

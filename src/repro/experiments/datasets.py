@@ -3,12 +3,19 @@
 Experiments and benchmarks share traces: building EU1-ADSL1 takes a few
 seconds, so each (name, seed) is generated once and the sniffer pipeline
 run once; downstream analytics operate on the cached labeled database.
+
+A durable flow store can substitute for the in-memory database:
+:func:`set_stored_root` points the cache at a directory of per-trace
+stores (as written by ``repro-flowstore ingest-trace``), after which
+:func:`get_result` serves each trace's analytics from the reopened
+on-disk store — the ``repro-exp --flow-store DIR`` path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
+from typing import Optional
 
 from repro.analytics.database import FlowDatabase
 from repro.simulation.trace import (
@@ -25,14 +32,79 @@ STANDARD_TRACES = (
 )
 DEFAULT_CLIST = 200_000
 
+_STORED_ROOT: Optional[Path] = None
 
-@dataclass
+
+def set_stored_root(path) -> None:
+    """Serve experiment databases from stored flow-store directories.
+
+    ``path`` is a root directory holding one flow store per trace name
+    (``<root>/<trace-name>``); ``None`` reverts to in-memory databases.
+    Cached results are invalidated either way.  Traces without a store
+    under the root fall back to the in-memory build.
+    """
+    global _STORED_ROOT
+    _STORED_ROOT = Path(path) if path is not None else None
+    get_result.cache_clear()
+
+
+def stored_database(name: str, seed: int = DEFAULT_SEED):
+    """The reopened on-disk store for ``name`` under the stored root,
+    or None when no stored dataset is available.
+
+    ``repro-flowstore ingest-trace`` sidecars the generating seed as
+    ``DATASET.json``; a store built from a different seed — or one
+    whose sidecar still carries the in-progress ``building`` mark of a
+    crashed ingest — is rejected (returns None → in-memory fallback)
+    rather than silently serving mixed or partial data.  Hand-built
+    stores without the sidecar are accepted as-is.
+    """
+    if _STORED_ROOT is None:
+        return None
+    directory = _STORED_ROOT / name
+    if not (directory / "MANIFEST.json").exists():
+        return None
+    sidecar = directory / "DATASET.json"
+    if sidecar.exists():
+        import json
+
+        try:
+            meta = json.loads(sidecar.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if meta.get("seed") != seed or meta.get("building"):
+            return None
+    from repro.analytics.storage import FlowStore
+
+    return FlowStore(directory)
+
+
 class TraceResult:
-    """A trace plus everything the sniffer derived from it."""
+    """A trace plus everything the sniffer derived from it.
 
-    trace: Trace
-    pipeline: SnifferPipeline
-    database: FlowDatabase
+    The pipeline is lazy: results served from a stored flow store
+    never ran the sniffer, and only experiments that read the
+    sniffer-side statistics (Tab. 2 hit ratios) pay for the run — on
+    first :attr:`pipeline` access.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        database: FlowDatabase,
+        pipeline: Optional[SnifferPipeline] = None,
+    ):
+        self.trace = trace
+        self.database = database
+        self._pipeline = pipeline
+
+    @property
+    def pipeline(self) -> SnifferPipeline:
+        if self._pipeline is None:
+            pipeline = SnifferPipeline(clist_size=DEFAULT_CLIST)
+            pipeline.process_trace(self.trace)
+            self._pipeline = pipeline
+        return self._pipeline
 
 
 @lru_cache(maxsize=None)
@@ -43,12 +115,22 @@ def get_trace(name: str, seed: int = DEFAULT_SEED) -> Trace:
 
 @lru_cache(maxsize=None)
 def get_result(name: str, seed: int = DEFAULT_SEED) -> TraceResult:
-    """Trace + pipeline run + labeled flow database, cached."""
+    """Trace + pipeline run + labeled flow database, cached.
+
+    With a stored root configured (:func:`set_stored_root`), the
+    database is the reopened on-disk store for the trace instead of a
+    freshly-built in-memory one, and the sniffer run is skipped
+    entirely — it happens lazily if an experiment reads the
+    sniffer-side statistics (Tab. 2 hit ratios).
+    """
     trace = get_trace(name, seed)
-    pipeline = SnifferPipeline(clist_size=DEFAULT_CLIST)
-    pipeline.process_trace(trace)
-    database = FlowDatabase.from_flows(pipeline.tagged_flows)
-    return TraceResult(trace=trace, pipeline=pipeline, database=database)
+    database = stored_database(name, seed)
+    pipeline = None
+    if database is None:
+        pipeline = SnifferPipeline(clist_size=DEFAULT_CLIST)
+        pipeline.process_trace(trace)
+        database = FlowDatabase.from_flows(pipeline.tagged_flows)
+    return TraceResult(trace=trace, database=database, pipeline=pipeline)
 
 
 @lru_cache(maxsize=None)

@@ -11,6 +11,7 @@ import argparse
 import sys
 import time
 
+from repro.analytics.storage import StorageError
 from repro.experiments import (
     dimensioning,
     fig3,
@@ -87,7 +88,18 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=None,
         help="override the dataset seed",
     )
+    parser.add_argument(
+        "--flow-store", metavar="DIR", default=None,
+        help="serve experiment databases from the stored flow-store "
+             "root at DIR (one store per trace name, as written by "
+             "repro-flowstore ingest-trace); traces without a store "
+             "fall back to the in-memory build",
+    )
     args = parser.parse_args(argv)
+    if args.flow_store is not None:
+        from repro.experiments.datasets import set_stored_root
+
+        set_stored_root(args.flow_store)
     if args.experiment == "list":
         for exp_id in REGISTRY:
             print(exp_id)
@@ -104,6 +116,13 @@ def main(argv: list[str] | None = None) -> int:
             result = run_experiment(exp_id, **kwargs)
         except KeyError as exc:
             print(exc, file=sys.stderr)
+            return 2
+        except (OSError, StorageError) as exc:
+            # A corrupt --flow-store segment or unreadable store must
+            # fail like the other CLIs do — a clear message, not a
+            # traceback.  Deliberately narrow: a ValueError from an
+            # experiment kernel is a bug and should keep its traceback.
+            print(f"error: {exc}", file=sys.stderr)
             return 2
         print(result)
         print(f"[{exp_id} completed in {time.time() - started:.1f}s]\n")

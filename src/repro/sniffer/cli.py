@@ -24,12 +24,19 @@ def sniff_pcap(
     shards: int = 1,
     processes: int = 1,
     batch_events: int = 8192,
+    flow_store=None,
 ) -> SnifferPipeline:
     """Run the packet path over the capture at ``path``."""
+    # Probe the capture before any side effect: constructing the
+    # pipeline with flow_store creates the store directory, and a
+    # typo'd pcap path must not leave a plausible empty store behind.
+    with open(path, "rb"):
+        pass
     pipeline = SnifferPipeline(
         clist_size=clist_size, warmup=warmup, shards=shards,
         processes=processes, batch_events=batch_events,
         collect_labels=processes > 1,
+        flow_store=flow_store,
     )
 
     def packets():
@@ -88,6 +95,15 @@ def main(argv: list[str] | None = None) -> int:
         "--dump", metavar="PATH",
         help="write labeled flows as JSON lines to PATH",
     )
+    parser.add_argument(
+        "--flow-store", metavar="DIR",
+        help="stream tagged flows into the durable columnar flow store "
+             "at DIR (created if missing; spills mid-run, the live "
+             "tail is sealed on exit — inspect with repro-flowstore). "
+             "For multi-day captures combine with --processes N: "
+             "aggregate mode keeps no per-flow records in the parent, "
+             "so memory is bounded by the store's spill budget",
+    )
     args = parser.parse_args(argv)
     if args.processes > 1 and args.dump:
         parser.error(
@@ -100,9 +116,11 @@ def main(argv: list[str] | None = None) -> int:
             args.pcap, clist_size=args.clist, warmup=args.warmup,
             shards=args.shards, processes=args.processes,
             batch_events=args.batch_events,
+            flow_store=args.flow_store,
         )
     except (OSError, PcapFormatError, ValueError) as exc:
-        # ValueError covers bad sizing knobs (--clist 0, --shards 0).
+        # ValueError covers bad sizing knobs (--clist 0, --shards 0)
+        # and a corrupt --flow-store directory (StorageError).
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
@@ -139,6 +157,13 @@ def main(argv: list[str] | None = None) -> int:
             written = dump_flows(flows, handle)
         print(f"\nwrote {written} labeled flows to {args.dump}")
     pipeline.close()
+    if pipeline.flow_store is not None:
+        stats = pipeline.flow_store.stats()
+        print(
+            f"\nflow store {stats['directory']}: {stats['rows']} rows in "
+            f"{len(stats['segments'])} segments "
+            f"({stats['bytes_on_disk']} bytes on disk)"
+        )
     return 0
 
 

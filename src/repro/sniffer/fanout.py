@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import multiprocessing
 import struct
+import sys
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
@@ -441,6 +442,15 @@ class FanoutPipeline:
             where available — workers inherit the warm interpreter).
         use_numpy: force the vectorised (True) or pure-struct (False)
             consume path; None auto-detects.
+        flow_store: durable-ingest mode — a
+            :class:`repro.analytics.storage.FlowStore` (or directory
+            path, opened as one).  Implies ``collect_flows``; the feed
+            paths drain the workers' tagged-flow batches into the
+            store every ~64k events (worker buffers stay bounded and a
+            crash mid-stream loses at most that window), every
+            :meth:`collect` drains the remainder, and :meth:`close`
+            seals the store's live tail.  All transfers are binary
+            batches — worker→parent→disk with no ``FlowRecord`` churn.
     """
 
     def __init__(
@@ -454,6 +464,7 @@ class FanoutPipeline:
         collect_flows: bool = False,
         start_method: Optional[str] = None,
         use_numpy: Optional[bool] = None,
+        flow_store=None,
     ):
         if processes <= 0:
             raise ValueError("processes must be positive")
@@ -465,6 +476,23 @@ class FanoutPipeline:
             use_numpy = _np is not None
         elif use_numpy and _np is None:
             raise ValueError("use_numpy=True but numpy is not importable")
+        # Open (and possibly create on disk) the store only after every
+        # knob validated — a rejected construction must not leave a
+        # plausible empty store directory behind.
+        if flow_store is not None:
+            if not hasattr(flow_store, "ingest_batch"):
+                from repro.analytics.storage import FlowStore
+
+                flow_store = FlowStore(flow_store)
+            collect_flows = True
+        self.flow_store = flow_store
+        # Feed-path durable-drain cadence: one worker round-trip per
+        # ~64k dispatched events (0 disables; see _note_dispatch).
+        self._drain_interval = (
+            max(1, 65536 // batch_events)
+            if flow_store is not None else 0
+        )
+        self._dispatches_since_drain = 0
         self.processes = processes
         self.clist_size = clist_size
         self.warmup = warmup
@@ -512,9 +540,28 @@ class FanoutPipeline:
         return self
 
     def close(self) -> None:
-        """Stop all workers and reap them (idempotent)."""
+        """Stop all workers and reap them (idempotent).  With a
+        ``flow_store`` attached, remaining tagged-flow batches are
+        drained and the store's live tail is sealed first — but a
+        failing drain (dead worker, full disk) must never skip the
+        shutdown below, so the salvage is best-effort."""
         if not self.started:
             return
+        if self.flow_store is not None:
+            try:
+                try:
+                    self._drain_into_store()
+                finally:
+                    self.flow_store.flush()
+            except (FanoutError, OSError, ValueError) as exc:
+                # The pool must still be reaped, so don't raise — but a
+                # durability failure (dead worker, full disk) must not
+                # pass silently either.
+                print(
+                    f"warning: flow-store drain failed during close: "
+                    f"{exc}",
+                    file=sys.stderr,
+                )
         for index, conn in enumerate(self._conns):
             try:
                 while self._pending[index]:
@@ -603,6 +650,27 @@ class FanoutPipeline:
         if len(encoder):
             self.send_encoded(shard, encoder.take())
 
+    def _drain_into_store(self) -> None:
+        """Move every buffered worker tagged-flow batch into the
+        attached flow store (the single definition of the drain
+        protocol, shared by the feed path, collect and close)."""
+        for payload in self.drain_tagged_batches():
+            self.flow_store.ingest_batch(payload)
+
+    def _note_dispatch(self) -> None:
+        """Feed-path hook: every ``_drain_interval`` dispatched batches
+        the workers' tagged-flow buffers are drained into the attached
+        flow store, so buffers stay bounded and the capture is durable
+        mid-stream.  Called only from the feed paths — never from
+        :meth:`drain_tagged_batches`'s own flush, so it cannot recurse.
+        """
+        if not self._drain_interval:
+            return
+        self._dispatches_since_drain += 1
+        if self._dispatches_since_drain >= self._drain_interval:
+            self._dispatches_since_drain = 0
+            self._drain_into_store()
+
     # -- feeding -----------------------------------------------------------
 
     def feed_dns(self, client_ip: int, fqdn: str, answers,
@@ -616,6 +684,7 @@ class FanoutPipeline:
                                ttl, useless)
         if len(encoder) >= self.batch_events:
             self._dispatch(shard)
+            self._note_dispatch()
 
     def feed_flow(self, flow: FlowRecord) -> None:
         """Route one reconstructed flow to its shard."""
@@ -627,6 +696,7 @@ class FanoutPipeline:
         encoder.add_flow(flow)
         if len(encoder) >= self.batch_events:
             self._dispatch(shard)
+            self._note_dispatch()
 
     def feed(self, event) -> None:
         """Route one event (DNS observation or flow record)."""
@@ -666,7 +736,11 @@ class FanoutPipeline:
 
     def collect(self) -> FanoutReport:
         """Flush, then merge every worker's statistics (non-destructive:
-        workers keep their state and the stream may continue)."""
+        workers keep their state and the stream may continue).  With a
+        ``flow_store`` attached, the workers' tagged-flow batches are
+        drained into the store first."""
+        if self.flow_store is not None:
+            self._drain_into_store()
         self.flush()
         for index, conn in enumerate(self._conns):
             while self._pending[index]:

@@ -33,6 +33,7 @@ counters land in :attr:`tagger` ``.stats`` and :attr:`fanout_report`.
 from __future__ import annotations
 
 from collections import Counter
+from itertools import islice
 from typing import Iterable, Optional, Union
 
 from repro.net.flow import DnsObservation, FlowRecord, Protocol
@@ -90,6 +91,19 @@ class SnifferPipeline:
             zero-object-churn feed of ``FlowDatabase.ingest_batch``
             (``processes > 1`` only; the single-process pipeline can
             always emit batches from its ``tagged_flows``).
+        flow_store: durable-ingest mode — a
+            :class:`repro.analytics.storage.FlowStore` (or a directory
+            path, opened as one).  After every processing call the
+            tagged flows emitted since the previous call stream into
+            the store as binary batches (worker→parent→disk with
+            ``processes > 1``, where ``collect_flows`` is implied);
+            :meth:`close` seals the store's live tail to disk.
+        retain_flows: with ``False`` (requires ``flow_store``), flows
+            already drained into the store are dropped from
+            ``tagged_flows`` — the multi-day capture mode, where the
+            store bounds memory and the in-process list must not grow
+            forever.  ``processes > 1`` never materializes the list,
+            so the knob matters for single-process durable ingest.
     """
 
     def __init__(
@@ -103,7 +117,14 @@ class SnifferPipeline:
         batch_events: int = 8192,
         collect_labels: bool = False,
         collect_flows: bool = False,
+        flow_store=None,
+        retain_flows: bool = True,
     ):
+        if not retain_flows and flow_store is None:
+            raise ValueError(
+                "retain_flows=False discards tagged flows; it needs a "
+                "flow_store to stream them into first"
+            )
         if shards <= 0:
             raise ValueError("shards must be positive")
         if processes <= 0:
@@ -119,6 +140,17 @@ class SnifferPipeline:
                     "policy enforcement and client filters need per-flow "
                     "records in-process; not supported with processes > 1"
                 )
+        # Open (and possibly create on disk) the store only after every
+        # sizing knob validated — a rejected construction must not
+        # leave a plausible empty store directory behind.
+        if flow_store is not None and not hasattr(flow_store, "ingest_batch"):
+            from repro.analytics.storage import FlowStore
+
+            flow_store = FlowStore(flow_store)
+        if flow_store is not None and processes > 1:
+            # Durable ingest needs the workers to re-encode their
+            # tagged flows; the knob is implied rather than demanded.
+            collect_flows = True
         self.clist_size = clist_size
         self.processes = processes
         self.batch_events = batch_events
@@ -147,13 +179,32 @@ class SnifferPipeline:
         self.tagged_flows: list[FlowRecord] = []
         self.blocked_flows: list[FlowRecord] = []
         self._emitted_flows = 0  # emit_tagged_batches drain cursor
+        self.flow_store = flow_store
+        self.retain_flows = retain_flows
+        # Durable single-process runs drain mid-stream (every
+        # ~batch_events tagged flows), so one multi-day processing call
+        # keeps spilling to disk instead of deferring all durability —
+        # and all memory — to the end of the call.  With processes > 1
+        # the fan-out pool owns the cadence (see _fanout_pipeline).
+        self._drain_every = (
+            batch_events if flow_store is not None and processes == 1
+            else 0
+        )
 
     # -- packet path ------------------------------------------------------
 
     def process_packets(self, packets: Iterable[Packet]) -> list[FlowRecord]:
         """Run the full sniffer over decoded packets; return tagged flows."""
         if self.processes > 1:
-            return self._process_packets_fanout(packets)
+            flows = self._process_packets_fanout(packets)
+        else:
+            flows = self._process_packets_inline(packets)
+        self._store_drain()
+        return flows
+
+    def _process_packets_inline(
+        self, packets: Iterable[Packet]
+    ) -> list[FlowRecord]:
         feed_dns = self.dns_sniffer.feed_packet
         feed_flow = self.flow_sniffer.feed
         finish = self._finish_flow
@@ -217,6 +268,26 @@ class SnifferPipeline:
 
     def process_events(self, events: Iterable[Event]) -> list[FlowRecord]:
         """Run the resolver+tagger over structured events in time order."""
+        if self._drain_every:
+            # Chunk the stream so the fused loops stay branch-free on
+            # their hot path while the store still receives (and can
+            # spill) every few batches' worth of tagged flows.
+            events = iter(events)
+            chunk_events = self._drain_every * 4
+            while True:
+                chunk = list(islice(events, chunk_events))
+                if not chunk:
+                    break
+                self._process_events_dispatch(chunk)
+                self._store_drain()
+            return self.tagged_flows
+        flows = self._process_events_dispatch(events)
+        self._store_drain()
+        return flows
+
+    def _process_events_dispatch(
+        self, events: Iterable[Event]
+    ) -> list[FlowRecord]:
         if self.processes > 1:
             fanout = self._fanout_pipeline()
             fanout.feed_events(events)
@@ -505,6 +576,13 @@ class SnifferPipeline:
         fine-grained interleaving of the standard traces (median run
         length 1) the fused per-event loop is faster.
         """
+        flows = self._process_event_runs_dispatch(runs)
+        self._store_drain()
+        return flows
+
+    def _process_event_runs_dispatch(
+        self, runs: Iterable[tuple[bool, list[Event]]]
+    ) -> list[FlowRecord]:
         if self.processes > 1:
             fanout = self._fanout_pipeline()
             fanout.feed_event_runs(runs)
@@ -520,6 +598,7 @@ class SnifferPipeline:
         sniffer_stats = self.dns_sniffer.stats
         tag = self.tagger.tag
         append = self.tagged_flows.append
+        drain_every = self._drain_every
         for is_dns, events in runs:
             if is_dns:
                 with_answers = [obs for obs in events if obs.answers]
@@ -530,6 +609,11 @@ class SnifferPipeline:
             else:
                 for flow in events:
                     append(tag(flow))
+                if drain_every and (
+                    len(self.tagged_flows) - self._emitted_flows
+                    >= drain_every
+                ):
+                    self._store_drain()
         return self.tagged_flows
 
     def process_trace(self, trace) -> list[FlowRecord]:
@@ -554,8 +638,32 @@ class SnifferPipeline:
                 batch_events=self.batch_events,
                 collect_labels=self.collect_labels,
                 collect_flows=self.collect_flows,
+                # The pool owns durable ingest in fan-out mode: it
+                # drains worker batches into the store periodically
+                # while feeding (bounded worker buffers, mid-run
+                # durability) and on collect()/close().
+                flow_store=self.flow_store,
             )
         return self._fanout.start()
+
+    def _store_drain(self) -> None:
+        """Stream tagged flows emitted since the last drain into the
+        attached flow store (durable-ingest mode; no-op otherwise).
+        With ``retain_flows=False`` the drained prefix is dropped from
+        the in-process list, so a multi-day run stays bounded by the
+        store's spill budget instead of growing one record per flow."""
+        if self.flow_store is None:
+            return
+        if self.processes > 1:
+            # The fan-out pool owns the store in that mode: it drains
+            # worker batches periodically during feeding and again on
+            # collect()/close() (see _fanout_pipeline).
+            return
+        for payload in self.emit_tagged_batches(self.batch_events):
+            self.flow_store.ingest_batch(payload)
+        if not self.retain_flows and self._emitted_flows:
+            del self.tagged_flows[:self._emitted_flows]
+            self._emitted_flows = 0
 
     def close(self) -> None:
         """Shut down the fan-out worker pool, if one is running.
@@ -563,7 +671,23 @@ class SnifferPipeline:
         Merged statistics (``tagger.stats``, :attr:`fanout_report`)
         survive the shutdown.  A later processing call restarts the
         pool with fresh worker state.  No-op for in-process pipelines.
+        With a ``flow_store`` attached, any not-yet-drained tagged
+        flows are streamed in and the store's live tail is sealed; a
+        failing drain still shuts the worker pool down.
         """
+        try:
+            if self.flow_store is not None and self.processes == 1:
+                # processes > 1: the fan-out pool drains and seals in
+                # _close_fanout(); flushing here too would cut an
+                # extra near-empty segment per run.
+                try:
+                    self._store_drain()
+                finally:
+                    self.flow_store.flush()
+        finally:
+            self._close_fanout()
+
+    def _close_fanout(self) -> None:
         if self._fanout is not None:
             self._fanout.close()
             self._fanout = None
@@ -618,6 +742,12 @@ class SnifferPipeline:
         single-process encode path, which batches the new tail of the
         in-memory ``tagged_flows``, paying one object walk at emit
         time.
+
+        With a ``flow_store`` attached the pipeline drains this same
+        cursor itself (that is how the store receives the flows), so a
+        caller's own emit loop sees only what the store has not
+        already absorbed — usually nothing.  Query the store instead;
+        it holds every tagged flow exactly once.
         """
         if self.processes > 1:
             if not self.collect_flows:
@@ -652,6 +782,13 @@ class SnifferPipeline:
                 self.blocked_flows.append(flow)
                 return
         self.tagged_flows.append(flow)
+        if self._drain_every and (
+            len(self.tagged_flows) - self._emitted_flows
+            >= self._drain_every
+        ):
+            # Packet path / modular loop mid-run durability: spill to
+            # the store every ~batch_events tagged flows.
+            self._store_drain()
 
     def hit_ratio_by_protocol(self) -> dict[Protocol, float]:
         """Tab. 2 view: per-protocol tagging success after warm-up."""

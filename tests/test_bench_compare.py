@@ -60,9 +60,12 @@ class TestCompareBenches:
         )
         assert regressions == []
         assert [entry["bench"] for entry in compared] == ["a"]
-        # A bench that lost its coverage is named, not silently dropped.
+        # Coverage gaps are named in both directions, not silently
+        # dropped: benches the baseline lost AND benches it has never
+        # seen (a new bench cannot silently "pass" the gate).
         assert skipped == [
             "b (no seed-relative speedup)",
+            "only_current (new bench, no baseline)",
             "only_previous (not in current run)",
         ]
 
@@ -84,6 +87,23 @@ class TestCompareBenches:
         # In-repo, the newest committed file resolves (BENCH_2 as of PR 2).
         resolved = latest_bench_path()
         assert resolved is not None and resolved.exists()
+
+    def test_latest_bench_path_with_numbering_gap(self, tmp_path):
+        # Only BENCH_5 exists: the old count-up-from-1 scan reported
+        # "no baseline" here; the glob must resolve it.
+        (tmp_path / "BENCH_5.json").write_text("{}")
+        (tmp_path / "BENCH_weird.json").write_text("{}")  # ignored
+        assert latest_bench_path(tmp_path) == tmp_path / "BENCH_5.json"
+
+    def test_gate_names_new_benches(self, tmp_path, capsys):
+        previous = tmp_path / "BENCH_PREV.json"
+        previous.write_text(json.dumps(payload(a=1.0)))
+        code = run_compare_gate(
+            payload(a=1.0, brand_new=3.0), previous, 0.85
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "brand_new (new bench, no baseline)" in out
 
 
 class TestGateExitCodes:

@@ -1,0 +1,420 @@
+"""Durable-ingest wiring: pipeline → store → CLIs → experiments.
+
+The tentpole claim is end-to-end: tagged flows stream out of the
+sniffer (single-process or fan-out workers) as binary batches, spill
+to segments on disk, and the reopened directory serves the analytics
+and the experiment runner with answers identical to the in-memory
+path.
+"""
+
+import json
+
+import pytest
+
+from repro.analytics.database import FlowDatabase
+from repro.analytics.flowstore_cli import main as flowstore_main
+from repro.analytics.storage import FlowStore
+from repro.net.flow import DnsObservation, FiveTuple, FlowRecord, Protocol, TransportProto
+from repro.sniffer.pipeline import SnifferPipeline
+
+
+def _events(n_clients=6, flows_per_client=30):
+    """A tiny deterministic event stream: DNS then flows per client."""
+    events = []
+    timestamp = 0.0
+    for client in range(1, n_clients + 1):
+        server = 0x0A000000 + client
+        events.append(DnsObservation(
+            timestamp=timestamp,
+            client_ip=client,
+            fqdn=f"host{client}.example{client % 3}.com",
+            answers=[server],
+        ))
+        for index in range(flows_per_client):
+            timestamp += 1.0
+            events.append(FlowRecord(
+                fid=FiveTuple(client, server, 1024 + index, 443,
+                              TransportProto.TCP),
+                start=timestamp,
+                end=timestamp + 0.5,
+                protocol=Protocol.TLS,
+                bytes_up=100,
+                bytes_down=1000,
+                packets=4,
+            ))
+    return events
+
+
+class TestPipelineDurableIngest:
+    def test_single_process_spills_and_reopens(self, tmp_path):
+        events = _events()
+        pipeline = SnifferPipeline(
+            clist_size=1000, warmup=0.0, batch_events=64,
+            flow_store=FlowStore(tmp_path / "store", spill_rows=32),
+        )
+        pipeline.process_events(events)
+        pipeline.close()
+        mem = FlowDatabase.from_flows(pipeline.tagged_flows)
+        reopened = FlowStore(tmp_path / "store")
+        assert len(reopened.segments) >= 2
+        assert len(reopened) == len(mem)
+        assert reopened.tagged_count == mem.tagged_count
+        assert reopened.fqdns() == mem.fqdns()
+        assert reopened.fqdn_server_counts() == mem.fqdn_server_counts()
+        assert list(reopened) == list(mem)
+
+    def test_retain_flows_false_bounds_the_in_process_list(self, tmp_path):
+        """Multi-day mode: drained flows leave tagged_flows, the store
+        still receives every flow exactly once."""
+        events = _events()
+        pipeline = SnifferPipeline(
+            clist_size=1000, warmup=0.0, batch_events=32,
+            flow_store=FlowStore(tmp_path / "store", spill_rows=32),
+            retain_flows=False,
+        )
+        half = len(events) // 2
+        pipeline.process_events(events[:half])
+        assert len(pipeline.tagged_flows) < half  # drained prefix dropped
+        pipeline.process_events(events[half:])
+        pipeline.close()
+        single = SnifferPipeline(clist_size=1000, warmup=0.0)
+        single.process_events(events)
+        reopened = FlowStore(tmp_path / "store")
+        assert len(reopened) == len(single.tagged_flows)
+        assert reopened.tagged_count == sum(
+            1 for flow in single.tagged_flows if flow.fqdn
+        )
+
+    def test_retain_flows_false_requires_flow_store(self):
+        with pytest.raises(ValueError):
+            SnifferPipeline(retain_flows=False)
+
+    def test_single_call_commits_segments_mid_stream(self, tmp_path):
+        """One long processing call must not defer all durability to
+        its end: by the time the stream's last event is produced,
+        earlier flows are already committed (visible to a reopen)."""
+        events = _events()
+        pipeline = SnifferPipeline(
+            clist_size=1000, warmup=0.0, batch_events=8,
+            flow_store=FlowStore(tmp_path / "store", spill_rows=16),
+        )
+        committed_mid_stream = []
+
+        def stream():
+            for index, event in enumerate(events):
+                if index == len(events) - 1:
+                    committed_mid_stream.append(
+                        len(FlowStore(tmp_path / "store"))
+                    )
+                yield event
+
+        pipeline.process_events(stream())
+        pipeline.close()
+        assert committed_mid_stream[0] > 0
+        assert len(FlowStore(tmp_path / "store")) == len(
+            pipeline.tagged_flows
+        )
+
+    def test_fanout_feed_path_drains_periodically(self, tmp_path):
+        """Worker tagged-batch buffers must drain to the store during
+        feeding, not only at collect()/close()."""
+        from repro.sniffer.fanout import FanoutPipeline
+
+        events = _events()
+        store = FlowStore(tmp_path / "store", spill_rows=16)
+        fanout = FanoutPipeline(
+            processes=2, clist_size=1000, warmup=0.0, batch_events=16,
+            flow_store=store,
+        )
+        assert fanout._drain_interval >= 1
+        fanout._drain_interval = 1  # every dispatch, to keep the test small
+        with fanout:
+            fanout.feed_events(events)
+            rows_before_collect = len(store)
+            report = fanout.collect()
+        assert rows_before_collect > 0
+        assert len(store) == report.flows
+
+    def test_incremental_drains_store_each_flow_once(self, tmp_path):
+        events = _events()
+        half = len(events) // 2
+        pipeline = SnifferPipeline(
+            clist_size=1000, warmup=0.0,
+            flow_store=tmp_path / "store",  # path form opens a store
+        )
+        pipeline.process_events(events[:half])
+        pipeline.process_events(events[half:])
+        pipeline.close()
+        reopened = FlowStore(tmp_path / "store")
+        assert len(reopened) == len(pipeline.tagged_flows)
+
+    def test_fanout_streams_worker_batches_to_disk(self, tmp_path):
+        events = _events()
+        single = SnifferPipeline(clist_size=1000, warmup=0.0)
+        single.process_events(events)
+        mem = FlowDatabase.from_flows(single.tagged_flows)
+        pipeline = SnifferPipeline(
+            clist_size=1000, warmup=0.0, processes=2,
+            flow_store=FlowStore(tmp_path / "store", spill_rows=64),
+        )
+        assert pipeline.collect_flows  # implied by durable ingest
+        pipeline.process_events(events)
+        pipeline.close()
+        reopened = FlowStore(tmp_path / "store")
+        assert len(reopened) == len(mem)
+        assert reopened.tagged_count == mem.tagged_count
+        # Worker sharding reorders rows, so compare label-wise.
+        assert sorted(reopened.fqdns()) == sorted(mem.fqdns())
+        assert {
+            (reopened.fqdn_label(f), s, c)
+            for f, s, c in reopened.fqdn_server_counts()
+        } == {
+            (mem.fqdn_label(f), s, c)
+            for f, s, c in mem.fqdn_server_counts()
+        }
+        assert reopened.count_by_protocol() == mem.count_by_protocol()
+        assert reopened.time_span() == mem.time_span()
+
+    def test_fanout_pipeline_direct_flow_store(self, tmp_path):
+        from repro.sniffer.fanout import FanoutPipeline
+
+        events = _events()
+        fanout = FanoutPipeline(
+            processes=2, clist_size=1000, warmup=0.0,
+            flow_store=FlowStore(tmp_path / "store", spill_rows=64),
+        )
+        assert fanout.collect_flows
+        with fanout:
+            fanout.feed_events(events)
+            report = fanout.collect()
+        reopened = FlowStore(tmp_path / "store")
+        assert len(reopened) == report.flows
+        assert reopened.tagged_count == report.tagged_flows
+
+
+class TestFlowDatabaseSpillConstructor:
+    def test_spill_dir_builds_a_flow_store(self, tmp_path):
+        store = FlowDatabase(spill_dir=tmp_path / "db", spill_rows=4)
+        assert isinstance(store, FlowStore)
+        assert store.spill_rows == 4
+
+    def test_plain_constructor_unchanged(self):
+        database = FlowDatabase()
+        assert isinstance(database, FlowDatabase)
+        assert len(database) == 0
+
+
+class TestFlowstoreCli:
+    def _seed_store(self, tmp_path):
+        store = FlowStore(tmp_path / "store", spill_rows=16)
+        pipeline = SnifferPipeline(
+            clist_size=1000, warmup=0.0, batch_events=32,
+            flow_store=store,
+        )
+        pipeline.process_events(_events())
+        pipeline.close()
+        return tmp_path / "store"
+
+    def test_inspect_and_verify(self, tmp_path, capsys):
+        directory = self._seed_store(tmp_path)
+        assert flowstore_main(["inspect", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "rows" in out and "seg-00000001.fseg" in out
+        assert flowstore_main(["verify", str(directory)]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_compact_subcommand(self, tmp_path, capsys):
+        directory = self._seed_store(tmp_path)
+        before = len(FlowStore(directory).segments)
+        assert before >= 2
+        assert flowstore_main(["compact", str(directory)]) == 0
+        assert "compacted" in capsys.readouterr().out
+        store = FlowStore(directory)
+        assert len(store.segments) == 1
+        assert len(store) == sum(s.n_rows for s in store.segments)
+
+    def test_corrupt_store_errors_cleanly(self, tmp_path, capsys):
+        directory = self._seed_store(tmp_path)
+        segment = sorted(directory.glob("seg-*.fseg"))[0]
+        segment.write_bytes(segment.read_bytes()[:20])
+        assert flowstore_main(["inspect", str(directory)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_directory_is_an_error_not_an_empty_store(
+        self, tmp_path, capsys
+    ):
+        """A mistyped path must not be silently created and reported
+        as a healthy empty store by the read-only commands."""
+        missing = tmp_path / "typo"
+        for command in ("inspect", "verify", "compact"):
+            assert flowstore_main([command, str(missing)]) == 1
+            assert "no flow store" in capsys.readouterr().err
+            assert not missing.exists()
+
+
+class TestStoredDatasetSource:
+    @pytest.fixture()
+    def stored_root(self, tmp_path):
+        from repro.experiments import datasets
+
+        yield tmp_path / "datasets"
+        datasets.set_stored_root(None)
+
+    def test_ingest_trace_then_experiments_ride_the_store(
+        self, stored_root, capsys
+    ):
+        from repro.experiments import datasets
+
+        assert flowstore_main([
+            "ingest-trace", "EU1-FTTH", str(stored_root),
+            "--spill-rows", "4096",
+        ]) == 0
+        assert "stored" in capsys.readouterr().out
+        datasets.set_stored_root(stored_root)
+        result = datasets.get_result("EU1-FTTH")
+        assert isinstance(result.database, FlowStore)
+        datasets.set_stored_root(None)
+        mem = datasets.get_result("EU1-FTTH")
+        assert isinstance(mem.database, FlowDatabase)
+        # The analytics layer sees identical data either way.
+        from repro.analytics.tangle import (
+            fanin_distribution,
+            fanout_distribution,
+        )
+
+        datasets.set_stored_root(stored_root)
+        stored = datasets.get_result("EU1-FTTH")
+        # Store-served results skip the sniffer run; it only happens
+        # lazily if an experiment asks for pipeline statistics.
+        assert stored._pipeline is None
+        assert fanout_distribution(stored.database).values == (
+            fanout_distribution(mem.database).values
+        )
+        assert fanin_distribution(stored.database).values == (
+            fanin_distribution(mem.database).values
+        )
+        assert stored.pipeline.tagger.stats.hits  # lazy run works
+
+    def test_missing_store_falls_back_to_memory(self, stored_root):
+        from repro.experiments import datasets
+
+        stored_root.mkdir(parents=True, exist_ok=True)
+        datasets.set_stored_root(stored_root)
+        result = datasets.get_result("EU1-FTTH")
+        assert isinstance(result.database, FlowDatabase)
+
+    def test_seed_mismatch_falls_back_to_memory(self, stored_root, capsys):
+        """A store ingested with one seed must not serve a request for
+        another — that would silently mix two datasets."""
+        from repro.experiments import datasets
+
+        assert flowstore_main([
+            "ingest-trace", "EU1-FTTH", str(stored_root),
+        ]) == 0
+        capsys.readouterr()
+        datasets.set_stored_root(stored_root)
+        assert datasets.stored_database("EU1-FTTH") is not None
+        assert datasets.stored_database("EU1-FTTH", seed=99) is None
+
+    def test_building_marker_rejects_partial_store(self, stored_root):
+        """A crash mid-ingest leaves the sidecar marked building; such
+        a store must not serve experiments."""
+        import json as json_mod
+
+        from repro.experiments import datasets
+
+        directory = stored_root / "EU1-FTTH"
+        store = FlowStore(directory, spill_rows=4)
+        store.add_all(
+            FlowRecord(
+                fid=FiveTuple(1, 2, 3, 443, TransportProto.TCP),
+                start=float(i), end=float(i), protocol=Protocol.TLS,
+                bytes_up=1, bytes_down=1, packets=1,
+                fqdn="a.example.com",
+            )
+            for i in range(9)
+        )
+        store.close()
+        (directory / "DATASET.json").write_text(json_mod.dumps({
+            "trace": "EU1-FTTH", "seed": 7, "building": True,
+        }))
+        datasets.set_stored_root(stored_root)
+        assert datasets.stored_database("EU1-FTTH") is None
+
+    def test_ingest_trace_refuses_rerun_without_force(
+        self, stored_root, capsys
+    ):
+        assert flowstore_main([
+            "ingest-trace", "EU1-FTTH", str(stored_root),
+        ]) == 0
+        rows = len(FlowStore(stored_root / "EU1-FTTH"))
+        assert flowstore_main([
+            "ingest-trace", "EU1-FTTH", str(stored_root),
+        ]) == 1
+        assert "--force" in capsys.readouterr().err
+        assert len(FlowStore(stored_root / "EU1-FTTH")) == rows
+        assert flowstore_main([
+            "ingest-trace", "EU1-FTTH", str(stored_root), "--force",
+        ]) == 0
+        assert len(FlowStore(stored_root / "EU1-FTTH")) == rows
+
+
+class TestSnifferCliFlowStore:
+    def test_pcap_flow_store_flag(self, tmp_path, capsys):
+        from repro.net.pcap import write_pcap
+        from repro.simulation import build_trace
+        from repro.sniffer.cli import main as sniff_main
+
+        trace = build_trace("EU1-FTTH", seed=19)
+        pcap = tmp_path / "capture.pcap"
+        write_pcap(str(pcap), trace.to_packets(max_flows=60))
+        code = sniff_main([
+            str(pcap), "--warmup", "0", "--flow-store",
+            str(tmp_path / "store"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flow store" in out
+        store = FlowStore(tmp_path / "store")
+        assert len(store) >= 1
+        assert store.tagged_count >= 1
+        assert store.fqdns()  # labels made it to disk
+
+
+class TestRunnerFlowStoreFlag:
+    def test_runner_accepts_flow_store(self, tmp_path, capsys):
+        from repro.experiments import datasets
+        from repro.experiments.runner import main as runner_main
+
+        assert flowstore_main([
+            "ingest-trace", "EU1-FTTH", str(tmp_path / "root"),
+        ]) == 0
+        capsys.readouterr()
+        try:
+            code = runner_main([
+                "--flow-store", str(tmp_path / "root"), "table6",
+            ])
+        finally:
+            datasets.set_stored_root(None)
+        assert code == 0
+        assert "Table 6" in capsys.readouterr().out
+
+
+def test_manifest_is_human_readable(tmp_path):
+    store = FlowStore(tmp_path / "store", spill_rows=4)
+    store.add_all(
+        FlowRecord(
+            fid=FiveTuple(1, 2, 3, 443, TransportProto.TCP),
+            start=float(i), end=float(i), protocol=Protocol.TLS,
+            bytes_up=1, bytes_down=1, packets=1, fqdn="a.example.com",
+        )
+        for i in range(9)
+    )
+    store.close()
+    manifest = json.loads(
+        (tmp_path / "store" / "MANIFEST.json").read_text()
+    )
+    assert manifest["format"] == 1
+    assert manifest["segments"] == [
+        "seg-00000001.fseg", "seg-00000002.fseg", "seg-00000003.fseg",
+    ]
