@@ -49,6 +49,7 @@ the resolver and the codec.
 
 from __future__ import annotations
 
+import math
 import struct
 from array import array
 from typing import Iterable, Iterator, Optional, Sequence
@@ -141,30 +142,48 @@ class FlowDatabase:
     live in-memory tail (see :mod:`repro.analytics.storage`).
     """
 
-    def __new__(cls, spill_dir=None, spill_rows=None, spill_bytes=None):
+    def __new__(
+        cls, spill_dir=None, spill_rows=None, spill_bytes=None,
+        parallel=None,
+    ):
         if spill_dir is not None and cls is FlowDatabase:
             from repro.analytics.storage import FlowStore
 
             return FlowStore(
-                spill_dir, spill_rows=spill_rows, spill_bytes=spill_bytes
+                spill_dir, spill_rows=spill_rows, spill_bytes=spill_bytes,
+                parallel=parallel,
             )
         return super().__new__(cls)
 
-    def __init__(self, spill_dir=None, spill_rows=None, spill_bytes=None) -> None:
-        # spill_* are consumed by __new__ (which builds a FlowStore and
-        # never reaches this initializer).  Reaching here with spill_dir
-        # set means a subclass asked for durability the factory cannot
-        # provide — ignoring it would silently drop data on the floor.
+    def __init__(
+        self, spill_dir=None, spill_rows=None, spill_bytes=None,
+        parallel=None,
+    ) -> None:
+        # spill_*/parallel are consumed by __new__ (which builds a
+        # FlowStore and never reaches this initializer).  Reaching here
+        # with spill_dir set means a subclass asked for durability the
+        # factory cannot provide — ignoring it would silently drop data
+        # on the floor.
         if spill_dir is not None:
             raise TypeError(
                 f"spill_dir is only supported on FlowDatabase itself; "
                 f"construct repro.analytics.storage.FlowStore directly "
                 f"for {type(self).__name__}"
             )
+        if parallel is not None:
+            raise TypeError(
+                "parallel applies to the durable store only; pass "
+                "spill_dir too (or construct FlowStore directly)"
+            )
         self.columns = FlowColumns()
         # Lazily-materialized record cache: object-ingested rows hold
         # the original record, batch-ingested rows start as None.
         self._records: list[Optional[FlowRecord]] = []
+        # True while every row of _records holds a real record (no
+        # batch-ingested rows pending lazy materialization) — lets
+        # _materialize skip the per-row None check entirely, which is
+        # the bulk of a record query on an object-ingested store.
+        self._all_records = True
         self._raw_fqdns: list[Optional[str]] = []   # original-case label
         self._cert_names: list[Optional[str]] = []
         self._true_fqdns: list[Optional[str]] = []
@@ -236,6 +255,11 @@ class FlowDatabase:
         proto_idx = PROTOCOL_INDEX.get(flow.protocol)
         if proto_idx is None:
             raise ValueError(f"unknown protocol {flow.protocol!r}")
+        if not (math.isfinite(flow.start) and math.isfinite(flow.end)):
+            # A NaN/inf timestamp would poison the incremental min/max
+            # statistics and the durable store's segment time ranges —
+            # window pruning could then silently drop valid rows.
+            raise ValueError("non-finite flow timestamp")
         fqdn = flow.fqdn
         lowered = fqdn.lower() if fqdn else None
         try:
@@ -336,6 +360,7 @@ class FlowDatabase:
         fqdn_ids = self._commit_flow_strings(entries)
         self._index_batch(view, fqdn_ids, base, n)
         self._records.extend([None] * n)
+        self._all_records = False
         return n
 
     @classmethod
@@ -417,14 +442,24 @@ class FlowDatabase:
                 cold["transport"], list(_TRANSPORTS)
             ).all():
                 raise CodecError("invalid transport protocol number")
+            if not (
+                _np.isfinite(hot["start"]).all()
+                and _np.isfinite(cold["end"]).all()
+            ):
+                raise CodecError("non-finite flow timestamp")
             return
         n_protocols = len(PROTOCOLS)
-        for _c, _s, _start, proto in FLOW_HOT.iter_unpack(view.flow_hot):
+        isfinite = math.isfinite
+        for _c, _s, start, proto in FLOW_HOT.iter_unpack(view.flow_hot):
             if proto >= n_protocols:
                 raise CodecError("protocol index out of range")
+            if not isfinite(start):
+                raise CodecError("non-finite flow timestamp")
         for fields in FLOW_COLD.iter_unpack(view.flow_cold):
             if fields[2] not in _TRANSPORTS:
                 raise CodecError("invalid transport protocol number")
+            if not isfinite(fields[3]):
+                raise CodecError("non-finite flow timestamp")
 
     def _parse_flow_strings(
         self, view: BatchView, n: int
@@ -603,6 +638,9 @@ class FlowDatabase:
         return record
 
     def _materialize(self, rows) -> list[FlowRecord]:
+        if self._all_records:
+            records = self._records
+            return [records[row] for row in rows]
         record = self._record
         return [record(row) for row in rows]
 
@@ -632,6 +670,29 @@ class FlowDatabase:
                 out.extend(index)
         return out
 
+    def rows_in_window(self, t0: float, t1: float) -> Sequence[int]:
+        """Row indices of flows whose *start* falls in ``[t0, t1)``.
+
+        The per-time-bin analytics (Figs. 3-5, 11) bin flows by start
+        time; this is the matching row selector, and the primitive the
+        durable store prunes segments against (a segment whose
+        ``[min_start, max_start]`` misses the window is skipped
+        without touching its columns).
+        """
+        start_col = self.columns.start
+        n = len(start_col)
+        if not n or t1 <= t0:
+            return _EMPTY_ROWS
+        if _np is not None:
+            starts = _np.frombuffer(start_col, _np.float64)
+            hits = _np.flatnonzero((starts >= t0) & (starts < t1))
+            out = array("I")
+            out.frombytes(_native(hits, _np.uint32))
+            return out
+        return array("I", (
+            row for row in range(n) if t0 <= start_col[row] < t1
+        ))
+
     def tagged_rows(self) -> Sequence[int]:
         """Row indices of every labeled flow (do not mutate)."""
         return self._tagged
@@ -653,6 +714,10 @@ class FlowDatabase:
     def query_by_port(self, dst_port: int) -> list[FlowRecord]:
         """Flows to destination port ``dst_port``."""
         return self._materialize(self.rows_for_port(dst_port))
+
+    def query_in_window(self, t0: float, t1: float) -> list[FlowRecord]:
+        """Flows starting in ``[t0, t1)``, in row order."""
+        return self._materialize(self.rows_in_window(t0, t1))
 
     # -- aggregate views ---------------------------------------------------
 

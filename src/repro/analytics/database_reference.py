@@ -92,6 +92,12 @@ class FlowDatabase:
         """Flows to destination port ``dst_port``."""
         return [self._flows[i] for i in self._by_port.get(dst_port, ())]
 
+    def query_in_window(self, t0: float, t1: float) -> list[FlowRecord]:
+        """Flows starting in ``[t0, t1)``, in insertion order."""
+        if t1 <= t0:
+            return []
+        return [f for f in self._flows if t0 <= f.start < t1]
+
     # -- aggregate views ---------------------------------------------------
 
     def fqdns(self) -> list[str]:

@@ -4,10 +4,20 @@ Subcommands:
 
 * ``inspect DIR``        — manifest, per-segment rows/labels/bytes and
   totals (validates headers, sizes and CRCs on open);
-* ``verify DIR``         — additionally materialize every segment, so
-  id-table consistency is checked end to end;
+* ``stats DIR``          — the same information plus per-segment
+  pruning metadata, as machine-readable JSON;
+* ``prune-report DIR``   — which segments a query with the given
+  predicate (``--t0/--t1``, ``--fqdn``, ``--domain``, ``--server``,
+  ``--client``, ``--protocol``) would scan vs skip — metadata
+  arithmetic only, nothing is materialized;
+* ``verify DIR``         — additionally materialize every segment
+  (id-table consistency end to end) and recompute each version-2
+  footer's pruning metadata from the columns, failing on a footer
+  that lies about its segment; ``--parallel N`` fans the per-segment
+  checks out over a thread pool;
 * ``compact DIR``        — merge sealed segments (all of them, or only
-  adjacent runs of segments below ``--small-rows``);
+  adjacent runs of segments below ``--small-rows``); rewrites always
+  carry fresh metadata, so compaction also upgrades v1 segments;
 * ``ingest-trace NAME DIR`` — build a standard simulation trace, run
   the sniffer pipeline over it and persist the tagged flows into
   ``DIR/NAME``, making the trace usable as a stored dataset source for
@@ -21,7 +31,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analytics.storage import FlowStore, StorageError
+from repro.analytics.storage import (
+    FlowStore,
+    QueryHint,
+    SegmentMeta,
+    StorageError,
+)
 
 
 def _open_existing(directory) -> FlowStore:
@@ -41,8 +56,19 @@ def _open_existing(directory) -> FlowStore:
 def _cmd_inspect(args) -> int:
     store = _open_existing(args.directory)
     stats = store.stats()
+    versions = stats["segment_versions"]
+    suffix = ""
+    if versions and set(versions) != {str(stats["format"])}:
+        # Mixed or older on-disk versions matter to an operator
+        # triaging v1 compat — say so instead of claiming v2.
+        breakdown = ", ".join(
+            f"{count}x v{version}" for version, count in sorted(
+                versions.items()
+            )
+        )
+        suffix = f" (segments: {breakdown}; compact upgrades)"
     print(f"flow store : {stats['directory']}")
-    print(f"format     : v{stats['format']}")
+    print(f"format     : v{stats['format']}{suffix}")
     print(f"rows       : {stats['rows']} "
           f"(sealed {stats['sealed_rows']}, tail {stats['tail_rows']})")
     print(f"fqdns/slds : {stats['fqdns']} / {stats['slds']}")
@@ -52,20 +78,123 @@ def _cmd_inspect(args) -> int:
         print("\nsegments:")
         for segment in stats["segments"]:
             print(
-                f"  {segment['name']}  rows={segment['rows']:<10d}"
+                f"  {segment['name']}  v{segment['version']}  "
+                f"rows={segment['rows']:<10d}"
                 f"labels={segment['labels']:<8d}bytes={segment['bytes']}"
             )
     return 0
 
 
-def _cmd_verify(args) -> int:
+def _cmd_stats(args) -> int:
+    import json
+
     store = _open_existing(args.directory)
+    print(json.dumps(store.stats(), indent=2))
+    return 0
+
+
+def _cmd_prune_report(args) -> int:
+    store = _open_existing(args.directory)
+    window = None
+    if (args.t0 is None) != (args.t1 is None):
+        print("error: --t0 and --t1 must be given together",
+              file=sys.stderr)
+        return 1
+    if args.t0 is not None:
+        window = (args.t0, args.t1)
+    protocol = None
+    if args.protocol is not None:
+        from repro.sniffer.eventcodec import PROTOCOLS
+
+        names = {proto.name: index for index, proto in enumerate(PROTOCOLS)}
+        protocol = names.get(args.protocol.upper())
+        if protocol is None:
+            print(
+                f"error: unknown protocol {args.protocol!r} "
+                f"(known: {', '.join(sorted(names))})",
+                file=sys.stderr,
+            )
+            return 1
+    hint = QueryHint(
+        fqdn=args.fqdn.lower() if args.fqdn else None,
+        sld=args.domain.lower() if args.domain else None,
+        servers=[args.server] if args.server is not None else None,
+        clients=[args.client] if args.client is not None else None,
+        window=window,
+        protocol=protocol,
+    )
+    report = store.prune_report(hint)
+    for segment in report["segments"]:
+        verdict = "scan " if segment["scan"] else "prune"
+        print(
+            f"  {segment['name']}  v{segment['version']}  "
+            f"rows={segment['rows']:<10d}{verdict}"
+        )
+    total_rows = report["scanned_rows"] + report["pruned_rows"]
+    print(
+        f"would scan {report['scanned_segments']} of "
+        f"{report['scanned_segments'] + report['pruned_segments']} "
+        f"segments ({report['scanned_rows']} of {total_rows} sealed "
+        f"rows; {report['tail_rows']} live tail rows always scanned)"
+    )
+    return 0
+
+
+def _verify_segment(reader) -> tuple[str, int, str]:
+    """Materialize one segment and cross-check its footer metadata.
+
+    Returns ``(name, rows, problem)`` — ``problem`` is empty when the
+    segment is healthy, a description otherwise.  The id-table/enum
+    validation happens inside ``database()``; the metadata check then
+    recomputes the v2 footer from the materialized columns, so ranges
+    or filters that a buggy rewrite narrowed are caught here rather
+    than silently dropping rows from pruned queries.
+    """
+    database = reader.database()
+    problem = ""
+    if reader.meta is not None and (
+        SegmentMeta.from_database(database) != reader.meta
+    ):
+        problem = "footer metadata does not match segment contents"
+    rows = len(database)
+    reader.release()
+    return reader.name, rows, problem
+
+
+def _cmd_verify(args) -> int:
+    if args.parallel is not None and args.parallel <= 0:
+        # Same contract as FlowStore(parallel=...): a zero/negative
+        # worker count is an error, not a silent serial run.
+        print("error: --parallel must be positive", file=sys.stderr)
+        return 1
+    store = _open_existing(args.directory)
+    parallel = args.parallel or 1
+    if parallel > 1 and len(store.segments) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=parallel) as pool:
+            results = list(pool.map(_verify_segment, store.segments))
+    else:
+        results = [_verify_segment(reader) for reader in store.segments]
     total = 0
-    for reader in store.segments:
-        database = reader.database()
-        print(f"  {reader.name}: {len(database)} rows ok")
-        total += len(database)
-        reader.release()
+    bad = 0
+    for (name, rows, problem), reader in zip(results, store.segments):
+        note = "no pruning metadata (v1 segment)" if (
+            reader.meta is None
+        ) else "metadata ok"
+        if problem:
+            bad += 1
+            print(f"  {name}: {rows} rows, ERROR: {problem}")
+        else:
+            print(f"  {name}: {rows} rows ok, {note}")
+        total += rows
+    if bad:
+        print(
+            f"error: {bad} of {len(store.segments)} segments failed "
+            f"metadata verification",
+            file=sys.stderr,
+        )
+        return 1
     print(f"verified {len(store.segments)} segments, {total} rows")
     return 0
 
@@ -150,10 +279,56 @@ def main(argv: list[str] | None = None) -> int:
     inspect.add_argument("directory", help="flow store directory")
     inspect.set_defaults(func=_cmd_inspect)
 
+    stats = sub.add_parser(
+        "stats",
+        help="store summary with per-segment pruning metadata, as JSON",
+    )
+    stats.add_argument("directory", help="flow store directory")
+    stats.set_defaults(func=_cmd_stats)
+
+    prune_report = sub.add_parser(
+        "prune-report",
+        help="which segments a query with this predicate would scan",
+    )
+    prune_report.add_argument("directory", help="flow store directory")
+    prune_report.add_argument(
+        "--t0", type=float, default=None,
+        help="window start (flow start time, seconds)",
+    )
+    prune_report.add_argument(
+        "--t1", type=float, default=None,
+        help="window end (exclusive)",
+    )
+    prune_report.add_argument(
+        "--fqdn", default=None, help="exact label to probe"
+    )
+    prune_report.add_argument(
+        "--domain", default=None, help="second-level domain to probe"
+    )
+    prune_report.add_argument(
+        "--server", type=int, default=None,
+        help="server address (u32) to probe",
+    )
+    prune_report.add_argument(
+        "--client", type=int, default=None,
+        help="client address (u32) to probe",
+    )
+    prune_report.add_argument(
+        "--protocol", default=None,
+        help="layer-7 protocol name to probe (e.g. TLS, HTTP, P2P)",
+    )
+    prune_report.set_defaults(func=_cmd_prune_report)
+
     verify = sub.add_parser(
-        "verify", help="materialize every segment (full validation)"
+        "verify",
+        help="materialize every segment (full validation, including "
+             "recomputed pruning metadata)",
     )
     verify.add_argument("directory", help="flow store directory")
+    verify.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="verify N segments concurrently (thread pool)",
+    )
     verify.set_defaults(func=_cmd_verify)
 
     compact = sub.add_parser(

@@ -30,13 +30,33 @@ query engine:
 :class:`FlowStore` directly, so callers opt into durability with two
 keyword arguments and keep the exact same query surface.
 
-Segment file format (version 1, all integers little-endian)::
+Two levers keep whole-store queries off segments that cannot matter:
+
+* **Pruning metadata** — every sealed segment carries a footer block
+  (:class:`SegmentMeta`): min/max flow start/end, client/server
+  address ranges, a layer-7 protocol bitmask and compact presence
+  filters over the segment's distinct FQDNs and second-level domains.
+  Label-, domain-, server- and time-window-keyed queries skip — never
+  materialize — segments whose metadata proves they cannot contribute
+  (``FlowStore(prune=False)`` restores the scan-everything behaviour;
+  answers are identical either way, which the property suite in
+  ``tests/test_storage_pruning.py`` holds it to).
+* **Parallel per-segment kernels** — ``FlowStore(parallel=N)`` fans
+  the surviving per-segment query/aggregation kernels out over a
+  thread pool (the kernels spend their time in numpy reductions,
+  ``frombytes`` bulk copies and file reads, all of which release the
+  GIL) and merges the partials in segment order under the global
+  intern table, so results are bit-identical to the serial pass.
+
+Segment file format (version 2; version-1 files — identical but
+without block 17 — still open; all integers little-endian)::
 
     header     <4sHHIIIIIQ   magic b"FSG1", version, flags,
                              n_rows, n_labels, n_certs, n_trues,
                              crc32(payload), payload_len
-    directory  17 x u64      byte length of each payload block
-    payload    17 blocks, in order:
+    directory  18 x u64      byte length of each payload block
+                             (17 x u64 in version 1)
+    payload    18 blocks, in order:
       0-10   numeric columns  client_ip u32, server_ip u32,
                               src_port u16, dst_port u16, transport u8,
                               start f64, end f64, protocol u8,
@@ -46,14 +66,34 @@ Segment file format (version 1, all integers little-endian)::
       14-16  string tables    distinct label / cert_name / true_fqdn
                               strings in first-appearance order, each
                               entry u32 length + UTF-8 bytes
+      17     pruning metadata <ddddIIIIIHH  min_start, max_start,
+                              min_end, max_end, min_client, max_client,
+                              min_server, max_server, protocol_mask,
+                              fqdn_filter_len, sld_filter_len —
+                              followed by the two filter bitmaps
+                              (version 2 only)
+
+The presence filters are Bloom filters over the segment's *distinct*
+lowercased FQDNs / 2LDs: a power-of-two bitmap sized at ~8 bits per
+entry (64 bits minimum, 32768 bits cap), two CRC32-derived probes per
+entry.  A membership test can answer a false "maybe" (the segment is
+scanned needlessly) but never a false "no" — pruning is sound by
+construction, and ``repro-flowstore verify`` recomputes the whole
+footer from the materialized columns to catch a segment whose
+metadata lies (e.g. after a buggy external rewrite).
 
 A torn write can never corrupt the store: segments are written to a
 temp file, fsynced and atomically renamed, and only then recorded in
-``MANIFEST.json`` (itself replaced atomically).  A segment file not in
-the manifest is an uncommitted orphan and is ignored on open; a
-truncated or bit-flipped segment fails the size/CRC validation in
-:meth:`SegmentReader.open` and the open raises :class:`StorageError`
-without leaving partial state behind.
+``MANIFEST.json`` (itself replaced atomically).  The manifest carries
+a summary of each segment's pruning metadata (ranges, protocol mask,
+filter sizes) for out-of-band inspection; the filter bitmaps live
+only in the footer — covered by the segment CRC — which stays
+authoritative for every pruning decision.
+A segment file not in the manifest is an uncommitted orphan and is
+ignored on open; a truncated or bit-flipped segment (or metadata
+block) fails the size/CRC validation in :meth:`SegmentReader.open`
+and the open raises :class:`StorageError` without leaving partial
+state behind.
 
 Like the in-memory engine, everything here uses numpy when importable
 and falls back to pure-Python loops over the same blocks otherwise —
@@ -64,6 +104,7 @@ the two layers always agree on which path is active.
 from __future__ import annotations
 
 import json
+import math
 import os
 import re
 import struct
@@ -76,11 +117,16 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.analytics import database as _dbmod
 from repro.analytics.database import FlowDatabase, _TRANSPORTS
+from repro.dns.name import second_level_domain
 from repro.net.flow import FlowRecord, Protocol
 from repro.sniffer.eventcodec import PROTOCOLS
 
 MAGIC = b"FSG1"
-FORMAT_VERSION = 1
+#: Current on-disk format: version 2 adds the pruning-metadata footer
+#: block.  Version-1 segments and manifests still open read-only-
+#: compatibly (they simply carry no metadata and are never pruned).
+FORMAT_VERSION = 2
+FORMAT_VERSION_V1 = 1
 MANIFEST_NAME = "MANIFEST.json"
 SEGMENT_SUFFIX = ".fseg"
 
@@ -90,6 +136,19 @@ DEFAULT_SPILL_ROWS = 1 << 18
 _HEADER = struct.Struct("<4sHHIIIIIQ")
 _BLOCK_LEN = struct.Struct("<Q")
 _STR_LEN = struct.Struct("<I")
+_META_FIXED = struct.Struct("<ddddIIIIIHH")
+
+#: Presence-filter sizing: ~8 bits per distinct entry, power-of-two
+#: bitmap between 64 bits and 32768 bits (4 KB cap per filter).
+_FILTER_MIN_BITS = 64
+_FILTER_MAX_BITS = 1 << 15
+#: Salt appended to the value for the second Bloom probe.  The second
+#: hash must differ in *input bytes*, not just CRC seed: CRC32 is
+#: affine in its init value, so crc32(x, seed) == crc32(x) ^ C(len(x))
+#: — seed-derived probes collide together for equal-length keys
+#: (exactly how FQDN sets cluster) and would degrade the filter to an
+#: effective single probe.
+_FILTER_SALT = b"\x01"
 
 #: The eleven fixed-width value columns, in block order (matches the
 #: ``FlowColumns`` attribute of the same name).  Append only —
@@ -104,7 +163,13 @@ _NUMERIC_COLUMNS = (
 _N_NUMERIC = len(_NUMERIC_COLUMNS)
 _N_ID = 3          # label_id, cert_id, true_id
 _N_TABLES = 3      # labels, certs, trues
-_N_BLOCKS = _N_NUMERIC + _N_ID + _N_TABLES
+_N_BLOCKS_V1 = _N_NUMERIC + _N_ID + _N_TABLES
+_META_BLOCK = _N_BLOCKS_V1          # block 17: pruning metadata (v2)
+_N_BLOCKS = _N_BLOCKS_V1 + 1
+
+
+def _block_count(version: int) -> int:
+    return _N_BLOCKS_V1 if version == FORMAT_VERSION_V1 else _N_BLOCKS
 
 #: Fixed column bytes per in-memory row (the 11 value columns plus the
 #: fqdn_id column) — the per-row term of :meth:`FlowStore.tail_bytes`.
@@ -117,6 +182,313 @@ _SEGMENT_RE = re.compile(r"^seg-(\d{8})\.fseg$")
 
 class StorageError(ValueError):
     """A segment file or store directory is malformed or corrupted."""
+
+
+class PresenceFilter:
+    """Compact may-contain filter over a set of strings (Bloom, k=2).
+
+    Sound for pruning: :meth:`__contains__` can return a false
+    "maybe" (a needless scan) but never a false "no" (a dropped row).
+    The bitmap is a power of two between 64 and 32768 bits sized at
+    ~8 bits per distinct entry, probed twice per value with
+    CRC32-derived hashes — deterministic across processes and runs,
+    so two filters built from the same value set are byte-identical
+    regardless of iteration order.
+    """
+
+    __slots__ = ("data", "_mask")
+
+    def __init__(self, data: bytes = b""):
+        if data:
+            length = len(data)
+            if length < _FILTER_MIN_BITS // 8 or length & (length - 1):
+                raise StorageError(
+                    f"presence filter length {length} is not a "
+                    f"power-of-two byte count"
+                )
+        self.data = data
+        self._mask = len(data) * 8 - 1
+
+    @classmethod
+    def build(cls, values: Iterable[str]) -> "PresenceFilter":
+        encoded = [value.encode("utf-8") for value in values]
+        if not encoded:
+            return cls(b"")
+        nbits = _FILTER_MIN_BITS
+        while nbits < 8 * len(encoded) and nbits < _FILTER_MAX_BITS:
+            nbits <<= 1
+        mask = nbits - 1
+        bits = bytearray(nbits // 8)
+        for raw in encoded:
+            for h in (zlib.crc32(raw), zlib.crc32(raw + _FILTER_SALT)):
+                h &= mask
+                bits[h >> 3] |= 1 << (h & 7)
+        return cls(bytes(bits))
+
+    def __contains__(self, value: str) -> bool:
+        data = self.data
+        if not data:
+            return False
+        raw = value.encode("utf-8")
+        mask = self._mask
+        for h in (zlib.crc32(raw), zlib.crc32(raw + _FILTER_SALT)):
+            h &= mask
+            if not data[h >> 3] & (1 << (h & 7)):
+                return False
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PresenceFilter) and self.data == other.data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class SegmentMeta:
+    """Per-segment pruning metadata (the version-2 footer block).
+
+    Value ranges over the segment's rows plus presence filters over
+    its distinct labels; an empty segment encodes inverted ranges
+    (``min > max``) and empty filters, so every predicate prunes it.
+    Both construction paths — :meth:`from_database` at seal time and
+    :meth:`from_blocks` at compaction time — produce identical
+    metadata for identical content, which ``repro-flowstore verify``
+    relies on to detect a footer that lies about its segment.
+    """
+
+    __slots__ = (
+        "min_start", "max_start", "min_end", "max_end",
+        "min_client", "max_client", "min_server", "max_server",
+        "protocol_mask", "fqdn_filter", "sld_filter",
+    )
+
+    def __init__(self):
+        self.min_start = self.min_end = float("inf")
+        self.max_start = self.max_end = float("-inf")
+        self.min_client = self.min_server = 0xFFFFFFFF
+        self.max_client = self.max_server = 0
+        self.protocol_mask = 0
+        self.fqdn_filter = PresenceFilter()
+        self.sld_filter = PresenceFilter()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_database(cls, database: FlowDatabase) -> "SegmentMeta":
+        """Compute the metadata of an in-memory columnar database."""
+        meta = cls()
+        cols = database.columns
+        if len(cols):
+            meta.min_start, meta.max_start = _finite_bounds(cols.start)
+            meta.min_end, meta.max_end = _finite_bounds(cols.end)
+            np = _dbmod._np
+            if np is not None:
+                clients = np.frombuffer(cols.client_ip, np.uint32)
+                servers = np.frombuffer(cols.server_ip, np.uint32)
+                meta.min_client = int(clients.min())
+                meta.max_client = int(clients.max())
+                meta.min_server = int(servers.min())
+                meta.max_server = int(servers.max())
+            else:
+                meta.min_client = min(cols.client_ip)
+                meta.max_client = max(cols.client_ip)
+                meta.min_server = min(cols.server_ip)
+                meta.max_server = max(cols.server_ip)
+            mask = 0
+            for index, count in enumerate(database._protocol_counts):
+                if count:
+                    mask |= 1 << index
+            meta.protocol_mask = mask
+        meta.fqdn_filter = PresenceFilter.build(database._fqdn_names)
+        meta.sld_filter = PresenceFilter.build(database._sld_names)
+        return meta
+
+    @classmethod
+    def from_blocks(
+        cls, blocks: Sequence[bytes], labels: Sequence[str]
+    ) -> "SegmentMeta":
+        """Compute metadata from raw column blocks plus the label
+        table (compaction's path — no database is materialized).
+        Byte-identical to :meth:`from_database` of the same content."""
+        meta = cls()
+        starts = _from_le("d", blocks[5])
+        if len(starts):
+            meta.min_start, meta.max_start = _finite_bounds(starts)
+            meta.min_end, meta.max_end = _finite_bounds(
+                _from_le("d", blocks[6])
+            )
+            np = _dbmod._np
+            if np is not None:
+                # Compaction can merge multi-million-row segments;
+                # full-column Python min/max passes would dominate it.
+                clients = np.frombuffer(blocks[0], np.dtype("<u4"))
+                servers = np.frombuffer(blocks[1], np.dtype("<u4"))
+                meta.min_client = int(clients.min())
+                meta.max_client = int(clients.max())
+                meta.min_server = int(servers.min())
+                meta.max_server = int(servers.max())
+                seen = np.unique(
+                    np.frombuffer(blocks[7], np.uint8)
+                ).tolist()
+            else:
+                clients = _from_le("I", blocks[0])
+                servers = _from_le("I", blocks[1])
+                meta.min_client = min(clients)
+                meta.max_client = max(clients)
+                meta.min_server = min(servers)
+                meta.max_server = max(servers)
+                seen = set(blocks[7])
+            mask = 0
+            for value in seen:
+                mask |= 1 << value
+            meta.protocol_mask = mask
+        lowered: dict[str, None] = {}
+        for text in labels:
+            if text:
+                lowered.setdefault(text.lower())
+        meta.fqdn_filter = PresenceFilter.build(lowered)
+        meta.sld_filter = PresenceFilter.build(
+            dict.fromkeys(second_level_domain(name) for name in lowered)
+        )
+        return meta
+
+    # -- serialization -----------------------------------------------------
+
+    def encode(self) -> bytes:
+        return _META_FIXED.pack(
+            self.min_start, self.max_start, self.min_end, self.max_end,
+            self.min_client, self.max_client,
+            self.min_server, self.max_server,
+            self.protocol_mask,
+            len(self.fqdn_filter.data), len(self.sld_filter.data),
+        ) + self.fqdn_filter.data + self.sld_filter.data
+
+    @classmethod
+    def decode(cls, raw) -> "SegmentMeta":
+        if len(raw) < _META_FIXED.size:
+            raise StorageError("truncated metadata block")
+        (min_start, max_start, min_end, max_end,
+         min_client, max_client, min_server, max_server,
+         protocol_mask, fqdn_len, sld_len) = _META_FIXED.unpack_from(raw, 0)
+        if _META_FIXED.size + fqdn_len + sld_len != len(raw):
+            raise StorageError("truncated metadata block")
+        meta = cls()
+        meta.min_start, meta.max_start = min_start, max_start
+        meta.min_end, meta.max_end = min_end, max_end
+        meta.min_client, meta.max_client = min_client, max_client
+        meta.min_server, meta.max_server = min_server, max_server
+        meta.protocol_mask = protocol_mask
+        pos = _META_FIXED.size
+        meta.fqdn_filter = PresenceFilter(bytes(raw[pos:pos + fqdn_len]))
+        pos += fqdn_len
+        meta.sld_filter = PresenceFilter(bytes(raw[pos:pos + sld_len]))
+        return meta
+
+    def to_manifest(self) -> dict:
+        """JSON-safe summary for ``MANIFEST.json`` / ``stats`` —
+        ranges, mask and filter *sizes* only.  The bitmaps stay in the
+        CRC-covered footer (the authoritative copy, and the only one
+        any pruning decision reads); duplicating them as hex would
+        bloat every manifest rewrite for data no consumer parses."""
+
+        def _f(value: float):
+            return value if math.isfinite(value) else None
+
+        return {
+            "min_start": _f(self.min_start),
+            "max_start": _f(self.max_start),
+            "min_end": _f(self.min_end),
+            "max_end": _f(self.max_end),
+            "min_client": self.min_client,
+            "max_client": self.max_client,
+            "min_server": self.min_server,
+            "max_server": self.max_server,
+            "protocol_mask": self.protocol_mask,
+            "fqdn_filter_bits": len(self.fqdn_filter.data) * 8,
+            "sld_filter_bits": len(self.sld_filter.data) * 8,
+        }
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SegmentMeta) and all(
+            getattr(self, name) == getattr(other, name)
+            for name in SegmentMeta.__slots__
+        )
+
+    # -- pruning predicates ------------------------------------------------
+
+    def may_contain_fqdn(self, lowered: str) -> bool:
+        return lowered in self.fqdn_filter
+
+    def may_contain_sld(self, lowered: str) -> bool:
+        return lowered in self.sld_filter
+
+    def may_contain_server(self, server_ip: int) -> bool:
+        return self.min_server <= server_ip <= self.max_server
+
+    def may_contain_client(self, client_ip: int) -> bool:
+        return self.min_client <= client_ip <= self.max_client
+
+    def may_contain_protocol(self, protocol_index: int) -> bool:
+        return bool(self.protocol_mask >> protocol_index & 1)
+
+    def may_overlap_window(self, t0: float, t1: float) -> bool:
+        """Could any flow *start* fall in ``[t0, t1)``?
+
+        Written as a double negation so the comparison only *prunes*
+        on a provable miss: should a non-finite bound ever reach a
+        footer, every comparison against NaN is False and the segment
+        is conservatively scanned rather than silently dropped
+        (ingestion rejects non-finite timestamps, so this is
+        defense in depth).
+        """
+        return not (self.max_start < t0 or self.min_start >= t1)
+
+
+class QueryHint:
+    """What a query is looking for — matched against
+    :class:`SegmentMeta` to decide whether a sealed segment can be
+    skipped.  A ``None`` field constrains nothing; a segment without
+    metadata (version 1) is never pruned."""
+
+    __slots__ = ("fqdn", "sld", "servers", "clients", "window", "protocol")
+
+    def __init__(
+        self, fqdn=None, sld=None, servers=None, clients=None,
+        window=None, protocol=None,
+    ):
+        self.fqdn = fqdn            # lowercased label
+        self.sld = sld              # lowercased second-level domain
+        self.servers = servers      # iterable of u32 addresses
+        self.clients = clients      # iterable of u32 addresses
+        self.window = window        # (t0, t1) over flow start
+        self.protocol = protocol    # index into PROTOCOLS
+
+    def admits(self, meta: Optional[SegmentMeta]) -> bool:
+        """False only when ``meta`` *proves* the segment cannot hold a
+        matching row."""
+        if meta is None:
+            return True
+        if self.window is not None and not meta.may_overlap_window(
+            *self.window
+        ):
+            return False
+        if self.fqdn is not None and not meta.may_contain_fqdn(self.fqdn):
+            return False
+        if self.sld is not None and not meta.may_contain_sld(self.sld):
+            return False
+        if self.servers is not None and not any(
+            meta.may_contain_server(server) for server in self.servers
+        ):
+            return False
+        if self.clients is not None and not any(
+            meta.may_contain_client(client) for client in self.clients
+        ):
+            return False
+        if self.protocol is not None and not meta.may_contain_protocol(
+            self.protocol
+        ):
+            return False
+        return True
 
 
 def _le(arr: array) -> bytes:
@@ -147,6 +519,39 @@ def _le_np(values, dtype) -> bytes:
 
 def _np_le_dtype(dtype) -> str:  # pragma: no cover - BE hosts only
     return _dbmod._np.dtype(dtype).newbyteorder("<").str
+
+
+def _finite_bounds(values) -> tuple[float, float]:
+    """(min, max) over the *finite* entries of a float column; the
+    empty convention ``(inf, -inf)`` when none are.
+
+    Current ingestion rejects non-finite timestamps, but v1 (PR4-era)
+    segments predate that check — computing ranges over finite values
+    only keeps :meth:`SegmentMeta.from_database` and
+    :meth:`SegmentMeta.from_blocks` byte-identical on such data (a
+    NaN would poison ``min``/``max`` differently per path and make
+    ``verify`` flag a healthy footer), and stays sound: a NaN start
+    compares False against every window, so the row can never match a
+    window query the range might prune.
+    """
+    np = _dbmod._np
+    if np is not None:
+        column = (
+            values if isinstance(values, np.ndarray)
+            else np.frombuffer(values, np.float64)
+        )
+        finite = column[np.isfinite(column)]
+        if len(finite):
+            return float(finite.min()), float(finite.max())
+        return float("inf"), float("-inf")
+    lo, hi = float("inf"), float("-inf")
+    for value in values:
+        if math.isfinite(value):
+            if value < lo:
+                lo = value
+            if value > hi:
+                hi = value
+    return lo, hi
 
 
 def _encode_table(table: Sequence[bytes]) -> bytes:
@@ -224,15 +629,16 @@ def _write_segment_file(
     n_labels: int,
     n_certs: int,
     n_trues: int,
+    version: int = FORMAT_VERSION,
 ) -> None:
     """Serialize pre-built payload blocks atomically to ``path``."""
-    assert len(blocks) == _N_BLOCKS
+    assert len(blocks) == _block_count(version)
     payload_len = sum(len(block) for block in blocks)
     crc = 0
     for block in blocks:
         crc = zlib.crc32(block, crc)
     header = _HEADER.pack(
-        MAGIC, FORMAT_VERSION, 0, n_rows,
+        MAGIC, version, 0, n_rows,
         n_labels, n_certs, n_trues, crc, payload_len,
     )
     directory = b"".join(_BLOCK_LEN.pack(len(block)) for block in blocks)
@@ -248,14 +654,22 @@ def _write_segment_file(
     _fsync_directory(path.parent)
 
 
-def write_segment(path, database: FlowDatabase) -> int:
+def write_segment(
+    path, database: FlowDatabase, version: int = FORMAT_VERSION
+) -> int:
     """Seal an in-memory columnar database into one segment file.
 
     Returns the number of rows written.  The write is atomic: the
     segment appears under its final name only after a successful
     ``fsync`` + rename, so a crash mid-write leaves at most a
     ``*.tmp`` file that readers never look at.
+
+    ``version=FORMAT_VERSION_V1`` writes the metadata-less PR4-era
+    layout — kept so the backward-compat read path stays exercised by
+    tests rather than by luck.
     """
+    if version not in (FORMAT_VERSION_V1, FORMAT_VERSION):
+        raise ValueError(f"unsupported segment version {version}")
     path = Path(path)
     cols = database.columns
     n_rows = len(cols)
@@ -267,7 +681,11 @@ def write_segment(path, database: FlowDatabase) -> int:
     true_ids, true_blob, n_trues = _intern_rows(database._true_fqdns)
     blocks += [_le(label_ids), _le(cert_ids), _le(true_ids)]
     blocks += [label_blob, cert_blob, true_blob]
-    _write_segment_file(path, n_rows, blocks, n_labels, n_certs, n_trues)
+    if version != FORMAT_VERSION_V1:
+        blocks.append(SegmentMeta.from_database(database).encode())
+    _write_segment_file(
+        path, n_rows, blocks, n_labels, n_certs, n_trues, version
+    )
     return n_rows
 
 
@@ -322,14 +740,16 @@ class SegmentReader:
     """
 
     __slots__ = (
-        "path", "n_rows", "n_labels", "n_certs", "n_trues",
-        "labels", "certs", "trues", "crc", "file_size",
-        "_lengths", "_offsets", "_database", "_summary", "fqdn_map",
+        "path", "version", "n_rows", "n_labels", "n_certs", "n_trues",
+        "labels", "certs", "trues", "crc", "file_size", "meta",
+        "_body", "_lengths", "_offsets", "_database", "_summary",
+        "fqdn_map",
     )
 
     def __init__(self):
         self._database = None
         self._summary = None
+        self.meta: Optional[SegmentMeta] = None
         self.fqdn_map: Optional[array] = None
 
     @property
@@ -345,19 +765,22 @@ class SegmentReader:
             data = path.read_bytes()
         except OSError as exc:
             raise StorageError(f"cannot read segment {path}: {exc}") from exc
-        if len(data) < _HEADER.size + _N_BLOCKS * _BLOCK_LEN.size:
+        if len(data) < _HEADER.size:
             raise StorageError(f"segment {path.name}: truncated header")
         (magic, version, _flags, n_rows, n_labels, n_certs, n_trues,
          crc, payload_len) = _HEADER.unpack_from(data, 0)
         if magic != MAGIC:
             raise StorageError(f"segment {path.name}: bad magic {magic!r}")
-        if version != FORMAT_VERSION:
+        if version not in (FORMAT_VERSION_V1, FORMAT_VERSION):
             raise StorageError(
                 f"segment {path.name}: unsupported version {version}"
             )
+        n_blocks = _block_count(version)
+        if len(data) < _HEADER.size + n_blocks * _BLOCK_LEN.size:
+            raise StorageError(f"segment {path.name}: truncated header")
         lengths = []
         pos = _HEADER.size
-        for _ in range(_N_BLOCKS):
+        for _ in range(n_blocks):
             (length,) = _BLOCK_LEN.unpack_from(data, pos)
             lengths.append(length)
             pos += _BLOCK_LEN.size
@@ -399,6 +822,7 @@ class SegmentReader:
             ))
         reader = cls()
         reader.path = path
+        reader.version = version
         reader.n_rows = n_rows
         reader.n_labels = n_labels
         reader.n_certs = n_certs
@@ -406,8 +830,19 @@ class SegmentReader:
         reader.labels, reader.certs, reader.trues = tables
         reader.crc = crc
         reader.file_size = len(data)
+        reader._body = body
         reader._lengths = lengths
         reader._offsets = offsets
+        if version != FORMAT_VERSION_V1:
+            start = offsets[_META_BLOCK]
+            try:
+                reader.meta = SegmentMeta.decode(
+                    view[start:start + lengths[_META_BLOCK]]
+                )
+            except StorageError as exc:
+                raise StorageError(
+                    f"segment {path.name}: {exc}"
+                ) from exc
         return reader
 
     # -- block access ------------------------------------------------------
@@ -428,7 +863,7 @@ class SegmentReader:
                 f"cannot read segment {self.path}: {exc}"
             ) from exc
         if len(data) != self.file_size or zlib.crc32(
-            memoryview(data)[_HEADER.size + _N_BLOCKS * _BLOCK_LEN.size:]
+            memoryview(data)[self._body:]
         ) != self.crc:
             raise StorageError(
                 f"segment {self.name} changed on disk since open"
@@ -471,8 +906,10 @@ class SegmentReader:
                 "min_start": float("inf"), "max_end": float("-inf"),
                 "protocol_counts": [0] * len(PROTOCOLS), "tagged_rows": 0,
             }
-        starts = _from_le("d", self._read_block(5))     # start column
-        ends = _from_le("d", self._read_block(6))       # end column
+        starts = ends = None
+        if self.meta is None:
+            starts = _from_le("d", self._read_block(5))  # start column
+            ends = _from_le("d", self._read_block(6))    # end column
         protocols = self._read_block(7)                 # protocol column
         label_ids = _from_le("i", self._read_block(_N_NUMERIC))
         # A row is tagged iff its label is truthy — id -1 (None) and
@@ -493,8 +930,12 @@ class SegmentReader:
             tagged = int((ids >= 0).sum())
             if untagged_entries:
                 tagged -= int(np.isin(ids, untagged_entries).sum())
-            min_start = float(np.frombuffer(starts, np.float64).min())
-            max_end = float(np.frombuffer(ends, np.float64).max())
+            if self.meta is not None:
+                min_start = self.meta.min_start
+                max_end = self.meta.max_end
+            else:
+                min_start = float(np.frombuffer(starts, np.float64).min())
+                max_end = float(np.frombuffer(ends, np.float64).max())
         else:
             counts = [0] * len(PROTOCOLS)
             for value in protocols:
@@ -506,8 +947,12 @@ class SegmentReader:
                 1 for value in label_ids
                 if value >= 0 and value not in skip
             )
-            min_start = min(starts)
-            max_end = max(ends)
+            if self.meta is not None:
+                min_start = self.meta.min_start
+                max_end = self.meta.max_end
+            else:
+                min_start = min(starts)
+                max_end = max(ends)
         return {
             "min_start": min_start, "max_end": max_end,
             "protocol_counts": counts, "tagged_rows": tagged,
@@ -584,6 +1029,8 @@ class SegmentReader:
             trues[entry] if entry >= 0 else None for entry in true_ids
         ]
         db._records = [None] * n
+        if n:
+            db._all_records = False
         self._rebuild_stats_and_indexes(db)
         return db
 
@@ -707,6 +1154,11 @@ def _map_local_fqdns(interns: FlowDatabase, labels: Sequence[str]) -> array:
     return fqdn_map
 
 
+def _call_thunk(thunk):
+    """Top-level trampoline for ``Executor.map`` over bound thunks."""
+    return thunk()
+
+
 def _merge_segment_files(
     readers: Sequence[SegmentReader], path: Path
 ) -> None:
@@ -717,6 +1169,10 @@ def _merge_segment_files(
     the resulting lookup tables.  Row order — and therefore every
     query result — is preserved.  Blocks are assembled in memory, so
     one compaction holds roughly the merged file size transiently.
+
+    The output is always written at the current format version with a
+    freshly computed metadata footer — compacting version-1 inputs is
+    therefore also the upgrade path to prunable segments.
     """
     all_blocks = [reader.read_blocks() for reader in readers]
     merged: list[bytes] = [
@@ -758,7 +1214,10 @@ def _merge_segment_files(
             id_parts.append(_le(out))
         merged.append(b"".join(id_parts))
         table_counts.append((len(table), _encode_table(table)))
+        if offset == 0:
+            merged_labels = [raw.decode("utf-8") for raw in table]
     merged += [blob for _count, blob in table_counts]
+    merged.append(SegmentMeta.from_blocks(merged, merged_labels).encode())
     _write_segment_file(
         path,
         sum(reader.n_rows for reader in readers),
@@ -785,6 +1244,20 @@ class FlowStore:
     segment string tables in segment order, which reproduces global
     first-appearance order) and merge.  The analytics layer therefore
     runs unchanged on a store that never held the dataset in one piece.
+
+    Two execution knobs (both answer-preserving):
+
+    * ``prune`` (default True) — skip sealed segments whose footer
+      metadata (:class:`SegmentMeta`) proves they cannot contribute to
+      a label/domain/server/time-window query, *before* any column is
+      read.  ``prune=False`` restores the PR4 scan-everything pass —
+      the differential baseline the property suite compares against.
+    * ``parallel=N`` — run the surviving per-segment kernels on an
+      ``N``-thread pool and merge partials in segment order, so
+      results are bit-identical to the serial pass.  Threads (not
+      processes) because the kernels live in numpy reductions,
+      ``frombytes`` bulk copies and file reads — all GIL-releasing —
+      and because the merged results then need no pickling.
     """
 
     def __init__(
@@ -793,6 +1266,8 @@ class FlowStore:
         spill_rows: Optional[int] = None,
         spill_bytes: Optional[int] = None,
         cache_segments: bool = True,
+        parallel: Optional[int] = None,
+        prune: bool = True,
     ):
         if spill_rows is None:
             spill_rows = DEFAULT_SPILL_ROWS
@@ -800,6 +1275,10 @@ class FlowStore:
             raise ValueError("spill_rows must be positive")
         if spill_bytes is not None and spill_bytes <= 0:
             raise ValueError("spill_bytes must be positive")
+        if parallel is None:
+            parallel = 1
+        if parallel <= 0:
+            raise ValueError("parallel must be positive")
         self.directory = Path(directory)
         self.spill_rows = spill_rows
         self.spill_bytes = spill_bytes
@@ -809,6 +1288,9 @@ class FlowStore:
         #: pass load→merge→release, holding one segment at a time —
         #: right for larger-than-memory stores.
         self.cache_segments = cache_segments
+        self.parallel = parallel
+        self.prune = prune
+        self._pool = None                # lazily-built thread pool
         self._writer = SegmentWriter(self.directory)
         self._interns = FlowDatabase()   # global id tables only (0 rows)
         self._segments: list[SegmentReader] = []
@@ -837,23 +1319,41 @@ class FlowStore:
             raise StorageError(f"malformed manifest {path}: {exc}") from exc
         if (
             not isinstance(manifest, dict)
-            or manifest.get("format") != FORMAT_VERSION
+            or manifest.get("format") not in (
+                FORMAT_VERSION_V1, FORMAT_VERSION
+            )
             or not isinstance(manifest.get("segments"), list)
         ):
             raise StorageError(f"unsupported manifest {path}")
-        names = manifest["segments"]
-        for name in names:
+        names: list[str] = []
+        for entry in manifest["segments"]:
+            # v1 manifests list bare names; v2 entries are objects
+            # carrying a copy of the pruning metadata.  Only the name
+            # is consumed here — the footer (CRC-covered) is the
+            # authoritative metadata source.
+            name = entry.get("name") if isinstance(entry, dict) else entry
             if (
                 not isinstance(name, str)
                 or not _SEGMENT_RE.match(name)
             ):
                 raise StorageError(f"bad segment name {name!r} in manifest")
+            names.append(name)
         return names
 
     def _write_manifest(self) -> None:
         payload = json.dumps({
             "format": FORMAT_VERSION,
-            "segments": [reader.name for reader in self._segments],
+            "segments": [
+                {
+                    "name": reader.name,
+                    "rows": reader.n_rows,
+                    "meta": (
+                        reader.meta.to_manifest()
+                        if reader.meta is not None else None
+                    ),
+                }
+                for reader in self._segments
+            ],
         }, indent=2) + "\n"
         path = self.directory / MANIFEST_NAME
         tmp = path.with_name(path.name + ".tmp")
@@ -936,8 +1436,12 @@ class FlowStore:
         return name
 
     def close(self) -> None:
-        """Seal any live rows.  The store object stays usable."""
+        """Seal any live rows and release the worker pool.  The store
+        object stays usable (the pool rebuilds lazily on next use)."""
         self.flush()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     def __enter__(self) -> "FlowStore":
         return self
@@ -1003,21 +1507,36 @@ class FlowStore:
         return removed
 
     def stats(self) -> dict:
-        """Inspection summary (the ``repro-flowstore inspect`` payload)."""
+        """Inspection summary (the ``repro-flowstore inspect``/``stats``
+        payload) — per-segment format version and pruning metadata
+        included, so the store is fully introspectable without reading
+        any column block."""
         self._sync_tail_map()  # fqdns/slds counts must include the tail
         segments = [
             {
                 "name": reader.name,
+                "version": reader.version,
                 "rows": reader.n_rows,
                 "labels": reader.n_labels,
                 "bytes": reader.file_size,
                 "resident": reader.resident,
+                "meta": (
+                    reader.meta.to_manifest()
+                    if reader.meta is not None else None
+                ),
             }
             for reader in self._segments
         ]
+        versions: dict[str, int] = {}
+        for reader in self._segments:
+            key = str(reader.version)
+            versions[key] = versions.get(key, 0) + 1
         return {
             "directory": str(self.directory),
             "format": FORMAT_VERSION,
+            "segment_versions": versions,
+            "parallel": self.parallel,
+            "prune": self.prune,
             "segments": segments,
             "sealed_rows": sum(reader.n_rows for reader in self._segments),
             "tail_rows": len(self._tail),
@@ -1027,6 +1546,38 @@ class FlowStore:
             "bytes_on_disk": sum(
                 reader.file_size for reader in self._segments
             ),
+        }
+
+    def prune_report(self, hint: QueryHint) -> dict:
+        """Which sealed segments a query carrying ``hint`` would scan.
+
+        Pure metadata arithmetic — no segment is opened beyond what
+        :class:`FlowStore` already validated, nothing is materialized.
+        The ``repro-flowstore prune-report`` payload.
+        """
+        segments = []
+        pruned_rows = scanned_rows = 0
+        for reader in self._segments:
+            admitted = not self.prune or hint.admits(reader.meta)
+            segments.append({
+                "name": reader.name,
+                "rows": reader.n_rows,
+                "version": reader.version,
+                "scan": admitted,
+            })
+            if admitted:
+                scanned_rows += reader.n_rows
+            else:
+                pruned_rows += reader.n_rows
+        return {
+            "directory": str(self.directory),
+            "prune": self.prune,
+            "segments": segments,
+            "scanned_segments": sum(1 for s in segments if s["scan"]),
+            "pruned_segments": sum(1 for s in segments if not s["scan"]),
+            "scanned_rows": scanned_rows,
+            "pruned_rows": pruned_rows,
+            "tail_rows": len(self._tail),
         }
 
     # -- merge plumbing ----------------------------------------------------
@@ -1090,6 +1641,13 @@ class FlowStore:
             return
         out.extend(row + base for row in rows)
 
+    @staticmethod
+    def _offset_rows(rows, base: int) -> array:
+        """``rows + base`` as a fresh packed array."""
+        out = array("I")
+        FlowStore._extend_offset(out, rows, base)
+        return out
+
     def _split_rows(self, rows) -> list[array]:
         """Partition global row indices into per-source local rows
         (bounds come from the headers; nothing is materialized)."""
@@ -1119,28 +1677,95 @@ class FlowStore:
                 out[index].append(row - bases[index])
         return out
 
-    def _sources_with_rows(self, rows):
-        """Yield ``(db, fqdn_map, local_rows)`` per source — the shared
-        scaffold of every grouped-aggregation merge.  With ``rows``
-        given, sources that hold none of the selected rows are skipped
-        (``local_rows`` is their split); with ``rows=None`` every
-        source is visited with ``local_rows=None`` (its own default
-        row set)."""
+    def _executor(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.parallel,
+                thread_name_prefix="flowstore",
+            )
+        return self._pool
+
+    def _run_sources(self, kernel, hint: Optional[QueryHint] = None,
+                     rows=None) -> list:
+        """Run ``kernel(db, fqdn_map, local_rows, base_row)`` over every
+        surviving source and return the results **in row order** — the
+        one execution path behind every query and grouped aggregation.
+
+        Pruning (``self.prune``) drops a sealed segment *before* it is
+        materialized when either (a) ``rows`` is given and the
+        header-derived row split proves the segment holds none of the
+        selected rows, or (b) ``hint`` is given and the segment's
+        footer metadata proves no row can match.  The live tail is
+        never pruned (it is already resident and has no metadata).
+
+        Both skips — including the exact row-split one — sit behind
+        ``self.prune`` on purpose: the PR4 ``_sources_with_rows``
+        pass materialized every segment regardless (its generator
+        called ``reader.database()`` at yield time; the empty-split
+        ``continue`` only skipped the kernel), so ``prune=False``
+        reproduces that cost faithfully, which is exactly what the
+        differential property suite and the ``flowdb_pruned_query``
+        bench's unpruned arm need from it.  A kernel over an empty
+        row set is O(1), so re-running it there costs nothing extra.
+
+        With ``parallel > 1`` the surviving kernels run on the thread
+        pool; because partials are merged from this ordered result
+        list, parallel execution is bit-identical to serial.
+        """
+        self._sync_tail_map()
+        prune = self.prune
         split = self._split_rows(rows) if rows is not None else None
-        for index, (_base, db, fqdn_map) in enumerate(self._each()):
-            local_rows = split[index] if split is not None else None
-            if split is not None and not len(local_rows):
-                continue
-            yield db, fqdn_map, local_rows
+        cache = self.cache_segments
+        thunks = []
+        base = 0
+        for index, reader in enumerate(self._segments):
+            local = split[index] if split is not None else None
+            skip = prune and (
+                (split is not None and not len(local))
+                or (hint is not None and not hint.admits(reader.meta))
+            )
+            if not skip:
+                def thunk(reader=reader, local=local, base=base):
+                    was_resident = reader.resident
+                    try:
+                        return kernel(
+                            reader.database(), reader.fqdn_map, local, base
+                        )
+                    finally:
+                        if not cache and not was_resident:
+                            reader.release()
+                thunks.append(thunk)
+            base += reader.n_rows
+        if len(self._tail):
+            local = (
+                split[len(self._segments)] if split is not None else None
+            )
+            thunks.append(
+                lambda local=local, base=base: kernel(
+                    self._tail, self._tail_map, local, base
+                )
+            )
+        if self.parallel > 1 and len(thunks) > 1:
+            return list(self._executor().map(_call_thunk, thunks))
+        return [thunk() for thunk in thunks]
 
     def _merged_pairs(self, method_name: str, rows) -> list[tuple]:
         """Shared merge core of the (fqdn_id, value, count) groupers."""
+
+        def kernel(db, fqdn_map, local_rows, _base):
+            return [
+                (fqdn_map[fqdn_id], value, count)
+                for fqdn_id, value, count in getattr(db, method_name)(
+                    local_rows
+                )
+            ]
+
         merged: dict[tuple[int, int], int] = {}
-        for db, fqdn_map, local_rows in self._sources_with_rows(rows):
-            for fqdn_id, value, count in getattr(db, method_name)(
-                local_rows
-            ):
-                key = (fqdn_map[fqdn_id], value)
+        for part in self._run_sources(kernel, rows=rows):
+            for fqdn_id, value, count in part:
+                key = (fqdn_id, value)
                 merged[key] = merged.get(key, 0) + count
         return [
             (fqdn_id, value, count)
@@ -1204,69 +1829,104 @@ class FlowStore:
 
     # -- row-index views ---------------------------------------------------
 
+    def _concat_rows(self, parts: Iterable[array]) -> array:
+        out = array("I")
+        for part in parts:
+            out.extend(part)
+        return out
+
     def rows_for_fqdn(self, fqdn: str) -> Sequence[int]:
         """Global row indices of flows labeled exactly ``fqdn``."""
-        out = array("I")
-        for base, db, _m in self._each():
-            self._extend_offset(out, db.rows_for_fqdn(fqdn), base)
-        return out
+        return self._concat_rows(self._run_sources(
+            lambda db, _m, _lr, base: self._offset_rows(
+                db.rows_for_fqdn(fqdn), base
+            ),
+            QueryHint(fqdn=fqdn.lower()),
+        ))
 
     def rows_for_domain(self, sld: str) -> Sequence[int]:
         """Global row indices of flows under 2LD ``sld``."""
-        out = array("I")
-        for base, db, _m in self._each():
-            self._extend_offset(out, db.rows_for_domain(sld), base)
-        return out
+        return self._concat_rows(self._run_sources(
+            lambda db, _m, _lr, base: self._offset_rows(
+                db.rows_for_domain(sld), base
+            ),
+            QueryHint(sld=sld.lower()),
+        ))
 
     def rows_for_port(self, dst_port: int) -> Sequence[int]:
         """Global row indices of flows to ``dst_port``."""
-        out = array("I")
-        for base, db, _m in self._each():
-            self._extend_offset(out, db.rows_for_port(dst_port), base)
-        return out
+        return self._concat_rows(self._run_sources(
+            lambda db, _m, _lr, base: self._offset_rows(
+                db.rows_for_port(dst_port), base
+            ),
+        ))
+
+    def rows_in_window(self, t0: float, t1: float) -> Sequence[int]:
+        """Global row indices of flows starting in ``[t0, t1)`` —
+        segments whose start range misses the window entirely are
+        pruned from the scan via their footer metadata."""
+        return self._concat_rows(self._run_sources(
+            lambda db, _m, _lr, base: self._offset_rows(
+                db.rows_in_window(t0, t1), base
+            ),
+            QueryHint(window=(t0, t1)),
+        ))
 
     def rows_for_servers(self, servers: Iterable[int]) -> Sequence[int]:
         """Concatenated global row indices for an address set (deduped,
         grouped by server exactly like the in-memory store).
 
-        Iteration is source-major (one streaming pass) but the output
-        stays server-major: per-server chunks are gathered per source
-        and concatenated in probe order afterwards.
+        Execution is source-major (one pass, pruned by the per-segment
+        server-address range) but the output stays server-major:
+        per-server chunks are gathered per source and concatenated in
+        probe order afterwards.
         """
         order = list(dict.fromkeys(servers))
-        chunks: dict[int, array] = {server: array("I") for server in order}
-        for base, db, _m in self._each():
+
+        def kernel(db, _m, _lr, base):
+            chunks: dict[int, array] = {}
             by_server = db._by_server
             for server in order:
                 index = by_server.get(server)
                 if index is not None:
-                    self._extend_offset(chunks[server], index, base)
+                    chunks[server] = self._offset_rows(index, base)
+            return chunks
+
+        parts = self._run_sources(kernel, QueryHint(servers=order))
         out = array("I")
         for server in order:
-            out.extend(chunks[server])
+            for part in parts:
+                chunk = part.get(server)
+                if chunk is not None:
+                    out.extend(chunk)
         return out
 
     def tagged_rows(self) -> Sequence[int]:
         """Global row indices of every labeled flow."""
-        out = array("I")
-        for base, db, _m in self._each():
-            self._extend_offset(out, db._tagged, base)
-        return out
+        return self._concat_rows(self._run_sources(
+            lambda db, _m, _lr, base: self._offset_rows(db._tagged, base),
+        ))
 
     # -- record queries ----------------------------------------------------
 
     def query_by_fqdn(self, fqdn: str) -> list[FlowRecord]:
         """Flows labeled exactly ``fqdn``, in global row order."""
         out: list[FlowRecord] = []
-        for _base, db, _m in self._each():
-            out.extend(db.query_by_fqdn(fqdn))
+        for part in self._run_sources(
+            lambda db, _m, _lr, _base: db.query_by_fqdn(fqdn),
+            QueryHint(fqdn=fqdn.lower()),
+        ):
+            out.extend(part)
         return out
 
     def query_by_domain(self, sld: str) -> list[FlowRecord]:
         """Flows whose label falls under 2LD ``sld``."""
         out: list[FlowRecord] = []
-        for _base, db, _m in self._each():
-            out.extend(db.query_by_domain(sld))
+        for part in self._run_sources(
+            lambda db, _m, _lr, _base: db.query_by_domain(sld),
+            QueryHint(sld=sld.lower()),
+        ):
+            out.extend(part)
         return out
 
     def query_by_servers(self, servers: Iterable[int]) -> list[FlowRecord]:
@@ -1274,25 +1934,42 @@ class FlowStore:
         source-major pass, server-major output (see
         :meth:`rows_for_servers`)."""
         order = list(dict.fromkeys(servers))
-        chunks: dict[int, list[FlowRecord]] = {
-            server: [] for server in order
-        }
-        for _base, db, _m in self._each():
+
+        def kernel(db, _m, _lr, _base):
+            chunks: dict[int, list[FlowRecord]] = {}
             by_server = db._by_server
             for server in order:
                 index = by_server.get(server)
                 if index is not None:
-                    chunks[server].extend(db._materialize(index))
+                    chunks[server] = db._materialize(index)
+            return chunks
+
+        parts = self._run_sources(kernel, QueryHint(servers=order))
         out: list[FlowRecord] = []
         for server in order:
-            out.extend(chunks[server])
+            for part in parts:
+                chunk = part.get(server)
+                if chunk is not None:
+                    out.extend(chunk)
         return out
 
     def query_by_port(self, dst_port: int) -> list[FlowRecord]:
         """Flows to destination port ``dst_port``."""
         out: list[FlowRecord] = []
-        for _base, db, _m in self._each():
-            out.extend(db.query_by_port(dst_port))
+        for part in self._run_sources(
+            lambda db, _m, _lr, _base: db.query_by_port(dst_port),
+        ):
+            out.extend(part)
+        return out
+
+    def query_in_window(self, t0: float, t1: float) -> list[FlowRecord]:
+        """Flows starting in ``[t0, t1)``, in global row order."""
+        out: list[FlowRecord] = []
+        for part in self._run_sources(
+            lambda db, _m, _lr, _base: db.query_in_window(t0, t1),
+            QueryHint(window=(t0, t1)),
+        ):
+            out.extend(part)
         return out
 
     # -- aggregate views ---------------------------------------------------
@@ -1300,30 +1977,44 @@ class FlowStore:
     def servers_for_fqdn(self, fqdn: str) -> set[int]:
         """Distinct serverIPs observed delivering ``fqdn``."""
         out: set[int] = set()
-        for _base, db, _m in self._each():
-            out |= db.servers_for_fqdn(fqdn)
+        for part in self._run_sources(
+            lambda db, _m, _lr, _base: db.servers_for_fqdn(fqdn),
+            QueryHint(fqdn=fqdn.lower()),
+        ):
+            out |= part
         return out
 
     def servers_for_domain(self, sld: str) -> set[int]:
         """Distinct serverIPs observed for the whole organization."""
         out: set[int] = set()
-        for _base, db, _m in self._each():
-            out |= db.servers_for_domain(sld)
+        for part in self._run_sources(
+            lambda db, _m, _lr, _base: db.servers_for_domain(sld),
+            QueryHint(sld=sld.lower()),
+        ):
+            out |= part
         return out
 
     def fqdns_for_servers(self, servers: Iterable[int]) -> set[str]:
         """Distinct labels delivered by the given server addresses."""
-        servers = list(dict.fromkeys(servers))
+        order = list(dict.fromkeys(servers))
         out: set[str] = set()
-        for _base, db, _m in self._each():
-            out |= db.fqdns_for_servers(servers)
+        for part in self._run_sources(
+            lambda db, _m, _lr, _base: db.fqdns_for_servers(order),
+            QueryHint(servers=order),
+        ):
+            out |= part
         return out
 
     def fqdns_for_rows(self, rows) -> set[str]:
         """Distinct labels among the flows of a global row-index set."""
         out: set[str] = set()
-        for db, _fqdn_map, local_rows in self._sources_with_rows(rows):
-            out |= db.fqdns_for_rows(local_rows)
+        for part in self._run_sources(
+            lambda db, _m, local_rows, _base: db.fqdns_for_rows(
+                local_rows
+            ),
+            rows=rows,
+        ):
+            out |= part
         return out
 
     # -- grouped aggregations ----------------------------------------------
@@ -1341,14 +2032,21 @@ class FlowStore:
         self, rows=None
     ) -> list[tuple[int, int, int, int]]:
         """Per-label ``(fqdn_id, flows, bytes_up, bytes_down)`` totals."""
+
+        def kernel(db, fqdn_map, local_rows, _base):
+            return [
+                (fqdn_map[fqdn_id], flows, up, down)
+                for fqdn_id, flows, up, down in db.fqdn_flow_byte_totals(
+                    local_rows
+                )
+            ]
+
         merged: dict[int, list[int]] = {}
-        for db, fqdn_map, local_rows in self._sources_with_rows(rows):
-            for fqdn_id, flows, up, down in db.fqdn_flow_byte_totals(
-                local_rows
-            ):
-                bucket = merged.get(fqdn_map[fqdn_id])
+        for part in self._run_sources(kernel, rows=rows):
+            for fqdn_id, flows, up, down in part:
+                bucket = merged.get(fqdn_id)
                 if bucket is None:
-                    merged[fqdn_map[fqdn_id]] = [flows, up, down]
+                    merged[fqdn_id] = [flows, up, down]
                 else:
                     bucket[0] += flows
                     bucket[1] += up
@@ -1361,8 +2059,13 @@ class FlowStore:
     def server_flow_counts(self, rows=None) -> dict[int, int]:
         """Flow count per serverIP over ``rows`` (default: all flows)."""
         merged: dict[int, int] = {}
-        for db, _fqdn_map, local_rows in self._sources_with_rows(rows):
-            for server, count in db.server_flow_counts(local_rows).items():
+        for part in self._run_sources(
+            lambda db, _m, local_rows, _base: db.server_flow_counts(
+                local_rows
+            ),
+            rows=rows,
+        ):
+            for server, count in part.items():
                 merged[server] = merged.get(server, 0) + count
         return dict(sorted(merged.items()))
 
@@ -1371,11 +2074,16 @@ class FlowStore:
     ) -> list[tuple[float, int]]:
         """Fig. 4 series: distinct serverIPs per time bin for one 2LD,
         gap-filled — deduped across segments before counting."""
-        pairs: set[tuple[int, int]] = set()
-        for _base, db, _m in self._each():
+
+        def kernel(db, _m, _lr, _base):
             rows = db.rows_for_domain(sld)
-            if len(rows):
-                pairs.update(db.bin_server_pairs(rows, bin_seconds))
+            if not len(rows):
+                return []
+            return db.bin_server_pairs(rows, bin_seconds)
+
+        pairs: set[tuple[int, int]] = set()
+        for part in self._run_sources(kernel, QueryHint(sld=sld.lower())):
+            pairs.update(part)
         if not pairs:
             return []
         per_bin: dict[int, int] = {}
@@ -1392,28 +2100,47 @@ class FlowStore:
     ) -> list[tuple[int, int]]:
         """Deduped ``(bin_index, server_ip)`` pairs for one FQDN."""
         pairs: set[tuple[int, int]] = set()
-        for _base, db, _m in self._each():
-            pairs.update(db.server_bins_for_fqdn(fqdn, bin_seconds))
+        for part in self._run_sources(
+            lambda db, _m, _lr, _base: db.server_bins_for_fqdn(
+                fqdn, bin_seconds
+            ),
+            QueryHint(fqdn=fqdn.lower()),
+        ):
+            pairs.update(part)
         return sorted(pairs)
 
     def fqdn_bin_pairs(
         self, bin_seconds: float, rows=None
     ) -> list[tuple[int, int]]:
         """Deduped ``(fqdn_id, bin_index)`` activity pairs (global ids)."""
+
+        def kernel(db, fqdn_map, local_rows, _base):
+            return [
+                (fqdn_map[fqdn_id], bin_index)
+                for fqdn_id, bin_index in db.fqdn_bin_pairs(
+                    bin_seconds, local_rows
+                )
+            ]
+
         pairs: set[tuple[int, int]] = set()
-        for db, fqdn_map, local_rows in self._sources_with_rows(rows):
-            for fqdn_id, bin_index in db.fqdn_bin_pairs(
-                bin_seconds, local_rows
-            ):
-                pairs.add((fqdn_map[fqdn_id], bin_index))
+        for part in self._run_sources(kernel, rows=rows):
+            pairs.update(part)
         return sorted(pairs)
 
     def fqdn_first_seen(self, rows=None) -> dict[int, float]:
         """Earliest flow start per (global) interned label."""
+
+        def kernel(db, fqdn_map, local_rows, _base):
+            return [
+                (fqdn_map[fqdn_id], start)
+                for fqdn_id, start in db.fqdn_first_seen(
+                    local_rows
+                ).items()
+            ]
+
         merged: dict[int, float] = {}
-        for db, fqdn_map, local_rows in self._sources_with_rows(rows):
-            for fqdn_id, start in db.fqdn_first_seen(local_rows).items():
-                global_id = fqdn_map[fqdn_id]
+        for part in self._run_sources(kernel, rows=rows):
+            for global_id, start in part:
                 if global_id not in merged or start < merged[global_id]:
                     merged[global_id] = start
         return dict(sorted(merged.items()))
@@ -1422,23 +2149,35 @@ class FlowStore:
         self, bin_seconds: float, rows=None
     ) -> list[tuple[int, int, int]]:
         """Deduped ``(server_ip, fqdn_id, bin_index)`` triples."""
+
+        def kernel(db, fqdn_map, local_rows, _base):
+            return [
+                (server, fqdn_map[fqdn_id], bin_index)
+                for server, fqdn_id, bin_index in db.server_fqdn_bin_triples(
+                    bin_seconds, local_rows
+                )
+            ]
+
         triples: set[tuple[int, int, int]] = set()
-        for db, fqdn_map, local_rows in self._sources_with_rows(rows):
-            for server, fqdn_id, bin_index in db.server_fqdn_bin_triples(
-                bin_seconds, local_rows
-            ):
-                triples.add((server, fqdn_map[fqdn_id], bin_index))
+        for part in self._run_sources(kernel, rows=rows):
+            triples.update(part)
         return sorted(triples)
 
     def sld_flow_stats(self, rows) -> list[tuple[int, int, int]]:
         """Per-organization ``(sld_id, flows, distinct_fqdns)`` over the
         labeled flows of ``rows`` (global sld ids)."""
+
+        def kernel(db, fqdn_map, local_rows, _base):
+            return [
+                (fqdn_map[fqdn_id], flows)
+                for fqdn_id, flows, _up, _down in db.fqdn_flow_byte_totals(
+                    local_rows
+                )
+            ]
+
         per_fqdn: dict[int, int] = {}
-        for db, fqdn_map, local_rows in self._sources_with_rows(rows):
-            for fqdn_id, flows, _up, _down in db.fqdn_flow_byte_totals(
-                local_rows
-            ):
-                global_id = fqdn_map[fqdn_id]
+        for part in self._run_sources(kernel, rows=rows):
+            for global_id, flows in part:
                 per_fqdn[global_id] = per_fqdn.get(global_id, 0) + flows
         sld_map = self._interns._fqdn_sld
         flow_counts: dict[int, int] = {}

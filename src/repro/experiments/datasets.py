@@ -33,18 +33,30 @@ STANDARD_TRACES = (
 DEFAULT_CLIST = 200_000
 
 _STORED_ROOT: Optional[Path] = None
+_STORED_PARALLEL: Optional[int] = None
+_OPEN_STORES: list = []
 
 
-def set_stored_root(path) -> None:
+def set_stored_root(path, parallel: Optional[int] = None) -> None:
     """Serve experiment databases from stored flow-store directories.
 
     ``path`` is a root directory holding one flow store per trace name
     (``<root>/<trace-name>``); ``None`` reverts to in-memory databases.
     Cached results are invalidated either way.  Traces without a store
-    under the root fall back to the in-memory build.
+    under the root fall back to the in-memory build.  ``parallel=N``
+    opens each store with an ``N``-thread per-segment query pool (the
+    ``repro-exp --flow-store DIR --parallel N`` path); results are
+    bit-identical to serial.
     """
-    global _STORED_ROOT
+    global _STORED_ROOT, _STORED_PARALLEL
     _STORED_ROOT = Path(path) if path is not None else None
+    _STORED_PARALLEL = parallel
+    # The cached results being invalidated below hold the previously
+    # opened stores; close them so their lazily-built query thread
+    # pools don't idle for the rest of the process.
+    for store in _OPEN_STORES:
+        store.close()
+    _OPEN_STORES.clear()
     get_result.cache_clear()
 
 
@@ -76,7 +88,9 @@ def stored_database(name: str, seed: int = DEFAULT_SEED):
             return None
     from repro.analytics.storage import FlowStore
 
-    return FlowStore(directory)
+    store = FlowStore(directory, parallel=_STORED_PARALLEL)
+    _OPEN_STORES.append(store)
+    return store
 
 
 class TraceResult:

@@ -95,16 +95,42 @@ def main(argv: list[str] | None = None) -> int:
              "repro-flowstore ingest-trace); traces without a store "
              "fall back to the in-memory build",
     )
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="with --flow-store: run per-segment analytics kernels on "
+             "an N-thread pool per store (answers are bit-identical "
+             "to serial)",
+    )
     args = parser.parse_args(argv)
-    if args.flow_store is not None:
-        from repro.experiments.datasets import set_stored_root
-
-        set_stored_root(args.flow_store)
+    if args.parallel is not None:
+        if args.flow_store is None:
+            parser.error("--parallel requires --flow-store")
+        if args.parallel <= 0:
+            parser.error("--parallel must be positive")
     if args.experiment == "list":
+        # Before the stored root is set: listing reads no dataset, and
+        # an early return here must not leak the global root past the
+        # reset in the finally below.
         for exp_id in REGISTRY:
             print(exp_id)
         return 0
+    if args.flow_store is not None:
+        from repro.experiments.datasets import set_stored_root
+
+        set_stored_root(args.flow_store, parallel=args.parallel)
     targets = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    try:
+        return _run_targets(targets, args)
+    finally:
+        if args.flow_store is not None:
+            # Drops the stored-dataset cache and closes the opened
+            # stores (shutting their query thread pools).
+            from repro.experiments.datasets import set_stored_root
+
+            set_stored_root(None)
+
+
+def _run_targets(targets: list[str], args) -> int:
     for exp_id in targets:
         kwargs = {}
         if args.seed is not None and exp_id not in (

@@ -1,0 +1,24 @@
+"""Shared test configuration: hypothesis example-budget profiles.
+
+Suites that should scale their search budget with the environment use
+bare ``@settings(deadline=None)`` (no ``max_examples``) so the active
+profile decides:
+
+* built-in default — 100 examples, the local developer run;
+* ``ci`` — a much higher budget for the scheduled slow CI leg
+  (``pytest --hypothesis-profile=ci``), with ``print_blob`` on so a
+  failure prints the reproduction blob into the build log alongside
+  the uploaded ``.hypothesis`` example database;
+* ``dev`` — a fast smoke profile for local iteration
+  (``pytest --hypothesis-profile=dev``).
+
+Tests that pin ``max_examples`` explicitly keep their pinned budget
+under every profile.
+"""
+
+from hypothesis import settings
+
+settings.register_profile(
+    "ci", max_examples=300, deadline=None, print_blob=True
+)
+settings.register_profile("dev", max_examples=10, deadline=None)

@@ -346,6 +346,20 @@ class TestCorruption:
         )
         with pytest.raises(StorageError):
             FlowStore(directory)
+        # v2 entry forms: escape attempts and junk entries both fail.
+        (directory / "MANIFEST.json").write_text(
+            json.dumps({
+                "format": 2,
+                "segments": [{"name": "../escape.fseg", "meta": None}],
+            })
+        )
+        with pytest.raises(StorageError):
+            FlowStore(directory)
+        (directory / "MANIFEST.json").write_text(
+            json.dumps({"format": 2, "segments": [42]})
+        )
+        with pytest.raises(StorageError):
+            FlowStore(directory)
 
     def test_orphan_segment_ignored(self, tmp_path):
         """A segment file written but never committed to the manifest

@@ -5,9 +5,18 @@ sniffer (single-process or fan-out workers) as binary batches, spill
 to segments on disk, and the reopened directory serves the analytics
 and the experiment runner with answers identical to the in-memory
 path.
+
+The CLIs are exercised both in-process (``main(argv)``, fast) and as
+real ``python -m`` subprocesses — the latter never depends on
+installed console-script entry points, so CLI coverage holds in a
+plain source checkout.
 """
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -16,6 +25,25 @@ from repro.analytics.flowstore_cli import main as flowstore_main
 from repro.analytics.storage import FlowStore
 from repro.net.flow import DnsObservation, FiveTuple, FlowRecord, Protocol, TransportProto
 from repro.sniffer.pipeline import SnifferPipeline
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _run_module(module: str, *args: str) -> subprocess.CompletedProcess:
+    """Run a repro CLI exactly as documented: ``python -m <module>``.
+
+    ``PYTHONPATH`` points at the source tree explicitly, so this works
+    in a checkout without any installed entry points (and therefore
+    cannot silently skip).
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", module, *args],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
 
 
 def _events(n_clients=6, flows_per_client=30):
@@ -246,10 +274,70 @@ class TestFlowstoreCli:
         """A mistyped path must not be silently created and reported
         as a healthy empty store by the read-only commands."""
         missing = tmp_path / "typo"
-        for command in ("inspect", "verify", "compact"):
+        for command in ("inspect", "stats", "prune-report", "verify",
+                        "compact"):
             assert flowstore_main([command, str(missing)]) == 1
             assert "no flow store" in capsys.readouterr().err
             assert not missing.exists()
+
+    def test_stats_emits_machine_readable_metadata(
+        self, tmp_path, capsys
+    ):
+        directory = self._seed_store(tmp_path)
+        assert flowstore_main(["stats", str(directory)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"] == sum(
+            segment["rows"] for segment in payload["segments"]
+        )
+        for segment in payload["segments"]:
+            assert segment["version"] == 2
+            meta = segment["meta"]
+            assert meta["min_start"] <= meta["max_start"]
+            assert meta["fqdn_filter_bits"] >= 64
+
+    def test_prune_report_subcommand(self, tmp_path, capsys):
+        directory = self._seed_store(tmp_path)
+        assert flowstore_main([
+            "prune-report", str(directory),
+            "--t0", "1e9", "--t1", "2e9",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "would scan 0 of" in out  # window beyond the trace
+        assert flowstore_main([
+            "prune-report", str(directory), "--fqdn", "host1.example1.com",
+        ]) == 0
+        assert "would scan" in capsys.readouterr().out
+        # Protocol probe: the synthetic stream is pure TLS, so a P2P
+        # probe prunes every segment and an unknown name is an error.
+        assert flowstore_main([
+            "prune-report", str(directory), "--protocol", "p2p",
+        ]) == 0
+        assert "would scan 0 of" in capsys.readouterr().out
+        assert flowstore_main([
+            "prune-report", str(directory), "--protocol", "NOPE",
+        ]) == 1
+        assert "unknown protocol" in capsys.readouterr().err
+        # --t0 without --t1 is a usage error, not a silent full scan.
+        assert flowstore_main([
+            "prune-report", str(directory), "--t0", "5",
+        ]) == 1
+        assert "together" in capsys.readouterr().err
+
+    def test_verify_parallel_matches_serial(self, tmp_path, capsys):
+        directory = self._seed_store(tmp_path)
+        assert flowstore_main(["verify", str(directory)]) == 0
+        serial = capsys.readouterr().out
+        assert flowstore_main([
+            "verify", str(directory), "--parallel", "4",
+        ]) == 0
+        assert capsys.readouterr().out == serial
+        # Zero/negative worker counts error out (same contract as
+        # FlowStore(parallel=...)) instead of silently running serial.
+        for bad in ("0", "-2"):
+            assert flowstore_main([
+                "verify", str(directory), "--parallel", bad,
+            ]) == 1
+            assert "must be positive" in capsys.readouterr().err
 
 
 class TestStoredDatasetSource:
@@ -399,6 +487,126 @@ class TestRunnerFlowStoreFlag:
         assert code == 0
         assert "Table 6" in capsys.readouterr().out
 
+    def test_runner_parallel_matches_serial(self, tmp_path, capsys):
+        """--parallel N serves experiments from a threaded store with
+        output identical to the serial store."""
+        from repro.experiments import datasets
+        from repro.experiments.runner import main as runner_main
+
+        assert flowstore_main([
+            "ingest-trace", "EU1-FTTH", str(tmp_path / "root"),
+            "--spill-rows", "2048",
+        ]) == 0
+        capsys.readouterr()
+        outputs = []
+        try:
+            for argv in (
+                ["--flow-store", str(tmp_path / "root"), "table6"],
+                ["--flow-store", str(tmp_path / "root"),
+                 "--parallel", "2", "table6"],
+            ):
+                assert runner_main(argv) == 0
+                # Strip the trailing timing line — wall clock differs.
+                outputs.append([
+                    line for line in capsys.readouterr().out.splitlines()
+                    if not line.startswith("[table6 completed")
+                ])
+        finally:
+            datasets.set_stored_root(None)
+        assert outputs[0] == outputs[1]
+        store = datasets.stored_database("EU1-FTTH")
+        assert store is None  # root reset
+
+    def test_parallel_requires_flow_store(self, capsys):
+        from repro.experiments.runner import main as runner_main
+
+        with pytest.raises(SystemExit):
+            runner_main(["--parallel", "2", "table6"])
+        assert "--flow-store" in capsys.readouterr().err
+
+    def test_parallel_must_be_positive(self, tmp_path, capsys):
+        """A bad worker count is a usage error, not a mid-experiment
+        traceback out of FlowStore's constructor."""
+        from repro.experiments.runner import main as runner_main
+
+        for bad in ("0", "-3"):
+            with pytest.raises(SystemExit):
+                runner_main([
+                    "--flow-store", str(tmp_path), "--parallel", bad,
+                    "table6",
+                ])
+            assert "must be positive" in capsys.readouterr().err
+
+    def test_list_does_not_leak_stored_root(self, tmp_path):
+        """`runner list --flow-store DIR` must not leave the global
+        stored root set for later in-process callers."""
+        from repro.experiments import datasets
+        from repro.experiments.runner import main as runner_main
+
+        assert runner_main([
+            "--flow-store", str(tmp_path / "nowhere"), "list",
+        ]) == 0
+        assert datasets._STORED_ROOT is None
+
+
+class TestModuleCliInvocation:
+    """The CLIs run as ``python -m`` subprocesses — no installed entry
+    points required, so these assertions can never be skipped."""
+
+    def _store_dir(self, tmp_path):
+        store = FlowStore(tmp_path / "store", spill_rows=16)
+        pipeline = SnifferPipeline(
+            clist_size=1000, warmup=0.0, batch_events=32,
+            flow_store=store,
+        )
+        pipeline.process_events(_events())
+        pipeline.close()
+        return tmp_path / "store"
+
+    def test_flowstore_cli_inspect_verify_stats(self, tmp_path):
+        directory = str(self._store_dir(tmp_path))
+        result = _run_module(
+            "repro.analytics.flowstore_cli", "inspect", directory
+        )
+        assert result.returncode == 0, result.stderr
+        assert "seg-00000001.fseg" in result.stdout
+        result = _run_module(
+            "repro.analytics.flowstore_cli", "verify", directory,
+            "--parallel", "2",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "verified" in result.stdout
+        result = _run_module(
+            "repro.analytics.flowstore_cli", "stats", directory
+        )
+        assert result.returncode == 0, result.stderr
+        assert json.loads(result.stdout)["segments"]
+
+    def test_flowstore_cli_prune_report_and_errors(self, tmp_path):
+        directory = str(self._store_dir(tmp_path))
+        result = _run_module(
+            "repro.analytics.flowstore_cli", "prune-report", directory,
+            "--t0", "1e9", "--t1", "2e9",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "would scan 0 of" in result.stdout
+        result = _run_module(
+            "repro.analytics.flowstore_cli", "inspect",
+            str(tmp_path / "missing"),
+        )
+        assert result.returncode == 1
+        assert "no flow store" in result.stderr
+
+    def test_experiments_runner_module(self):
+        result = _run_module("repro.experiments.runner", "list")
+        assert result.returncode == 0, result.stderr
+        assert "table6" in result.stdout
+
+    def test_sniffer_cli_module(self):
+        result = _run_module("repro.sniffer.cli", "--help")
+        assert result.returncode == 0, result.stderr
+        assert "--flow-store" in result.stdout
+
 
 def test_manifest_is_human_readable(tmp_path):
     store = FlowStore(tmp_path / "store", spill_rows=4)
@@ -414,7 +622,14 @@ def test_manifest_is_human_readable(tmp_path):
     manifest = json.loads(
         (tmp_path / "store" / "MANIFEST.json").read_text()
     )
-    assert manifest["format"] == 1
-    assert manifest["segments"] == [
+    assert manifest["format"] == 2
+    assert [entry["name"] for entry in manifest["segments"]] == [
         "seg-00000001.fseg", "seg-00000002.fseg", "seg-00000003.fseg",
     ]
+    # The manifest carries a summary of each footer's pruning metadata
+    # (ranges/mask/filter sizes; the bitmaps live only in the footer).
+    for entry in manifest["segments"]:
+        meta = entry["meta"]
+        assert meta["min_start"] <= meta["max_start"]
+        assert meta["protocol_mask"] > 0
+        assert meta["fqdn_filter_bits"] >= 64

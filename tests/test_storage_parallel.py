@@ -1,0 +1,252 @@
+"""Parallel per-segment analytics must be bit-identical to serial.
+
+``FlowStore(parallel=N)`` fans the surviving per-segment kernels out
+over a thread pool and merges the partials in segment order, so every
+grouped aggregation, record query and row-index view has to come back
+**bit-identical** — same values, same ordering — to the serial pass
+(N=1) and to the in-memory columnar store, for N=1, 2 and 4, including
+stores holding empty segments and a live unsealed tail, with pruning
+on or off, with and without numpy.
+"""
+
+from array import array
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.analytics.database as database_module
+from repro.analytics.database import FlowDatabase
+from repro.analytics.storage import (
+    FlowStore,
+    SegmentReader,
+    _map_local_fqdns,
+)
+from repro.net.flow import FiveTuple, FlowRecord, Protocol, TransportProto
+
+PARALLELISMS = (1, 2, 4)
+
+
+@contextmanager
+def _without_numpy():
+    saved = database_module._np
+    database_module._np = None
+    try:
+        yield
+    finally:
+        database_module._np = saved
+
+
+def _flow(i: int) -> FlowRecord:
+    fqdn = (
+        None, "www.Example.com", "cdn.example.net", "a.b.tracker.org",
+        "www.example.com", "",
+    )[i % 6]
+    return FlowRecord(
+        fid=FiveTuple(5 + i % 7, 40 + i % 9, 1024 + i,
+                      (80, 443)[i % 2], TransportProto.TCP),
+        start=float(i * 3 % 97),
+        end=float(i * 3 % 97) + 2.0,
+        protocol=(Protocol.HTTP, Protocol.TLS)[i % 2],
+        bytes_up=10 + i,
+        bytes_down=1000 + i,
+        packets=4,
+        fqdn=fqdn,
+        cert_name="cert.example.com" if i % 3 == 0 else None,
+        true_fqdn="true.example.com" if i % 5 == 0 else None,
+    )
+
+
+def _inject_empty_segment(directory) -> None:
+    """Commit a zero-row segment mid-manifest the way a pathological
+    writer could: it must be inert for every query at every N."""
+    store = FlowStore(directory)
+    name = store._writer.write(FlowDatabase())
+    reader = SegmentReader.open(store.directory / name)
+    reader.fqdn_map = _map_local_fqdns(store._interns, reader.labels)
+    store._segments.append(reader)
+    store._write_manifest()
+
+
+def _store_with_everything(tmp_path, n_flows=60, live_tail=True):
+    """Sealed segments + one empty segment + (optionally) a live tail."""
+    directory = tmp_path / "store"
+    store = FlowStore(directory, spill_rows=9)
+    flows = [_flow(i) for i in range(n_flows)]
+    sealed = flows if not live_tail else flows[:n_flows - 5]
+    store.add_all(sealed)
+    store.close()
+    _inject_empty_segment(directory)
+    return directory, flows
+
+
+def _open(directory, flows, n, live_tail, **kwargs):
+    store = FlowStore(directory, parallel=n, **kwargs)
+    if live_tail:
+        store.add_all(flows[len(flows) - 5:])  # no flush: stays live
+    return store
+
+
+def _assert_bit_identical(store, serial, mem):
+    """Every grouped aggregation in the query surface, plus record and
+    row-index views — compared with plain ``==`` (values *and*
+    ordering)."""
+    assert store.fqdn_server_counts() == serial.fqdn_server_counts()
+    assert store.fqdn_server_counts() == sorted(mem.fqdn_server_counts())
+    assert store.fqdn_client_counts() == serial.fqdn_client_counts()
+    assert store.fqdn_flow_byte_totals() == serial.fqdn_flow_byte_totals()
+    assert store.server_flow_counts() == serial.server_flow_counts()
+    assert store.fqdn_first_seen() == serial.fqdn_first_seen()
+    assert store.fqdn_bin_pairs(10.0) == serial.fqdn_bin_pairs(10.0)
+    assert store.server_fqdn_bin_triples(10.0) == (
+        serial.server_fqdn_bin_triples(10.0)
+    )
+    assert store.unique_servers_per_bin("example.com", 10.0) == (
+        serial.unique_servers_per_bin("example.com", 10.0)
+    )
+    assert store.server_bins_for_fqdn("www.example.com", 10.0) == (
+        serial.server_bins_for_fqdn("www.example.com", 10.0)
+    )
+    rows = store.rows_for_servers(serial.servers())
+    serial_rows = serial.rows_for_servers(serial.servers())
+    assert list(rows) == list(serial_rows)
+    assert store.sld_flow_stats(rows) == serial.sld_flow_stats(
+        serial_rows
+    )
+    assert store.fqdns_for_rows(rows) == serial.fqdns_for_rows(
+        serial_rows
+    )
+    window_rows = store.rows_in_window(10.0, 60.0)
+    assert list(window_rows) == list(serial.rows_in_window(10.0, 60.0))
+    assert store.fqdn_server_counts(window_rows) == (
+        serial.fqdn_server_counts(window_rows)
+    )
+    assert store.query_by_fqdn("www.example.com") == (
+        serial.query_by_fqdn("www.example.com")
+    )
+    assert store.query_by_domain("example.net") == (
+        serial.query_by_domain("example.net")
+    )
+    assert store.query_by_servers(serial.servers()[:5]) == (
+        serial.query_by_servers(serial.servers()[:5])
+    )
+    assert store.query_by_port(443) == serial.query_by_port(443)
+    assert store.query_in_window(10.0, 60.0) == (
+        serial.query_in_window(10.0, 60.0)
+    )
+    assert list(store.tagged_rows()) == list(serial.tagged_rows())
+    assert store.fqdns() == serial.fqdns()
+    assert store.slds() == serial.slds()
+    assert store.tagged_count == serial.tagged_count
+    assert store.count_by_protocol() == serial.count_by_protocol()
+    assert store.time_span() == serial.time_span()
+
+
+class TestParallelDifferential:
+    @pytest.mark.parametrize("live_tail", [False, True])
+    @pytest.mark.parametrize("n", PARALLELISMS)
+    def test_parallel_equals_serial_full_surface(
+        self, tmp_path, n, live_tail
+    ):
+        directory, flows = _store_with_everything(
+            tmp_path, live_tail=live_tail
+        )
+        serial = _open(directory, flows, 1, live_tail)
+        store = _open(directory, flows, n, live_tail)
+        mem = FlowDatabase.from_flows(flows)
+        assert len(store.segments) >= 5  # incl. the empty segment
+        _assert_bit_identical(store, serial, mem)
+        store.close()
+        serial.close()
+
+    @pytest.mark.parametrize("n", PARALLELISMS[1:])
+    def test_parallel_with_pruning_disabled(self, tmp_path, n):
+        directory, flows = _store_with_everything(tmp_path)
+        serial = _open(directory, flows, 1, True, prune=False)
+        store = _open(directory, flows, n, True, prune=False)
+        mem = FlowDatabase.from_flows(flows)
+        _assert_bit_identical(store, serial, mem)
+        store.close()
+        serial.close()
+
+    @pytest.mark.parametrize("n", PARALLELISMS[1:])
+    def test_parallel_streaming_mode(self, tmp_path, n):
+        """cache_segments=False releases segments as kernels finish;
+        answers must not change and nothing stays resident."""
+        directory, flows = _store_with_everything(tmp_path, live_tail=False)
+        serial = FlowStore(directory)
+        store = FlowStore(directory, parallel=n, cache_segments=False)
+        mem = FlowDatabase.from_flows(flows)
+        _assert_bit_identical(store, serial, mem)
+        assert all(not seg.resident for seg in store.segments)
+        store.close()
+        serial.close()
+
+    def test_parallel_without_numpy(self, tmp_path):
+        with _without_numpy():
+            directory, flows = _store_with_everything(tmp_path)
+            serial = _open(directory, flows, 1, True)
+            store = _open(directory, flows, 4, True)
+            mem = FlowDatabase.from_flows(flows)
+            _assert_bit_identical(store, serial, mem)
+            store.close()
+            serial.close()
+
+    def test_parallel_validation_and_factory(self, tmp_path):
+        with pytest.raises(ValueError):
+            FlowStore(tmp_path / "s", parallel=0)
+        store = FlowDatabase(spill_dir=tmp_path / "db", parallel=3)
+        assert isinstance(store, FlowStore)
+        assert store.parallel == 3
+        with pytest.raises(TypeError):
+            FlowDatabase(parallel=3)  # parallel without spill_dir
+
+    def test_pool_is_lazy_and_survives_close(self, tmp_path):
+        directory, flows = _store_with_everything(
+            tmp_path, live_tail=False
+        )
+        store = FlowStore(directory, parallel=2)
+        assert store._pool is None
+        first = store.fqdn_server_counts()
+        assert store._pool is not None
+        store.close()
+        assert store._pool is None
+        assert store.fqdn_server_counts() == first  # usable after close
+
+
+class TestParallelProperty:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.integers(min_value=0, max_value=80),
+        st.integers(min_value=1, max_value=11),
+        st.sampled_from(PARALLELISMS),
+    )
+    def test_random_shapes(self, tmp_path_factory, n_flows, spill_rows, n):
+        """Random store shapes (segment count, tail size) stay
+        bit-identical between serial and parallel execution."""
+        tmp_path = tmp_path_factory.mktemp("par")
+        flows = [_flow(i) for i in range(n_flows)]
+        store = FlowStore(tmp_path / "store", spill_rows=spill_rows)
+        store.add_all(flows)  # tail may or may not be live here
+        serial = FlowStore(tmp_path / "store")
+        serial._tail.add_all(flows[len(serial):])
+        parallel_store = FlowStore(tmp_path / "store", parallel=n)
+        parallel_store._tail.add_all(flows[len(parallel_store):])
+        assert parallel_store.fqdn_server_counts() == (
+            serial.fqdn_server_counts()
+        )
+        assert parallel_store.fqdn_flow_byte_totals() == (
+            serial.fqdn_flow_byte_totals()
+        )
+        assert parallel_store.server_flow_counts() == (
+            serial.server_flow_counts()
+        )
+        assert list(parallel_store.tagged_rows()) == list(
+            serial.tagged_rows()
+        )
+        rows = parallel_store.rows_in_window(5.0, 50.0)
+        assert list(rows) == list(serial.rows_in_window(5.0, 50.0))
+        assert parallel_store.sld_flow_stats(rows) == (
+            serial.sld_flow_stats(array("I", rows))
+        )
