@@ -43,6 +43,15 @@ Benches
   columnar store (``FlowDatabase(spill_dir=...)``) absorbing batches
   while spilling CRC-checked segments, vs the seed persistence path
   (row store + JSON-lines dump) on the same filesystem; flows/sec.
+  The store runs journal-less (``wal=False``) — the crash-safety tax
+  is measured separately so this bench keeps tracking raw spill cost.
+* ``flowdb_wal_ingest``      — the price of crash safety: the same
+  durable ingest with the write-ahead tail journal on (every batch
+  framed, CRC'd and fsynced to ``tail.wal`` before acknowledgement)
+  vs the journal-less store measured in the same run; flows/sec.
+  The ``speedup`` field is the WAL/no-WAL throughput ratio — below
+  1.0 by construction; the acceptance floor is 0.5 (journaling may
+  cost at most half the ingest rate).
 * ``flowdb_reopen_query``    — cold-reopen the durable dataset and run
   the mixed query workload: segment-directory reopen vs JSON-lines
   reload into the row store; queries/sec.  ``--spill-dir`` points both
@@ -877,7 +886,8 @@ def bench_flowdb_spill_ingest(quick: bool) -> dict:
 
     def run_fast():
         shutil.rmtree(fast_dir, ignore_errors=True)
-        store = FlowStore(fast_dir, spill_rows=spill_rows)
+        # Journal-less on purpose: flowdb_wal_ingest prices the WAL.
+        store = FlowStore(fast_dir, spill_rows=spill_rows, wal=False)
         ingest = store.ingest_batch
         for payload in payloads:
             ingest(payload)
@@ -927,6 +937,75 @@ def bench_flowdb_spill_ingest(quick: bool) -> dict:
     }, run_fast, run_seed)
 
 
+def bench_flowdb_wal_ingest(quick: bool) -> dict:
+    """The price of crash safety: WAL-journaled vs journal-less ingest.
+
+    Both arms run in the same process on the same filesystem and
+    absorb the same pre-encoded batches into the same segmented store;
+    the only difference is the write-ahead tail journal (every batch
+    framed, CRC'd and fsynced to ``tail.wal`` before the ingest call
+    returns).  ``speedup`` is therefore the WAL/no-WAL throughput
+    ratio — below 1.0 by construction.  The acceptance floor is 0.5:
+    acknowledged-durability may cost at most half the ingest rate.
+    """
+    from repro.analytics.storage import FlowStore
+
+    n_flows = 120_000  # fixed across quick/full; see bench_flowdb_ingest
+    spill_rows = 16_384
+    flows, _ipdb, _domains, _cdns = make_flow_workload(n_flows)
+    payloads = _encode_flow_batches(flows)
+    repetitions = 2 if quick else 5
+    root = _spill_root() / "wal_ingest"
+    root.mkdir(parents=True, exist_ok=True)
+
+    def _ingest(directory, wal: bool):
+        shutil.rmtree(directory, ignore_errors=True)
+        store = FlowStore(directory, spill_rows=spill_rows, wal=wal)
+        ingest = store.ingest_batch
+        for payload in payloads:
+            ingest(payload)
+        store.close()
+        return store
+
+    def run_fast():
+        return _ingest(root / "wal", True)
+
+    def run_seed():
+        return _ingest(root / "nowal", False)
+
+    # Identical durable artifacts out of both arms before timing, and
+    # the journaled store must close clean (sealed tail, empty WAL).
+    journaled = FlowStore(run_fast().directory)
+    plain = FlowStore(run_seed().directory)
+    assert len(journaled) == len(plain) == n_flows
+    assert journaled.fqdns() == plain.fqdns()
+    health = journaled.health()
+    assert health["status"] == "ok"
+    assert health["wal"]["recovered_rows"] == 0
+    fast = best_of(run_fast, repetitions)
+    seed = best_of(run_seed, repetitions)
+    return add_peaks({
+        "description": (
+            "Durable ingest of the flowdb_spill_ingest workload with "
+            "the write-ahead tail journal on (frame + CRC + fsync per "
+            "batch before acknowledgement) vs the journal-less store "
+            "measured in the same run.  speedup = WAL/no-WAL "
+            "throughput ratio; the crash-safety tax passes while it "
+            "stays above 0.5"
+        ),
+        "workload": {
+            "flows": n_flows, "batch_events": 8192,
+            "spill_rows": spill_rows,
+        },
+        "unit": "flows/s",
+        "seed_s": seed,
+        "fast_s": fast,
+        "seed_ops_per_s": n_flows / seed,
+        "fast_ops_per_s": n_flows / fast,
+        "speedup": seed / fast,
+    }, run_fast, run_seed)
+
+
 def bench_flowdb_reopen_query(quick: bool) -> dict:
     """Reopen a durable dataset cold and answer the mixed query
     workload: segment-directory reopen vs JSON-lines reload."""
@@ -940,7 +1019,7 @@ def bench_flowdb_reopen_query(quick: bool) -> dict:
     store_dir = root / "store"
     shutil.rmtree(store_dir, ignore_errors=True)
     root.mkdir(parents=True, exist_ok=True)
-    store = FlowStore(store_dir, spill_rows=16_384)
+    store = FlowStore(store_dir, spill_rows=16_384, wal=False)
     store.add_all(flows)
     store.close()
     jsonl = root / "flows.jsonl"
@@ -1019,7 +1098,7 @@ def bench_flowdb_pruned_query(quick: bool) -> dict:
     store_dir = root / "store"
     shutil.rmtree(store_dir, ignore_errors=True)
     root.mkdir(parents=True, exist_ok=True)
-    store = FlowStore(store_dir, spill_rows=8192)
+    store = FlowStore(store_dir, spill_rows=8192, wal=False)
     store.add_all(flows)
     store.close()
     jsonl = root / "flows.jsonl"
@@ -1110,7 +1189,7 @@ def bench_flowdb_parallel_analytics(quick: bool) -> dict:
     store_dir = root / "store"
     shutil.rmtree(store_dir, ignore_errors=True)
     root.mkdir(parents=True, exist_ok=True)
-    store = FlowStore(store_dir, spill_rows=8192)
+    store = FlowStore(store_dir, spill_rows=8192, wal=False)
     store.add_all(flows)
     store.close()
 
@@ -1439,6 +1518,7 @@ BENCHES = {
     "flowdb_ingest": bench_flowdb_ingest,
     "flowdb_query": bench_flowdb_query,
     "flowdb_spill_ingest": bench_flowdb_spill_ingest,
+    "flowdb_wal_ingest": bench_flowdb_wal_ingest,
     "flowdb_reopen_query": bench_flowdb_reopen_query,
     "flowdb_pruned_query": bench_flowdb_pruned_query,
     "flowdb_parallel_analytics": bench_flowdb_parallel_analytics,

@@ -144,7 +144,7 @@ class FlowDatabase:
 
     def __new__(
         cls, spill_dir=None, spill_rows=None, spill_bytes=None,
-        parallel=None,
+        parallel=None, wal=None, strict=None,
     ):
         if spill_dir is not None and cls is FlowDatabase:
             from repro.analytics.storage import FlowStore
@@ -152,18 +152,20 @@ class FlowDatabase:
             return FlowStore(
                 spill_dir, spill_rows=spill_rows, spill_bytes=spill_bytes,
                 parallel=parallel,
+                wal=True if wal is None else wal,
+                strict=bool(strict),
             )
         return super().__new__(cls)
 
     def __init__(
         self, spill_dir=None, spill_rows=None, spill_bytes=None,
-        parallel=None,
+        parallel=None, wal=None, strict=None,
     ) -> None:
-        # spill_*/parallel are consumed by __new__ (which builds a
-        # FlowStore and never reaches this initializer).  Reaching here
-        # with spill_dir set means a subclass asked for durability the
-        # factory cannot provide — ignoring it would silently drop data
-        # on the floor.
+        # spill_*/parallel/wal/strict are consumed by __new__ (which
+        # builds a FlowStore and never reaches this initializer).
+        # Reaching here with spill_dir set means a subclass asked for
+        # durability the factory cannot provide — ignoring it would
+        # silently drop data on the floor.
         if spill_dir is not None:
             raise TypeError(
                 f"spill_dir is only supported on FlowDatabase itself; "
@@ -173,6 +175,11 @@ class FlowDatabase:
         if parallel is not None:
             raise TypeError(
                 "parallel applies to the durable store only; pass "
+                "spill_dir too (or construct FlowStore directly)"
+            )
+        if wal is not None or strict is not None:
+            raise TypeError(
+                "wal/strict apply to the durable store only; pass "
                 "spill_dir too (or construct FlowStore directly)"
             )
         self.columns = FlowColumns()

@@ -13,11 +13,17 @@ Subcommands:
 * ``verify DIR``         — additionally materialize every segment
   (id-table consistency end to end) and recompute each version-2
   footer's pruning metadata from the columns, failing on a footer
-  that lies about its segment; ``--parallel N`` fans the per-segment
-  checks out over a thread pool;
+  that lies about its segment; exits non-zero when the store is
+  degraded (quarantined segments, unplayable journal records);
+  ``--parallel N`` fans the per-segment checks out over a thread
+  pool;
 * ``compact DIR``        — merge sealed segments (all of them, or only
   adjacent runs of segments below ``--small-rows``); rewrites always
   carry fresh metadata, so compaction also upgrades v1 segments;
+
+Every store-opening command accepts ``--strict`` to hard-fail on a
+corrupt segment instead of quarantining it (the library default is
+graceful degradation — see :meth:`FlowStore.health`).
 * ``ingest-trace NAME DIR`` — build a standard simulation trace, run
   the sniffer pipeline over it and persist the tagged flows into
   ``DIR/NAME``, making the trace usable as a stored dataset source for
@@ -39,22 +45,49 @@ from repro.analytics.storage import (
 )
 
 
-def _open_existing(directory) -> FlowStore:
+def _open_existing(directory, strict: bool = False) -> FlowStore:
     """Open a store that must already exist.
 
     ``FlowStore`` itself creates missing directories (the writer-side
     behaviour); for read/maintenance commands a mistyped path must be
     an error, not a freshly-created empty store reported as healthy.
+    ``strict=True`` (the ``--strict`` flag) restores hard-fail opens:
+    a corrupt segment raises instead of being quarantined.
     """
     from pathlib import Path
 
     if not Path(directory).is_dir():
         raise StorageError(f"no flow store at {directory}")
-    return FlowStore(directory)
+    return FlowStore(directory, strict=strict)
+
+
+def _print_health(health: dict) -> None:
+    """One operator-facing summary line per degradation finding."""
+    wal = health["wal"]
+    if wal["recovered_rows"]:
+        print(
+            f"recovered  : {wal['recovered_rows']} rows "
+            f"({wal['recovered_batches']} journal records) replayed "
+            f"from tail.wal"
+        )
+    if wal["torn_bytes_dropped"]:
+        print(
+            f"journal    : dropped {wal['torn_bytes_dropped']} torn "
+            f"trailing bytes (unacknowledged write)"
+        )
+    if wal["skipped_records"]:
+        print(
+            f"journal    : WARNING {wal['skipped_records']} journal "
+            f"records could not be replayed"
+        )
+    for entry in health["quarantined_segments"]:
+        print(
+            f"quarantine : {entry['name']} — {entry['reason']}"
+        )
 
 
 def _cmd_inspect(args) -> int:
-    store = _open_existing(args.directory)
+    store = _open_existing(args.directory, strict=args.strict)
     stats = store.stats()
     versions = stats["segment_versions"]
     suffix = ""
@@ -69,11 +102,13 @@ def _cmd_inspect(args) -> int:
         suffix = f" (segments: {breakdown}; compact upgrades)"
     print(f"flow store : {stats['directory']}")
     print(f"format     : v{stats['format']}{suffix}")
+    print(f"health     : {stats['health']['status']}")
     print(f"rows       : {stats['rows']} "
           f"(sealed {stats['sealed_rows']}, tail {stats['tail_rows']})")
     print(f"fqdns/slds : {stats['fqdns']} / {stats['slds']}")
     print(f"on disk    : {stats['bytes_on_disk']} bytes "
           f"in {len(stats['segments'])} segments")
+    _print_health(stats["health"])
     if stats["segments"]:
         print("\nsegments:")
         for segment in stats["segments"]:
@@ -88,13 +123,13 @@ def _cmd_inspect(args) -> int:
 def _cmd_stats(args) -> int:
     import json
 
-    store = _open_existing(args.directory)
+    store = _open_existing(args.directory, strict=args.strict)
     print(json.dumps(store.stats(), indent=2))
     return 0
 
 
 def _cmd_prune_report(args) -> int:
-    store = _open_existing(args.directory)
+    store = _open_existing(args.directory, strict=args.strict)
     window = None
     if (args.t0 is None) != (args.t1 is None):
         print("error: --t0 and --t1 must be given together",
@@ -167,7 +202,7 @@ def _cmd_verify(args) -> int:
         # worker count is an error, not a silent serial run.
         print("error: --parallel must be positive", file=sys.stderr)
         return 1
-    store = _open_existing(args.directory)
+    store = _open_existing(args.directory, strict=args.strict)
     parallel = args.parallel or 1
     if parallel > 1 and len(store.segments) > 1:
         from concurrent.futures import ThreadPoolExecutor
@@ -188,10 +223,24 @@ def _cmd_verify(args) -> int:
         else:
             print(f"  {name}: {rows} rows ok, {note}")
         total += rows
+    health = store.health()
+    _print_health(health)
     if bad:
         print(
             f"error: {bad} of {len(store.segments)} segments failed "
             f"metadata verification",
+            file=sys.stderr,
+        )
+        return 1
+    if health["status"] != "ok":
+        # The surviving segments verified clean, but sealed data is
+        # missing (quarantined segment / unplayable journal record) —
+        # a verification pass must not report such a store healthy.
+        print(
+            f"error: store is degraded "
+            f"({len(health['quarantined_segments'])} quarantined "
+            f"segments, {health['wal']['skipped_records']} skipped "
+            f"journal records)",
             file=sys.stderr,
         )
         return 1
@@ -200,7 +249,7 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_compact(args) -> int:
-    store = _open_existing(args.directory)
+    store = _open_existing(args.directory, strict=args.strict)
     before = len(store.segments)
     removed = store.compact(small_rows=args.small_rows)
     print(
@@ -273,24 +322,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    inspect = sub.add_parser(
+    def _store_command(name: str, **kwargs):
+        command = sub.add_parser(name, **kwargs)
+        command.add_argument("directory", help="flow store directory")
+        command.add_argument(
+            "--strict", action="store_true",
+            help="fail the open on a corrupt segment instead of "
+                 "quarantining it",
+        )
+        return command
+
+    inspect = _store_command(
         "inspect", help="summarize a store directory"
     )
-    inspect.add_argument("directory", help="flow store directory")
     inspect.set_defaults(func=_cmd_inspect)
 
-    stats = sub.add_parser(
+    stats = _store_command(
         "stats",
         help="store summary with per-segment pruning metadata, as JSON",
     )
-    stats.add_argument("directory", help="flow store directory")
     stats.set_defaults(func=_cmd_stats)
 
-    prune_report = sub.add_parser(
+    prune_report = _store_command(
         "prune-report",
         help="which segments a query with this predicate would scan",
     )
-    prune_report.add_argument("directory", help="flow store directory")
     prune_report.add_argument(
         "--t0", type=float, default=None,
         help="window start (flow start time, seconds)",
@@ -319,22 +375,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     prune_report.set_defaults(func=_cmd_prune_report)
 
-    verify = sub.add_parser(
+    verify = _store_command(
         "verify",
         help="materialize every segment (full validation, including "
-             "recomputed pruning metadata)",
+             "recomputed pruning metadata); non-zero exit when the "
+             "store is degraded",
     )
-    verify.add_argument("directory", help="flow store directory")
     verify.add_argument(
         "--parallel", type=int, default=None, metavar="N",
         help="verify N segments concurrently (thread pool)",
     )
     verify.set_defaults(func=_cmd_verify)
 
-    compact = sub.add_parser(
+    compact = _store_command(
         "compact", help="merge sealed segments"
     )
-    compact.add_argument("directory", help="flow store directory")
     compact.add_argument(
         "--small-rows", type=int, default=None, metavar="N",
         help="only merge adjacent runs of segments smaller than N rows "

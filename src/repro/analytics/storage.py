@@ -91,9 +91,24 @@ only in the footer — covered by the segment CRC — which stays
 authoritative for every pruning decision.
 A segment file not in the manifest is an uncommitted orphan and is
 ignored on open; a truncated or bit-flipped segment (or metadata
-block) fails the size/CRC validation in :meth:`SegmentReader.open`
-and the open raises :class:`StorageError` without leaving partial
-state behind.
+block) fails the size/CRC validation in :meth:`SegmentReader.open`.
+By default such a segment is *quarantined* — moved aside, logged,
+recorded in the manifest and reported by :meth:`FlowStore.health` —
+and the store opens and serves every surviving row;
+``FlowStore(strict=True)`` restores the hard-fail
+:class:`StorageError`.
+
+The live tail is crash-safe too: with the (default-on) write-ahead
+tail journal, every acknowledged ``add``/``ingest_batch`` is durably
+appended to ``tail.wal`` as a CRC-framed eventcodec batch *before*
+it lands in memory, and a surviving journal is replayed at open —
+torn trailing records dropped by frame CRC, everything before them
+recovered bit-identically.  Sealing the tail bumps a ``wal_epoch``
+counter in the manifest and only then replaces the journal, so a
+crash anywhere in the seal can neither lose nor double-count a row
+(see :class:`TailJournal`).  The fault-injection harness in
+``tests/test_storage_crash.py`` proves this by crashing a
+spill+compact+WAL workload at every single write/fsync/rename.
 
 Like the in-memory engine, everything here uses numpy when importable
 and falls back to pure-Python loops over the same blocks otherwise —
@@ -103,15 +118,19 @@ the two layers always agree on which path is active.
 
 from __future__ import annotations
 
+import errno
 import json
+import logging
 import math
 import os
 import re
 import struct
 import sys
+import time
 import zlib
 from array import array
 from bisect import bisect_right
+from itertools import islice
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence
 
@@ -119,7 +138,9 @@ from repro.analytics import database as _dbmod
 from repro.analytics.database import FlowDatabase, _TRANSPORTS
 from repro.dns.name import second_level_domain
 from repro.net.flow import FlowRecord, Protocol
-from repro.sniffer.eventcodec import PROTOCOLS
+from repro.sniffer.eventcodec import PROTOCOLS, BatchEncoder
+
+logger = logging.getLogger("repro.analytics.storage")
 
 MAGIC = b"FSG1"
 #: Current on-disk format: version 2 adds the pruning-metadata footer
@@ -129,6 +150,19 @@ FORMAT_VERSION = 2
 FORMAT_VERSION_V1 = 1
 MANIFEST_NAME = "MANIFEST.json"
 SEGMENT_SUFFIX = ".fseg"
+#: Write-ahead tail journal file (see :class:`TailJournal`) and the
+#: subdirectory quarantined segment files are moved into.
+WAL_NAME = "tail.wal"
+QUARANTINE_DIR = "quarantine"
+
+WAL_VERSION = 1
+_WAL_MAGIC = b"FWAL"
+#: Journal header: magic, version, store WAL epoch (see the epoch
+#: protocol on :class:`TailJournal`).
+_WAL_HEADER = struct.Struct("<4sHQ")
+#: Journal record frame: payload length, crc32(payload); the payload
+#: is one eventcodec tagged-flow batch.
+_WAL_FRAME = struct.Struct("<II")
 
 #: Default spill threshold: ~256k rows per segment (~13 MB of columns).
 DEFAULT_SPILL_ROWS = 1 << 18
@@ -608,18 +642,130 @@ def _parse_table(raw, count: int, what: str) -> tuple[str, ...]:
     return tuple(out)
 
 
+class _OsIO:
+    """The store's only gateway to state-changing filesystem calls.
+
+    Every payload write, fsync, rename, truncate and unlink the store
+    performs goes through the module-level ``_io`` instance, so the
+    fault-injection harness (``tests/faultfs.py``) can swap in a
+    counting layer that crashes (or injects an ``OSError``) at any
+    single operation and prove crash consistency at *every* injection
+    point — without monkeypatching :mod:`os` for unrelated code.
+    Reads and opens stay direct: they cannot lose data.
+    """
+
+    @staticmethod
+    def write(handle, data) -> None:
+        handle.write(data)
+
+    @staticmethod
+    def fsync(fd: int) -> None:
+        os.fsync(fd)
+
+    @staticmethod
+    def fsync_dir(fd: int) -> None:
+        os.fsync(fd)
+
+    @staticmethod
+    def replace(src, dst) -> None:
+        os.replace(src, dst)
+
+    @staticmethod
+    def truncate(handle, size: int) -> None:
+        handle.truncate(size)
+
+    @staticmethod
+    def unlink(path) -> None:
+        os.unlink(path)
+
+
+_io = _OsIO()
+
+#: Transient, retryable I/O failures: interrupted syscalls and
+#: out-of-space/quota probes that an operator (or a log rotation) can
+#: clear while the ingest loop is still alive.
+_TRANSIENT_ERRNOS = frozenset({
+    errno.EINTR, errno.EAGAIN, errno.ENOSPC, errno.EDQUOT,
+})
+#: Bounded backoff: 4 attempts, 10 ms doubling (70 ms worst case).
+_IO_ATTEMPTS = 4
+_IO_BACKOFF = 0.01
+#: Module-level so tests can patch the delay out.
+_sleep = time.sleep
+
+#: Directory fsync is genuinely unsupported on some platforms and
+#: filesystems; these errnos mean "cannot fsync a directory here",
+#: not "your rename was lost".
+_DIRSYNC_BENIGN_ERRNOS = frozenset({
+    errno.EINVAL, errno.ENOTSUP, errno.EOPNOTSUPP, errno.ENOSYS,
+    errno.EBADF, errno.EISDIR, errno.EACCES, errno.EPERM,
+    errno.ENOENT, errno.ENOTDIR,
+})
+
+
+def _retry_io(operation, what: str):
+    """Run one filesystem operation, retrying transient ``OSError``s
+    (:data:`_TRANSIENT_ERRNOS`) with bounded exponential backoff before
+    escalating.  Callers whose operation may partially apply (payload
+    writes) must make ``operation`` rewind first — the retry re-runs it
+    from scratch."""
+    for attempt in range(_IO_ATTEMPTS):
+        try:
+            return operation()
+        except OSError as exc:
+            if (
+                exc.errno not in _TRANSIENT_ERRNOS
+                or attempt == _IO_ATTEMPTS - 1
+            ):
+                raise
+            delay = _IO_BACKOFF * (1 << attempt)
+            logger.warning(
+                "transient %s during %s (attempt %d/%d); retrying in "
+                "%.0f ms", errno.errorcode.get(exc.errno, exc.errno),
+                what, attempt + 1, _IO_ATTEMPTS, delay * 1000.0,
+            )
+            _sleep(delay)
+
+
 def _fsync_directory(directory: Path) -> None:
-    """Best-effort directory fsync so renames survive a crash."""
+    """Directory fsync so a committed rename survives a crash.
+
+    Best-effort **only** where the platform genuinely cannot do it
+    (:data:`_DIRSYNC_BENIGN_ERRNOS`); a real I/O failure (ENOSPC, EIO)
+    is data-loss-relevant and escalates through the bounded
+    retry/backoff path instead of being silently swallowed.
+    """
     try:
         fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform-dependent
-        return
+    except OSError as exc:  # pragma: no cover - platform-dependent
+        if exc.errno in _DIRSYNC_BENIGN_ERRNOS:
+            return
+        raise
     try:
-        os.fsync(fd)
-    except OSError:  # pragma: no cover - platform-dependent
-        pass
+        _retry_io(lambda: _io.fsync_dir(fd), f"fsync directory {directory}")
+    except OSError as exc:
+        if exc.errno in _DIRSYNC_BENIGN_ERRNOS:
+            return
+        raise
     finally:
         os.close(fd)
+
+
+def _write_file_atomic(path: Path, payload: bytes, what: str) -> None:
+    """Commit ``payload`` to ``path`` via tmp + fsync + rename + dir
+    fsync.  A retried write rewinds the tmp file first, so a partial
+    attempt can never survive into the committed bytes."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        def _write_all():
+            handle.seek(0)
+            _io.truncate(handle, 0)
+            _io.write(handle, payload)
+            handle.flush()
+            _io.fsync(handle.fileno())
+        _retry_io(_write_all, f"write {what}")
+    _retry_io(lambda: _io.replace(tmp, path), f"commit {what}")
+    _fsync_directory(path.parent)
 
 
 def _write_segment_file(
@@ -644,13 +790,21 @@ def _write_segment_file(
     directory = b"".join(_BLOCK_LEN.pack(len(block)) for block in blocks)
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as handle:
-        handle.write(header)
-        handle.write(directory)
-        for block in blocks:
-            handle.write(block)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+        def _write_all():
+            # Rewind so a retried transient failure re-runs the whole
+            # payload instead of appending after a partial attempt.
+            handle.seek(0)
+            _io.truncate(handle, 0)
+            _io.write(handle, header)
+            _io.write(handle, directory)
+            for block in blocks:
+                _io.write(handle, block)
+            handle.flush()
+            _io.fsync(handle.fileno())
+        _retry_io(_write_all, f"write segment {path.name}")
+    _retry_io(
+        lambda: _io.replace(tmp, path), f"commit segment {path.name}"
+    )
     _fsync_directory(path.parent)
 
 
@@ -1226,6 +1380,194 @@ def _merge_segment_files(
     )
 
 
+def _encode_flow_batch(flows: Iterable[FlowRecord]) -> bytes:
+    """Encode flows as one eventcodec batch for the tail journal.
+
+    Validates exactly what :meth:`FlowDatabase.add` validates (protocol,
+    field ranges via the codec structs, finite timestamps), so a record
+    that reaches the journal is guaranteed to replay — and a flow the
+    tail would reject raises *before* the journal is touched.
+    """
+    encoder = BatchEncoder()
+    for flow in flows:
+        if not (math.isfinite(flow.start) and math.isfinite(flow.end)):
+            raise ValueError("non-finite flow timestamp")
+        encoder.add_flow(flow)
+    return encoder.take()
+
+
+class TailJournal:
+    """CRC-framed write-ahead journal for the live tail (``tail.wal``).
+
+    Every acknowledged ``add``/``ingest_batch`` appends one frame —
+    ``<u32 len><u32 crc32>`` followed by an eventcodec tagged-flow
+    batch — and fsyncs before the caller returns, so a crash at any
+    instant loses at most the un-acknowledged record being written.
+    Recovery reads frames until the first torn one (bad length or CRC)
+    and replays the valid prefix bit-identically.
+
+    **Epoch protocol.**  The file starts with a header carrying the
+    store's *WAL epoch*.  Sealing the tail first bumps the epoch inside
+    ``MANIFEST.json`` (committed atomically, segment included), then
+    replaces the journal with a fresh empty one at the new epoch.  A
+    surviving journal whose epoch trails the manifest's is therefore
+    provably already sealed into a committed segment and is discarded
+    at open instead of double-counted; a journal at the current epoch
+    holds exactly the rows the manifest does not.
+    """
+
+    def __init__(self, path, epoch: int, sync: bool = True):
+        self.path = Path(path)
+        self.epoch = epoch
+        self.sync = sync
+        self._handle = None
+        self._size = 0
+
+    @classmethod
+    def recover(cls, path) -> tuple[Optional[int], list[bytes], dict]:
+        """Read a surviving journal file without mutating it.
+
+        Returns ``(epoch, payloads, report)``: the header epoch (None
+        when there is no readable header), every CRC-valid record
+        payload in order, and a report with ``bytes`` read,
+        ``records`` recovered, ``torn_bytes`` past the valid prefix
+        and ``valid_size`` (the byte length of that prefix).
+        """
+        path = Path(path)
+        report = {"bytes": 0, "records": 0, "torn_bytes": 0,
+                  "valid_size": 0}
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return None, [], report
+        except OSError as exc:
+            raise StorageError(
+                f"cannot read tail journal {path}: {exc}"
+            ) from exc
+        report["bytes"] = len(data)
+        if len(data) < _WAL_HEADER.size:
+            # Torn header from a crashed creation: nothing was ever
+            # acknowledged against it.
+            report["torn_bytes"] = len(data)
+            return None, [], report
+        magic, version, epoch = _WAL_HEADER.unpack_from(data, 0)
+        if magic != _WAL_MAGIC or version != WAL_VERSION:
+            report["torn_bytes"] = len(data)
+            return None, [], report
+        payloads: list[bytes] = []
+        pos = _WAL_HEADER.size
+        total = len(data)
+        while pos < total:
+            if pos + _WAL_FRAME.size > total:
+                break
+            length, crc = _WAL_FRAME.unpack_from(data, pos)
+            start = pos + _WAL_FRAME.size
+            stop = start + length
+            if stop > total or zlib.crc32(data[start:stop]) != crc:
+                break
+            payloads.append(data[start:stop])
+            pos = stop
+            report["records"] += 1
+        # Appends are strictly sequential, so an invalid frame can only
+        # be the torn end of the file — everything after it is the same
+        # crashed write.
+        report["torn_bytes"] = total - pos
+        report["valid_size"] = pos
+        return epoch, payloads, report
+
+    def ensure_open(self):
+        """Open the journal (creating it, with a header, if needed) and
+        position at the end.  Unbuffered, so every append is one write
+        syscall and a failed attempt leaves no hidden buffered bytes."""
+        if self._handle is None:
+            try:
+                handle = open(self.path, "r+b", buffering=0)
+            except FileNotFoundError:
+                handle = open(self.path, "x+b", buffering=0)
+            size = handle.seek(0, os.SEEK_END)
+            if size < _WAL_HEADER.size:
+                header = _WAL_HEADER.pack(
+                    _WAL_MAGIC, WAL_VERSION, self.epoch
+                )
+
+                def _write_header():
+                    handle.seek(0)
+                    _io.truncate(handle, 0)
+                    _io.write(handle, header)
+                    if self.sync:
+                        _io.fsync(handle.fileno())
+                try:
+                    _retry_io(_write_header, "tail journal header")
+                except BaseException:
+                    handle.close()
+                    raise
+                size = len(header)
+            self._handle = handle
+            self._size = size
+        return self._handle
+
+    def append(self, payload: bytes) -> None:
+        """Durably append one record; the caller may acknowledge its
+        rows once this returns."""
+        handle = self.ensure_open()
+        record = _WAL_FRAME.pack(
+            len(payload), zlib.crc32(payload)
+        ) + payload
+        offset = self._size
+
+        def _write_record():
+            # Rewind first: a partially-applied previous attempt (e.g.
+            # ENOSPC mid-record) must not leave half a frame in front
+            # of the retry.
+            handle.seek(offset)
+            _io.truncate(handle, offset)
+            _io.write(handle, record)
+            if self.sync:
+                _io.fsync(handle.fileno())
+        _retry_io(_write_record, "tail journal append")
+        self._size = offset + len(record)
+
+    def truncate_to(self, size: int) -> None:
+        """Drop a torn trailing record detected by :meth:`recover`."""
+        handle = self.ensure_open()
+
+        def _do():
+            _io.truncate(handle, size)
+            if self.sync:
+                _io.fsync(handle.fileno())
+        _retry_io(_do, "tail journal truncate")
+        self._size = size
+
+    def reset(self, epoch: int) -> None:
+        """Atomically replace the journal with a fresh empty one at
+        ``epoch`` (called after the manifest committed that epoch)."""
+        self.close()
+        self.epoch = epoch
+        _write_file_atomic(
+            self.path,
+            _WAL_HEADER.pack(_WAL_MAGIC, WAL_VERSION, epoch),
+            "tail journal",
+        )
+
+    def discard(self) -> None:
+        """Remove the journal file (stale epoch, or WAL disabled)."""
+        self.close()
+        try:
+            _retry_io(lambda: _io.unlink(self.path), "remove tail journal")
+        except FileNotFoundError:
+            pass
+        except OSError as exc:  # pragma: no cover - best-effort cleanup
+            logger.warning(
+                "could not remove tail journal %s: %s", self.path, exc
+            )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._size = 0
+
+
 class FlowStore:
     """Durable Flow Database: sealed segments plus a live in-memory tail.
 
@@ -1268,6 +1610,9 @@ class FlowStore:
         cache_segments: bool = True,
         parallel: Optional[int] = None,
         prune: bool = True,
+        wal: bool = True,
+        wal_sync: bool = True,
+        strict: bool = False,
     ):
         if spill_rows is None:
             spill_rows = DEFAULT_SPILL_ROWS
@@ -1290,6 +1635,18 @@ class FlowStore:
         self.cache_segments = cache_segments
         self.parallel = parallel
         self.prune = prune
+        #: wal (default True) journals every acknowledged ingest into
+        #: ``tail.wal`` before it lands in the in-memory tail, so a
+        #: crash loses nothing that was acknowledged.  ``wal_sync=False``
+        #: skips the per-record fsync (crash-consistent against process
+        #: death but not power loss).  A surviving current-epoch journal
+        #: is replayed at open even with ``wal=False`` — durability is
+        #: only ever dropped going forward, never retroactively.
+        self.wal_enabled = wal
+        #: strict=True restores PR4/PR5 hard-fail opens: any segment
+        #: that fails validation raises ``StorageError``.  The default
+        #: quarantines it and degrades gracefully (see :meth:`health`).
+        self.strict = strict
         self._pool = None                # lazily-built thread pool
         self._writer = SegmentWriter(self.directory)
         self._interns = FlowDatabase()   # global id tables only (0 rows)
@@ -1298,19 +1655,181 @@ class FlowStore:
         self._tail_map = array("i")      # tail-local fqdn id -> global
         self._tail_label_bytes = 0       # incremental tail_bytes() state
         self._tail_label_count = 0
-        for name in self._read_manifest():
-            reader = SegmentReader.open(self.directory / name)
+        manifest = self._read_manifest()
+        self._wal_epoch: int = manifest["wal_epoch"]
+        self._quarantined: list[dict] = manifest["quarantined"]
+        self._swept_tmp = self._sweep_tmp_files()
+        newly_quarantined = False
+        for name in manifest["segments"]:
+            try:
+                reader = SegmentReader.open(self.directory / name)
+            except StorageError as exc:
+                if self.strict:
+                    raise
+                self._quarantine_segment(name, exc)
+                newly_quarantined = True
+                continue
             reader.fqdn_map = _map_local_fqdns(self._interns, reader.labels)
             self._segments.append(reader)
+        self._wal = TailJournal(
+            self.directory / WAL_NAME, self._wal_epoch, sync=wal_sync
+        )
+        self._wal_report: dict = {}
+        self._recover_wal()
+        if newly_quarantined:
+            # Commit the drop: the manifest stops listing the segment
+            # and records it under "quarantined" so the degradation is
+            # visible to every later open and to the CLI.
+            self._write_manifest()
+
+    # -- crash recovery / degradation --------------------------------------
+
+    def _sweep_tmp_files(self) -> int:
+        """Unlink ``*.tmp`` orphans left by a crashed atomic rename.
+
+        They are invisible to readers (only renamed files are ever
+        opened) but would otherwise accumulate forever.  Swept before
+        the journal is opened so a crashed ``tail.wal.tmp`` cannot
+        shadow a later reset.
+        """
+        swept = 0
+        try:
+            entries = list(self.directory.iterdir())
+        except OSError:  # pragma: no cover - directory just created
+            return 0
+        for entry in entries:
+            if not entry.name.endswith(".tmp"):
+                continue
+            try:
+                _retry_io(
+                    lambda path=entry: _io.unlink(path),
+                    f"sweep {entry.name}",
+                )
+            except OSError as exc:  # pragma: no cover - best-effort
+                logger.warning(
+                    "could not sweep orphan %s: %s", entry, exc
+                )
+                continue
+            logger.info("swept orphaned temp file %s", entry.name)
+            swept += 1
+        return swept
+
+    def _quarantine_segment(self, name: str, exc: Exception) -> None:
+        """Move a failed segment aside and record the degradation.
+
+        The store stays open and serves every surviving row; the
+        quarantined file keeps its bytes for post-mortem under
+        ``quarantine/``.  Note the store's global row numbering shifts
+        by the missing segment's rows — degraded means *smaller*, never
+        *wrong*.
+        """
+        logger.error("quarantining segment %s: %s", name, exc)
+        entry = {"name": name, "reason": str(exc)}
+        source = self.directory / name
+        if source.exists():
+            qdir = self.directory / QUARANTINE_DIR
+            try:
+                qdir.mkdir(exist_ok=True)
+                _retry_io(
+                    lambda: _io.replace(source, qdir / name),
+                    f"quarantine {name}",
+                )
+            except OSError as move_exc:  # pragma: no cover - best-effort
+                logger.warning(
+                    "could not move %s to quarantine: %s", name, move_exc
+                )
+                entry["reason"] += f" (quarantine move failed: {move_exc})"
+        if not any(
+            existing["name"] == name for existing in self._quarantined
+        ):
+            self._quarantined.append(entry)
+
+    def _recover_wal(self) -> None:
+        """Replay (or discard) a journal that survived the last process.
+
+        * epoch == manifest epoch — the journal holds exactly the rows
+          the manifest does not: replay into the tail, drop a torn
+          trailing record.
+        * epoch < manifest epoch — the crash hit between the manifest
+          commit and the journal reset of a seal: every journaled row
+          already lives in a committed segment; discard.
+        * epoch > manifest epoch — cannot happen under the protocol
+          (the epoch is bumped manifest-first); seeing it means the
+          directory was tampered with, so replaying could double rows.
+          Discarded (raised under ``strict=True``).
+        """
+        report = {
+            "enabled": self.wal_enabled,
+            "epoch": self._wal_epoch,
+            "recovered_batches": 0,
+            "recovered_rows": 0,
+            "torn_bytes_dropped": 0,
+            "skipped_records": 0,
+            "stale_dropped": False,
+        }
+        self._wal_report = report
+        epoch, payloads, raw = TailJournal.recover(self._wal.path)
+        if raw["bytes"] == 0 and epoch is None and raw["torn_bytes"] == 0:
+            return                      # no journal on disk
+        if epoch is None:
+            # Unreadable header: a crash during journal creation, before
+            # anything was acknowledged against it.
+            logger.warning(
+                "dropping tail journal with unreadable header (%d bytes)",
+                raw["bytes"],
+            )
+            report["torn_bytes_dropped"] = raw["bytes"]
+            self._wal.discard()
+            return
+        if epoch != self._wal_epoch:
+            if epoch > self._wal_epoch and self.strict:
+                raise StorageError(
+                    f"tail journal epoch {epoch} is ahead of manifest "
+                    f"epoch {self._wal_epoch}"
+                )
+            level = logger.error if epoch > self._wal_epoch else logger.info
+            level(
+                "discarding tail journal at epoch %d (store is at %d)",
+                epoch, self._wal_epoch,
+            )
+            report["stale_dropped"] = True
+            self._wal.discard()
+            return
+        for payload in payloads:
+            try:
+                rows = self._tail.ingest_batch(payload)
+            except ValueError as exc:
+                # A record that fails ingest would have raised on the
+                # original call too — its rows were never acknowledged.
+                logger.warning(
+                    "skipping unplayable tail journal record: %s", exc
+                )
+                report["skipped_records"] += 1
+                continue
+            report["recovered_batches"] += 1
+            report["recovered_rows"] += rows
+        report["torn_bytes_dropped"] = raw["torn_bytes"]
+        if raw["torn_bytes"]:
+            logger.warning(
+                "dropped %d torn trailing bytes from tail journal",
+                raw["torn_bytes"],
+            )
+        if self.wal_enabled:
+            if raw["torn_bytes"]:
+                self._wal.truncate_to(raw["valid_size"])
+        # With wal=False the journal file is left in place: its rows are
+        # live in the tail but not yet durable, and the file is only
+        # discarded once flush() seals them into a committed segment.
 
     # -- manifest ----------------------------------------------------------
 
-    def _read_manifest(self) -> list[str]:
+    def _read_manifest(self) -> dict:
         path = self.directory / MANIFEST_NAME
+        empty = {"segments": [], "wal_epoch": 0, "quarantined": []}
         try:
             raw = path.read_text(encoding="utf-8")
         except FileNotFoundError:
-            return []
+            return empty
         except OSError as exc:
             raise StorageError(f"cannot read {path}: {exc}") from exc
         try:
@@ -1338,11 +1857,37 @@ class FlowStore:
             ):
                 raise StorageError(f"bad segment name {name!r} in manifest")
             names.append(name)
-        return names
+        # Pre-PR6 manifests carry neither key: epoch 0, nothing
+        # quarantined.
+        wal_epoch = manifest.get("wal_epoch", 0)
+        if not isinstance(wal_epoch, int) or wal_epoch < 0:
+            raise StorageError(f"bad wal_epoch {wal_epoch!r} in manifest")
+        quarantined: list[dict] = []
+        raw_quarantined = manifest.get("quarantined", [])
+        if not isinstance(raw_quarantined, list):
+            raise StorageError("bad quarantined list in manifest")
+        for entry in raw_quarantined:
+            if (
+                not isinstance(entry, dict)
+                or not isinstance(entry.get("name"), str)
+                or not isinstance(entry.get("reason"), str)
+            ):
+                raise StorageError(
+                    f"bad quarantine entry {entry!r} in manifest"
+                )
+            quarantined.append(
+                {"name": entry["name"], "reason": entry["reason"]}
+            )
+        return {
+            "segments": names,
+            "wal_epoch": wal_epoch,
+            "quarantined": quarantined,
+        }
 
     def _write_manifest(self) -> None:
         payload = json.dumps({
             "format": FORMAT_VERSION,
+            "wal_epoch": self._wal_epoch,
             "segments": [
                 {
                     "name": reader.name,
@@ -1354,33 +1899,73 @@ class FlowStore:
                 }
                 for reader in self._segments
             ],
+            "quarantined": self._quarantined,
         }, indent=2) + "\n"
-        path = self.directory / MANIFEST_NAME
-        tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(payload)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-        _fsync_directory(self.directory)
+        _write_file_atomic(
+            self.directory / MANIFEST_NAME,
+            payload.encode("utf-8"),
+            "manifest",
+        )
 
     # -- ingestion / spilling ---------------------------------------------
 
     def add(self, flow: FlowRecord) -> None:
-        """Insert one flow record (spills when the budget is crossed)."""
+        """Insert one flow record (spills when the budget is crossed).
+
+        With the journal enabled the flow is validated, encoded and
+        durably appended to ``tail.wal`` *before* it lands in the tail
+        — once ``add`` returns, the row survives a crash.
+        """
+        if self.wal_enabled:
+            self._wal.append(_encode_flow_batch((flow,)))
         self._tail.add(flow)
         self._maybe_spill()
 
+    def _wal_chunk_rows(self) -> int:
+        """Rows journaled per ``add_all`` record.
+
+        A journaled chunk must land in the tail whole before a spill
+        may seal it: spilling mid-chunk would strand the chunk's later
+        rows in the *previous* (now stale) journal epoch and lose them
+        on crash.  So spill checks happen only at chunk boundaries, and
+        the chunk is sized well under both spill budgets to keep that
+        granularity loss negligible.
+        """
+        chunk = min(4096, self.spill_rows)
+        if self.spill_bytes is not None:
+            chunk = min(chunk, max(1, self.spill_bytes // _ROW_BYTES))
+        return chunk
+
     def add_all(self, flows: Iterable[FlowRecord]) -> None:
-        """Insert many flow records."""
-        # self._tail rebinds on spill — re-fetch it every iteration.
-        for flow in flows:
-            self._tail.add(flow)
+        """Insert many flow records (journaled in chunks when the WAL
+        is enabled)."""
+        if not self.wal_enabled:
+            # self._tail rebinds on spill — re-fetch it every iteration.
+            for flow in flows:
+                self._tail.add(flow)
+                self._maybe_spill()
+            return
+        chunk_rows = self._wal_chunk_rows()
+        iterator = iter(flows)
+        while True:
+            chunk = list(islice(iterator, chunk_rows))
+            if not chunk:
+                return
+            self._wal.append(_encode_flow_batch(chunk))
+            tail = self._tail
+            for flow in chunk:
+                tail.add(flow)
             self._maybe_spill()
 
     def ingest_batch(self, payload) -> int:
         """Absorb one eventcodec tagged-flow batch (see
-        :meth:`FlowDatabase.ingest_batch`); spills past the budget."""
+        :meth:`FlowDatabase.ingest_batch`); spills past the budget.
+
+        The raw batch is journaled as-is before ingestion, so an
+        acknowledged batch replays bit-identically after a crash.
+        """
+        if self.wal_enabled:
+            self._wal.append(bytes(payload))
         count = self._tail.ingest_batch(payload)
         self._maybe_spill()
         return count
@@ -1428,7 +2013,22 @@ class FlowStore:
         reader = SegmentReader.open(self.directory / name)
         reader.fqdn_map = self._tail_map
         self._segments.append(reader)
+        # Epoch protocol: the manifest commits the segment AND the new
+        # WAL epoch in one atomic rename, and only then is the journal
+        # replaced.  A crash before the manifest leaves an orphan
+        # segment plus a current-epoch journal (replayed — no loss); a
+        # crash after it leaves a stale-epoch journal (discarded — the
+        # rows live in the committed segment, no double count).
+        self._wal_epoch += 1
         self._write_manifest()
+        if self.wal_enabled:
+            self._wal.reset(self._wal_epoch)
+        else:
+            # Journal-less mode still clears a journal inherited from a
+            # WAL-enabled run: its rows are sealed now.
+            self._wal.epoch = self._wal_epoch
+            if self._wal.path.exists():
+                self._wal.discard()
         self._tail = FlowDatabase()
         self._tail_map = array("i")
         self._tail_label_bytes = 0
@@ -1436,9 +2036,11 @@ class FlowStore:
         return name
 
     def close(self) -> None:
-        """Seal any live rows and release the worker pool.  The store
-        object stays usable (the pool rebuilds lazily on next use)."""
+        """Seal any live rows and release the worker pool and journal
+        handle.  The store object stays usable (both rebuild lazily on
+        next use)."""
         self.flush()
+        self._wal.close()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -1500,11 +2102,48 @@ class FlowStore:
             self._write_manifest()
             for reader in run:
                 try:
-                    reader.path.unlink()
+                    _io.unlink(reader.path)
                 except OSError:  # pragma: no cover - best-effort cleanup
                     pass
             removed += len(run) - 1
         return removed
+
+    def health(self) -> dict:
+        """Self-diagnosis of the open store.
+
+        Reports everything graceful degradation and crash recovery did
+        at open: quarantined segments (with reasons), journal recovery
+        statistics (records replayed, torn bytes dropped, stale epochs
+        discarded), and orphaned temp files swept.  ``status`` is
+        ``"degraded"`` whenever any sealed data is missing — i.e. a
+        segment sits in quarantine or a journal record could not be
+        replayed — and ``"ok"`` otherwise.  Surfaced by
+        ``repro-flowstore stats`` and checked (non-zero exit) by
+        ``repro-flowstore verify``.
+        """
+        wal = dict(self._wal_report) if self._wal_report else {
+            "enabled": self.wal_enabled,
+            "epoch": self._wal_epoch,
+            "recovered_batches": 0,
+            "recovered_rows": 0,
+            "torn_bytes_dropped": 0,
+            "skipped_records": 0,
+            "stale_dropped": False,
+        }
+        wal["enabled"] = self.wal_enabled
+        wal["epoch"] = self._wal_epoch
+        degraded = bool(self._quarantined) or bool(
+            wal.get("skipped_records")
+        )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "strict": self.strict,
+            "quarantined_segments": [
+                dict(entry) for entry in self._quarantined
+            ],
+            "wal": wal,
+            "tmp_files_swept": self._swept_tmp,
+        }
 
     def stats(self) -> dict:
         """Inspection summary (the ``repro-flowstore inspect``/``stats``
@@ -1537,6 +2176,7 @@ class FlowStore:
             "segment_versions": versions,
             "parallel": self.parallel,
             "prune": self.prune,
+            "health": self.health(),
             "segments": segments,
             "sealed_rows": sum(reader.n_rows for reader in self._segments),
             "tail_rows": len(self._tail),

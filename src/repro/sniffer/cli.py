@@ -25,8 +25,15 @@ def sniff_pcap(
     processes: int = 1,
     batch_events: int = 8192,
     flow_store=None,
+    handle_signals: bool = False,
 ) -> SnifferPipeline:
-    """Run the packet path over the capture at ``path``."""
+    """Run the packet path over the capture at ``path``.
+
+    ``handle_signals=True`` installs SIGTERM/SIGINT handlers that close
+    the pipeline — drain the workers, seal the flow store's tail and
+    journal — before the signal terminates the process, so killing a
+    durable capture mid-run loses nothing that was acknowledged.
+    """
     # Probe the capture before any side effect: constructing the
     # pipeline with flow_store creates the store directory, and a
     # typo'd pcap path must not leave a plausible empty store behind.
@@ -38,6 +45,8 @@ def sniff_pcap(
         collect_labels=processes > 1,
         flow_store=flow_store,
     )
+    if handle_signals:
+        pipeline.install_signal_handlers()
 
     def packets():
         with open(path, "rb") as handle:
@@ -117,6 +126,8 @@ def main(argv: list[str] | None = None) -> int:
             shards=args.shards, processes=args.processes,
             batch_events=args.batch_events,
             flow_store=args.flow_store,
+            # A killed durable capture must seal what it acknowledged.
+            handle_signals=args.flow_store is not None,
         )
     except (OSError, PcapFormatError, ValueError) as exc:
         # ValueError covers bad sizing knobs (--clist 0, --shards 0)

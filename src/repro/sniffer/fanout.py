@@ -85,6 +85,43 @@ class FanoutError(RuntimeError):
     """A worker process died or the pool was used out of order."""
 
 
+def install_shutdown_signals(close, signals=None) -> None:
+    """Run ``close()`` when a termination signal arrives, then die by it.
+
+    The graceful-shutdown contract for daemon-style capture runs: on
+    SIGTERM/SIGINT the pipeline drains its workers and seals the flow
+    store's tail and journal, and only then is the signal re-delivered
+    under its previous disposition — so the process still terminates
+    with the correct signal status for supervisors (systemd, shell job
+    control) and a second signal during a hung close is not swallowed.
+    Main-thread only, like any :func:`signal.signal` call.
+    """
+    import os
+    import signal as signal_module
+
+    if signals is None:
+        signals = (signal_module.SIGTERM, signal_module.SIGINT)
+    previous_handlers = {}
+
+    def _handler(signum, frame):
+        previous = previous_handlers.get(signum)
+        if not callable(previous) and previous not in (
+            signal_module.SIG_DFL, signal_module.SIG_IGN
+        ):
+            # A non-Python handler (or None) cannot be reinstalled;
+            # fall back to the default disposition.
+            previous = signal_module.SIG_DFL
+        try:
+            close()
+        finally:
+            signal_module.signal(signum, previous)
+            os.kill(os.getpid(), signum)
+
+    for signum in signals:
+        previous_handlers[signum] = signal_module.getsignal(signum)
+        signal_module.signal(signum, _handler)
+
+
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
@@ -538,6 +575,12 @@ class FanoutPipeline:
             self._conns.append(parent)
             self._procs.append(proc)
         return self
+
+    def install_signal_handlers(self, signals=None) -> None:
+        """Close the pool gracefully on SIGTERM/SIGINT (drain workers,
+        seal the flow store), then re-deliver the signal — see
+        :func:`install_shutdown_signals`."""
+        install_shutdown_signals(self.close, signals)
 
     def close(self) -> None:
         """Stop all workers and reap them (idempotent).  With a

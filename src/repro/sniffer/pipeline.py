@@ -39,7 +39,11 @@ from typing import Iterable, Optional, Union
 from repro.net.flow import DnsObservation, FlowRecord, Protocol
 from repro.net.packet import Packet
 from repro.sniffer.dns_sniffer import DnsResponseSniffer
-from repro.sniffer.fanout import FanoutPipeline, FanoutReport
+from repro.sniffer.fanout import (
+    FanoutPipeline,
+    FanoutReport,
+    install_shutdown_signals,
+)
 from repro.sniffer.flow_sniffer import FlowSniffer
 from repro.sniffer.policy import PolicyEnforcer
 from repro.sniffer.resolver import DnsResolver
@@ -664,6 +668,14 @@ class SnifferPipeline:
         if not self.retain_flows and self._emitted_flows:
             del self.tagged_flows[:self._emitted_flows]
             self._emitted_flows = 0
+
+    def install_signal_handlers(self, signals=None) -> None:
+        """Close the pipeline gracefully on SIGTERM/SIGINT (drain the
+        tagged flows into the attached flow store, seal its tail and
+        journal, reap fan-out workers), then re-deliver the signal so
+        the process exits with the correct status — see
+        :func:`repro.sniffer.fanout.install_shutdown_signals`."""
+        install_shutdown_signals(self.close, signals)
 
     def close(self) -> None:
         """Shut down the fan-out worker pool, if one is running.

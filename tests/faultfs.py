@@ -1,0 +1,144 @@
+"""Fault-injection filesystem layer for the crash-consistency suite.
+
+``repro.analytics.storage`` routes every state-changing filesystem
+call (payload writes, fsyncs, directory fsyncs, renames, truncates,
+unlinks) through its module-level ``_io`` seam.  :class:`FaultFS`
+implements the same interface while counting every operation, so a
+test can:
+
+* **dry-run** a workload to learn its total operation count;
+* **crash** at any single operation index (``crash_at``) by raising
+  :class:`CrashError` *instead of* performing the operation — the
+  simulated kill -9.  With ``torn=True`` a crashed ``write``
+  first applies a prefix of its payload, modelling a write torn
+  mid-record by the crash;
+* **inject transient errors** — a one-shot ``OSError`` at a given
+  operation index (``errors``) or a persistent errno for one
+  operation kind (``persistent``) — to exercise the bounded
+  retry/backoff and the benign-vs-fatal directory-fsync split.
+
+The crash model matches a real crash on a journaling filesystem:
+operations that completed before the crash are durable (the suite
+never un-writes them), the crashed operation either did not happen or
+— for writes — was torn, and nothing after it happened.  Losing
+*completed-but-unfsynced* page-cache writes is out of scope: the
+store's recovery never depends on un-fsynced data being present,
+only on fsynced data surviving, which this model does test.
+
+Use :func:`inject` to swap the seam in for the duration of a block::
+
+    fs = FaultFS(crash_at=17, torn=True)
+    with inject(fs):
+        with pytest.raises(CrashError):
+            workload()
+    verify_reopened_store()
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from contextlib import contextmanager
+
+from repro.analytics import storage
+
+
+class CrashError(RuntimeError):
+    """The simulated crash.  Deliberately not an ``OSError``: storage
+    must never catch or retry it, exactly like a real kill -9."""
+
+
+class FaultFS:
+    """Counting / crashing / error-injecting stand-in for storage._io."""
+
+    def __init__(self, crash_at=None, torn=False, errors=None,
+                 persistent=None, flaky=None, real_fsync=True):
+        #: Total operations observed so far (and the index the next
+        #: operation will get).
+        self.ops = 0
+        self.counts: Counter = Counter()
+        self.log: list[tuple[int, str, str]] = []
+        self.crash_at = crash_at
+        self.torn = torn
+        #: op index -> errno: raise a one-shot OSError at that index.
+        self.errors = dict(errors or {})
+        #: op kind (e.g. "fsync_dir") -> errno: raise on every call.
+        self.persistent = dict(persistent or {})
+        #: op kind -> [times, errno]: raise for the first `times` calls
+        #: of that kind, then behave (exercises the retry/backoff).
+        self.flaky = {
+            kind: list(spec) for kind, spec in (flaky or {}).items()
+        }
+        #: The crash sweep passes real_fsync=False: the op is still
+        #: counted (and crashable) but os.fsync is skipped — in the
+        #: crash model completed writes are durable anyway, and the
+        #: sweep re-runs the workload hundreds of times.
+        self.real_fsync = real_fsync
+
+    def _tick(self, kind: str, detail: str = "") -> bool:
+        """Account one operation; returns True when it must crash.
+        Transient-error injection raises ``OSError`` directly."""
+        index = self.ops
+        self.ops += 1
+        self.counts[kind] += 1
+        self.log.append((index, kind, detail))
+        if kind in self.persistent:
+            raise OSError(self.persistent[kind], f"injected {kind} error")
+        if index in self.errors:
+            raise OSError(
+                self.errors.pop(index), f"injected error at op {index}"
+            )
+        spec = self.flaky.get(kind)
+        if spec is not None and spec[0] > 0:
+            spec[0] -= 1
+            raise OSError(spec[1], f"injected flaky {kind} error")
+        return self.crash_at is not None and index == self.crash_at
+
+    # -- the storage._io interface ----------------------------------------
+
+    def write(self, handle, data) -> None:
+        if self._tick("write", f"{len(data)} bytes"):
+            if self.torn and len(data) > 1:
+                # The crash tears the write mid-payload: a prefix hits
+                # the disk, the rest never does.
+                handle.write(data[:len(data) // 2])
+            raise CrashError(f"crash at write (op {self.ops - 1})")
+        handle.write(data)
+
+    def fsync(self, fd: int) -> None:
+        if self._tick("fsync"):
+            raise CrashError(f"crash at fsync (op {self.ops - 1})")
+        if self.real_fsync:
+            os.fsync(fd)
+
+    def fsync_dir(self, fd: int) -> None:
+        if self._tick("fsync_dir"):
+            raise CrashError(f"crash at fsync_dir (op {self.ops - 1})")
+        if self.real_fsync:
+            os.fsync(fd)
+
+    def replace(self, src, dst) -> None:
+        if self._tick("replace", str(dst)):
+            raise CrashError(f"crash at replace (op {self.ops - 1})")
+        os.replace(src, dst)
+
+    def truncate(self, handle, size: int) -> None:
+        if self._tick("truncate", str(size)):
+            raise CrashError(f"crash at truncate (op {self.ops - 1})")
+        handle.truncate(size)
+
+    def unlink(self, path) -> None:
+        if self._tick("unlink", str(path)):
+            raise CrashError(f"crash at unlink (op {self.ops - 1})")
+        os.unlink(path)
+
+
+@contextmanager
+def inject(fs: FaultFS):
+    """Swap ``storage._io`` for ``fs`` within the block."""
+    saved = storage._io
+    storage._io = fs
+    try:
+        yield fs
+    finally:
+        storage._io = saved

@@ -308,12 +308,16 @@ class TestCorruption:
         assert len(segments) >= 2
         return tmp_path / "store", segments
 
+    # strict=True pins the PR4/PR5 hard-fail contract; the default
+    # (quarantine and keep serving) is covered by the crash/degradation
+    # suite in tests/test_storage_crash.py.
+
     def test_truncated_segment_rejected(self, tmp_path):
         directory, segments = self._store_with_segment(tmp_path)
         raw = segments[0].read_bytes()
         segments[0].write_bytes(raw[:len(raw) - 7])
         with pytest.raises(StorageError):
-            FlowStore(directory)
+            FlowStore(directory, strict=True)
 
     def test_bit_flip_rejected(self, tmp_path):
         directory, segments = self._store_with_segment(tmp_path)
@@ -321,7 +325,7 @@ class TestCorruption:
         raw[len(raw) // 2] ^= 0xFF
         segments[1].write_bytes(bytes(raw))
         with pytest.raises(StorageError):
-            FlowStore(directory)
+            FlowStore(directory, strict=True)
 
     def test_bad_magic_rejected(self, tmp_path):
         directory, segments = self._store_with_segment(tmp_path)
@@ -329,7 +333,7 @@ class TestCorruption:
         raw[:4] = b"NOPE"
         segments[0].write_bytes(bytes(raw))
         with pytest.raises(StorageError):
-            FlowStore(directory)
+            FlowStore(directory, strict=True)
 
     def test_malformed_manifest_rejected(self, tmp_path):
         directory, _segments = self._store_with_segment(tmp_path)
@@ -376,15 +380,15 @@ class TestCorruption:
         assert name == "seg-00000078.fseg"  # past the orphan
 
     def test_store_survives_corrupt_open_attempt(self, tmp_path):
-        """A failed open leaves nothing behind that blocks a repair:
-        restoring the file restores the store."""
+        """A failed strict open leaves nothing behind that blocks a
+        repair: restoring the file restores the store."""
         directory, segments = self._store_with_segment(tmp_path)
         good = segments[0].read_bytes()
         segments[0].write_bytes(good[:10])
         with pytest.raises(StorageError):
-            FlowStore(directory)
+            FlowStore(directory, strict=True)
         segments[0].write_bytes(good)
-        assert len(FlowStore(directory)) == 20
+        assert len(FlowStore(directory, strict=True)) == 20
 
 
 class TestSegmentFormat:

@@ -262,11 +262,22 @@ class TestFlowstoreCli:
         assert len(store) == sum(s.n_rows for s in store.segments)
 
     def test_corrupt_store_errors_cleanly(self, tmp_path, capsys):
+        """--strict restores the PR5 hard-fail; the default open
+        quarantines the corrupt segment, reports degraded health, and
+        verify exits non-zero on it."""
         directory = self._seed_store(tmp_path)
         segment = sorted(directory.glob("seg-*.fseg"))[0]
         segment.write_bytes(segment.read_bytes()[:20])
-        assert flowstore_main(["inspect", str(directory)]) == 1
+        assert flowstore_main(
+            ["inspect", "--strict", str(directory)]
+        ) == 1
         assert "error:" in capsys.readouterr().err
+        assert flowstore_main(["inspect", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "health     : degraded" in out
+        assert segment.name in out
+        assert flowstore_main(["verify", str(directory)]) == 1
+        assert "degraded" in capsys.readouterr().err
 
     def test_missing_directory_is_an_error_not_an_empty_store(
         self, tmp_path, capsys

@@ -82,7 +82,12 @@ def _store_with_everything(tmp_path, n_flows=60, live_tail=True):
 
 
 def _open(directory, flows, n, live_tail, **kwargs):
-    store = FlowStore(directory, parallel=n, **kwargs)
+    # wal=False: these tests open several live instances of the same
+    # directory side by side, each adding its own copy of the tail —
+    # with the journal on, each later open would (correctly) replay the
+    # earlier instance's durable tail and double the rows.  Parallelism
+    # identity is about the query path, not durability.
+    store = FlowStore(directory, parallel=n, wal=False, **kwargs)
     if live_tail:
         store.add_all(flows[len(flows) - 5:])  # no flush: stays live
     return store

@@ -605,11 +605,11 @@ class TestMetadataCorruption:
 
         _patch_segment_meta(segments[0], lie_about_filter_length)
         with pytest.raises(StorageError, match="metadata"):
-            FlowStore(directory)
-        # A failed open leaves nothing behind that blocks a repair:
-        # restoring the file restores the store.
+            FlowStore(directory, strict=True)
+        # A failed strict open leaves nothing behind that blocks a
+        # repair: restoring the file restores the store.
         segments[0].write_bytes(good)
-        assert len(FlowStore(directory)) == 20
+        assert len(FlowStore(directory, strict=True)) == 20
 
     def test_metadata_bit_flip_fails_crc(self, tmp_path):
         directory, segments = self._store(tmp_path)
@@ -617,4 +617,4 @@ class TestMetadataCorruption:
         raw[-3] ^= 0xFF  # inside the metadata block, CRC not fixed up
         segments[0].write_bytes(bytes(raw))
         with pytest.raises(StorageError):
-            FlowStore(directory)
+            FlowStore(directory, strict=True)
