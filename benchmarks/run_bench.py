@@ -1507,6 +1507,112 @@ def bench_analytics_experiments(quick: bool) -> dict:
     }, run_fast, run_seed)
 
 
+def bench_flowdb_serve_query(quick: bool) -> dict:
+    """The HTTP serving tax: the same query mix through a live
+    ``repro-serve`` daemon vs straight ``ServeApp.handle`` calls.
+
+    Both sides run the full serving stack — route dispatch, snapshot
+    pin, single-flight, JSON encoding — against the same warm durable
+    store; the delta is purely the HTTP transport (socket, request
+    parse, response write).  ``speedup`` is in-process/HTTP and sits
+    below 1 by construction; the bench is machine-bound (loopback
+    latency, thread scheduling on 1-core CI runners), so the
+    regression gate skips it.
+    """
+    import threading
+    import urllib.request
+    from urllib.parse import parse_qs, urlsplit
+
+    from repro.analytics.storage import FlowStore
+    from repro.serve.server import ServeApp
+
+    n_flows = 60_000
+    spill_rows = 16_384
+    repetitions = 2 if quick else 5
+    flows, _ipdb, domains, _cdns = make_flow_workload(n_flows)
+    directory = _spill_root() / "serve-query"
+    store = FlowStore(directory, spill_rows=spill_rows, wal=False)
+    try:
+        store.add_all(flows)
+        store.flush()
+        fqdn_sample = store.fqdns()[::40]
+        requests = (
+            ["/query/len", "/query/tagged-count", "/query/time-span",
+             "/query/count-by-protocol", "/query/fqdn-server-counts",
+             "/query/server-flow-counts"]
+            + [f"/query/rows-in-window?t0={t0}&t1={t0 + 3600}"
+               for t0 in range(0, 86400, 14400)]
+            + [f"/query/servers-for-fqdn?fqdn={fqdn}"
+               for fqdn in fqdn_sample]
+            + [f"/query/rows-for-domain?sld={sld}" for sld in domains]
+        )
+        n_ops = len(requests)
+        app = ServeApp(store)
+        httpd = app.make_server("127.0.0.1", 0)
+        host, port = httpd.server_address[:2]
+        listener = threading.Thread(
+            target=httpd.serve_forever, daemon=True
+        )
+        listener.start()
+        base = f"http://{host}:{port}"
+
+        def run_http():
+            acc = 0
+            for path in requests:
+                with urllib.request.urlopen(base + path) as rsp:
+                    acc += len(rsp.read())
+            return acc
+
+        def run_in_process():
+            acc = 0
+            for path in requests:
+                split = urlsplit(path)
+                status, _ctype, payload = app.handle(
+                    "GET", split.path,
+                    parse_qs(split.query, keep_blank_values=True),
+                )
+                assert status == 200, payload
+                acc += len(payload)
+            return acc
+
+        # Identical bytes both ways before timing.
+        assert run_http() == run_in_process()
+        http_s = best_of(run_http, repetitions)
+        in_process_s = best_of(run_in_process, repetitions)
+        httpd.shutdown()
+        httpd.server_close()
+        coalesced = sum(
+            int(value)
+            for _suffix, _labels, value in app.m_coalesced.samples()
+        )
+        return {
+            "description": (
+                "Mixed query workload through a live repro-serve "
+                "daemon over loopback HTTP vs the same ServeApp "
+                "handled in-process (identical dispatch, snapshot "
+                "pinning, JSON encoding) on a warm durable store; "
+                "speedup = in-process/HTTP, i.e. the transport tax. "
+                "Loopback- and scheduler-bound, so the regression "
+                "gate skips it"
+            ),
+            "workload": {
+                "flows": n_flows,
+                "spill_rows": spill_rows,
+                "queries": n_ops,
+                "coalesced_during_bench": coalesced,
+            },
+            "unit": "queries/s",
+            "seed_s": in_process_s,
+            "fast_s": http_s,
+            "seed_ops_per_s": n_ops / in_process_s,
+            "fast_ops_per_s": n_ops / http_s,
+            "speedup": in_process_s / http_s,
+            "gate_exempt": True,
+        }
+    finally:
+        store.close()
+
+
 BENCHES = {
     "resolver_insert": bench_resolver_insert,
     "resolver_insert_churn": bench_resolver_insert_churn,
@@ -1522,6 +1628,7 @@ BENCHES = {
     "flowdb_reopen_query": bench_flowdb_reopen_query,
     "flowdb_pruned_query": bench_flowdb_pruned_query,
     "flowdb_parallel_analytics": bench_flowdb_parallel_analytics,
+    "flowdb_serve_query": bench_flowdb_serve_query,
     "analytics_experiments": bench_analytics_experiments,
 }
 

@@ -108,6 +108,15 @@ def _cmd_inspect(args) -> int:
     print(f"fqdns/slds : {stats['fqdns']} / {stats['slds']}")
     print(f"on disk    : {stats['bytes_on_disk']} bytes "
           f"in {len(stats['segments'])} segments")
+    print(f"wal epoch  : {stats['wal_epoch']} "
+          f"(generation {stats['generation']})")
+    if stats["pinned_generations"]:
+        pins = ", ".join(
+            f"gen {pin['generation']} x{pin['readers']}"
+            for pin in stats["pinned_generations"]
+        )
+        print(f"pinned     : {pins} "
+              f"({stats['retired_pending']} retired files held)")
     _print_health(stats["health"])
     if stats["segments"]:
         print("\nsegments:")

@@ -126,6 +126,7 @@ import os
 import re
 import struct
 import sys
+import threading
 import time
 import zlib
 from array import array
@@ -1568,680 +1569,71 @@ class TailJournal:
         self._size = 0
 
 
-class FlowStore:
-    """Durable Flow Database: sealed segments plus a live in-memory tail.
+class _StoreReadMixin:
+    """Merge-on-read query surface shared by :class:`FlowStore` and
+    :class:`StoreSnapshot`.
 
-    ``FlowStore(directory)`` opens (or creates) a store.  Ingestion
-    (:meth:`add`, :meth:`add_all`, :meth:`ingest_batch`) lands in an
-    in-memory :class:`FlowDatabase` tail and spills to a new segment
-    whenever the tail reaches ``spill_rows`` rows (or, if given,
-    ``spill_bytes`` of column/label data).  :meth:`flush` seals the
-    tail explicitly; :meth:`compact` merges segment runs.
+    Every whole-store read goes through one primitive — :meth:`_view`,
+    which captures ``(segments, tail, tail_map)`` under the store
+    mutex — so a query always executes over one internally-consistent
+    member set even while the single writer keeps appending, sealing
+    or compacting.  A host class provides the members (``_segments``,
+    ``_tail``, ``_tail_map``, ``_interns``, ``_mutex``,
+    ``_scan_stats``), the execution knobs (``prune``, ``parallel``,
+    ``cache_segments``) and ``_executor()``.
 
-    Every read method of the in-memory ``FlowDatabase`` is available
-    and answers over *all* rows — sealed and live alike: string-keyed
-    queries run per segment and concatenate in row order; id-keyed
-    grouped aggregations run per segment on local ids, remap through
-    per-segment id maps onto one global intern table (built from the
-    segment string tables in segment order, which reproduces global
-    first-appearance order) and merge.  The analytics layer therefore
-    runs unchanged on a store that never held the dataset in one piece.
+    Concurrency contract (single writer, any number of readers):
 
-    Two execution knobs (both answer-preserving):
-
-    * ``prune`` (default True) — skip sealed segments whose footer
-      metadata (:class:`SegmentMeta`) proves they cannot contribute to
-      a label/domain/server/time-window query, *before* any column is
-      read.  ``prune=False`` restores the PR4 scan-everything pass —
-      the differential baseline the property suite compares against.
-    * ``parallel=N`` — run the surviving per-segment kernels on an
-      ``N``-thread pool and merge partials in segment order, so
-      results are bit-identical to the serial pass.  Threads (not
-      processes) because the kernels live in numpy reductions,
-      ``frombytes`` bulk copies and file reads — all GIL-releasing —
-      and because the merged results then need no pickling.
+    * sealed segment files are immutable — their kernels run lock-free
+      (and concurrently under ``parallel > 1``);
+    * the live tail is the one mutable source, so the tail kernel of
+      every pass runs under the store mutex, serialized against the
+      writer;
+    * the global intern tables are append-only and ids are stable, so
+      a result that references them can never dangle — though the
+      tables themselves (:meth:`fqdns`, :meth:`slds`) are shared with
+      the live store and keep growing past a snapshot's pin point.
     """
 
-    def __init__(
-        self,
-        directory,
-        spill_rows: Optional[int] = None,
-        spill_bytes: Optional[int] = None,
-        cache_segments: bool = True,
-        parallel: Optional[int] = None,
-        prune: bool = True,
-        wal: bool = True,
-        wal_sync: bool = True,
-        strict: bool = False,
-    ):
-        if spill_rows is None:
-            spill_rows = DEFAULT_SPILL_ROWS
-        if spill_rows <= 0:
-            raise ValueError("spill_rows must be positive")
-        if spill_bytes is not None and spill_bytes <= 0:
-            raise ValueError("spill_bytes must be positive")
-        if parallel is None:
-            parallel = 1
-        if parallel <= 0:
-            raise ValueError("parallel must be positive")
-        self.directory = Path(directory)
-        self.spill_rows = spill_rows
-        self.spill_bytes = spill_bytes
-        #: True (default) keeps materialized segments cached for the
-        #: next query — right when the dataset fits and queries repeat
-        #: (the experiments sweep).  False streams every whole-store
-        #: pass load→merge→release, holding one segment at a time —
-        #: right for larger-than-memory stores.
-        self.cache_segments = cache_segments
-        self.parallel = parallel
-        self.prune = prune
-        #: wal (default True) journals every acknowledged ingest into
-        #: ``tail.wal`` before it lands in the in-memory tail, so a
-        #: crash loses nothing that was acknowledged.  ``wal_sync=False``
-        #: skips the per-record fsync (crash-consistent against process
-        #: death but not power loss).  A surviving current-epoch journal
-        #: is replayed at open even with ``wal=False`` — durability is
-        #: only ever dropped going forward, never retroactively.
-        self.wal_enabled = wal
-        #: strict=True restores PR4/PR5 hard-fail opens: any segment
-        #: that fails validation raises ``StorageError``.  The default
-        #: quarantines it and degrades gracefully (see :meth:`health`).
-        self.strict = strict
-        self._pool = None                # lazily-built thread pool
-        self._writer = SegmentWriter(self.directory)
-        self._interns = FlowDatabase()   # global id tables only (0 rows)
-        self._segments: list[SegmentReader] = []
-        self._tail = FlowDatabase()
-        self._tail_map = array("i")      # tail-local fqdn id -> global
-        self._tail_label_bytes = 0       # incremental tail_bytes() state
-        self._tail_label_count = 0
-        manifest = self._read_manifest()
-        self._wal_epoch: int = manifest["wal_epoch"]
-        self._quarantined: list[dict] = manifest["quarantined"]
-        self._swept_tmp = self._sweep_tmp_files()
-        newly_quarantined = False
-        for name in manifest["segments"]:
-            try:
-                reader = SegmentReader.open(self.directory / name)
-            except StorageError as exc:
-                if self.strict:
-                    raise
-                self._quarantine_segment(name, exc)
-                newly_quarantined = True
-                continue
-            reader.fqdn_map = _map_local_fqdns(self._interns, reader.labels)
-            self._segments.append(reader)
-        self._wal = TailJournal(
-            self.directory / WAL_NAME, self._wal_epoch, sync=wal_sync
-        )
-        self._wal_report: dict = {}
-        self._recover_wal()
-        if newly_quarantined:
-            # Commit the drop: the manifest stops listing the segment
-            # and records it under "quarantined" so the degradation is
-            # visible to every later open and to the CLI.
-            self._write_manifest()
+    # -- consistent view capture ------------------------------------------
 
-    # -- crash recovery / degradation --------------------------------------
+    def _view(self) -> tuple[tuple, FlowDatabase, array]:
+        """``(segments, tail, tail_map)`` captured atomically.
 
-    def _sweep_tmp_files(self) -> int:
-        """Unlink ``*.tmp`` orphans left by a crashed atomic rename.
-
-        They are invisible to readers (only renamed files are ever
-        opened) but would otherwise accumulate forever.  Swept before
-        the journal is opened so a crashed ``tail.wal.tmp`` cannot
-        shadow a later reset.
+        The segments tuple is a private copy, so a concurrent
+        seal/compact splice of the live list cannot shift this pass;
+        the tail reference stays shared — tail kernels take the mutex.
         """
-        swept = 0
-        try:
-            entries = list(self.directory.iterdir())
-        except OSError:  # pragma: no cover - directory just created
-            return 0
-        for entry in entries:
-            if not entry.name.endswith(".tmp"):
-                continue
-            try:
-                _retry_io(
-                    lambda path=entry: _io.unlink(path),
-                    f"sweep {entry.name}",
-                )
-            except OSError as exc:  # pragma: no cover - best-effort
-                logger.warning(
-                    "could not sweep orphan %s: %s", entry, exc
-                )
-                continue
-            logger.info("swept orphaned temp file %s", entry.name)
-            swept += 1
-        return swept
+        with self._mutex:
+            self._sync_tail_map()
+            return tuple(self._segments), self._tail, self._tail_map
 
-    def _quarantine_segment(self, name: str, exc: Exception) -> None:
-        """Move a failed segment aside and record the degradation.
-
-        The store stays open and serves every surviving row; the
-        quarantined file keeps its bytes for post-mortem under
-        ``quarantine/``.  Note the store's global row numbering shifts
-        by the missing segment's rows — degraded means *smaller*, never
-        *wrong*.
-        """
-        logger.error("quarantining segment %s: %s", name, exc)
-        entry = {"name": name, "reason": str(exc)}
-        source = self.directory / name
-        if source.exists():
-            qdir = self.directory / QUARANTINE_DIR
-            try:
-                qdir.mkdir(exist_ok=True)
-                _retry_io(
-                    lambda: _io.replace(source, qdir / name),
-                    f"quarantine {name}",
-                )
-            except OSError as move_exc:  # pragma: no cover - best-effort
-                logger.warning(
-                    "could not move %s to quarantine: %s", name, move_exc
-                )
-                entry["reason"] += f" (quarantine move failed: {move_exc})"
-        if not any(
-            existing["name"] == name for existing in self._quarantined
-        ):
-            self._quarantined.append(entry)
-
-    def _recover_wal(self) -> None:
-        """Replay (or discard) a journal that survived the last process.
-
-        * epoch == manifest epoch — the journal holds exactly the rows
-          the manifest does not: replay into the tail, drop a torn
-          trailing record.
-        * epoch < manifest epoch — the crash hit between the manifest
-          commit and the journal reset of a seal: every journaled row
-          already lives in a committed segment; discard.
-        * epoch > manifest epoch — cannot happen under the protocol
-          (the epoch is bumped manifest-first); seeing it means the
-          directory was tampered with, so replaying could double rows.
-          Discarded (raised under ``strict=True``).
-        """
-        report = {
-            "enabled": self.wal_enabled,
-            "epoch": self._wal_epoch,
-            "recovered_batches": 0,
-            "recovered_rows": 0,
-            "torn_bytes_dropped": 0,
-            "skipped_records": 0,
-            "stale_dropped": False,
-        }
-        self._wal_report = report
-        epoch, payloads, raw = TailJournal.recover(self._wal.path)
-        if raw["bytes"] == 0 and epoch is None and raw["torn_bytes"] == 0:
-            return                      # no journal on disk
-        if epoch is None:
-            # Unreadable header: a crash during journal creation, before
-            # anything was acknowledged against it.
-            logger.warning(
-                "dropping tail journal with unreadable header (%d bytes)",
-                raw["bytes"],
-            )
-            report["torn_bytes_dropped"] = raw["bytes"]
-            self._wal.discard()
-            return
-        if epoch != self._wal_epoch:
-            if epoch > self._wal_epoch and self.strict:
-                raise StorageError(
-                    f"tail journal epoch {epoch} is ahead of manifest "
-                    f"epoch {self._wal_epoch}"
-                )
-            level = logger.error if epoch > self._wal_epoch else logger.info
-            level(
-                "discarding tail journal at epoch %d (store is at %d)",
-                epoch, self._wal_epoch,
-            )
-            report["stale_dropped"] = True
-            self._wal.discard()
-            return
-        for payload in payloads:
-            try:
-                rows = self._tail.ingest_batch(payload)
-            except ValueError as exc:
-                # A record that fails ingest would have raised on the
-                # original call too — its rows were never acknowledged.
-                logger.warning(
-                    "skipping unplayable tail journal record: %s", exc
-                )
-                report["skipped_records"] += 1
-                continue
-            report["recovered_batches"] += 1
-            report["recovered_rows"] += rows
-        report["torn_bytes_dropped"] = raw["torn_bytes"]
-        if raw["torn_bytes"]:
-            logger.warning(
-                "dropped %d torn trailing bytes from tail journal",
-                raw["torn_bytes"],
-            )
-        if self.wal_enabled:
-            if raw["torn_bytes"]:
-                self._wal.truncate_to(raw["valid_size"])
-        # With wal=False the journal file is left in place: its rows are
-        # live in the tail but not yet durable, and the file is only
-        # discarded once flush() seals them into a committed segment.
-
-    # -- manifest ----------------------------------------------------------
-
-    def _read_manifest(self) -> dict:
-        path = self.directory / MANIFEST_NAME
-        empty = {"segments": [], "wal_epoch": 0, "quarantined": []}
-        try:
-            raw = path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            return empty
-        except OSError as exc:
-            raise StorageError(f"cannot read {path}: {exc}") from exc
-        try:
-            manifest = json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise StorageError(f"malformed manifest {path}: {exc}") from exc
-        if (
-            not isinstance(manifest, dict)
-            or manifest.get("format") not in (
-                FORMAT_VERSION_V1, FORMAT_VERSION
-            )
-            or not isinstance(manifest.get("segments"), list)
-        ):
-            raise StorageError(f"unsupported manifest {path}")
-        names: list[str] = []
-        for entry in manifest["segments"]:
-            # v1 manifests list bare names; v2 entries are objects
-            # carrying a copy of the pruning metadata.  Only the name
-            # is consumed here — the footer (CRC-covered) is the
-            # authoritative metadata source.
-            name = entry.get("name") if isinstance(entry, dict) else entry
-            if (
-                not isinstance(name, str)
-                or not _SEGMENT_RE.match(name)
-            ):
-                raise StorageError(f"bad segment name {name!r} in manifest")
-            names.append(name)
-        # Pre-PR6 manifests carry neither key: epoch 0, nothing
-        # quarantined.
-        wal_epoch = manifest.get("wal_epoch", 0)
-        if not isinstance(wal_epoch, int) or wal_epoch < 0:
-            raise StorageError(f"bad wal_epoch {wal_epoch!r} in manifest")
-        quarantined: list[dict] = []
-        raw_quarantined = manifest.get("quarantined", [])
-        if not isinstance(raw_quarantined, list):
-            raise StorageError("bad quarantined list in manifest")
-        for entry in raw_quarantined:
-            if (
-                not isinstance(entry, dict)
-                or not isinstance(entry.get("name"), str)
-                or not isinstance(entry.get("reason"), str)
-            ):
-                raise StorageError(
-                    f"bad quarantine entry {entry!r} in manifest"
-                )
-            quarantined.append(
-                {"name": entry["name"], "reason": entry["reason"]}
-            )
-        return {
-            "segments": names,
-            "wal_epoch": wal_epoch,
-            "quarantined": quarantined,
-        }
-
-    def _write_manifest(self) -> None:
-        payload = json.dumps({
-            "format": FORMAT_VERSION,
-            "wal_epoch": self._wal_epoch,
-            "segments": [
-                {
-                    "name": reader.name,
-                    "rows": reader.n_rows,
-                    "meta": (
-                        reader.meta.to_manifest()
-                        if reader.meta is not None else None
-                    ),
-                }
-                for reader in self._segments
-            ],
-            "quarantined": self._quarantined,
-        }, indent=2) + "\n"
-        _write_file_atomic(
-            self.directory / MANIFEST_NAME,
-            payload.encode("utf-8"),
-            "manifest",
-        )
-
-    # -- ingestion / spilling ---------------------------------------------
-
-    def add(self, flow: FlowRecord) -> None:
-        """Insert one flow record (spills when the budget is crossed).
-
-        With the journal enabled the flow is validated, encoded and
-        durably appended to ``tail.wal`` *before* it lands in the tail
-        — once ``add`` returns, the row survives a crash.
-        """
-        if self.wal_enabled:
-            self._wal.append(_encode_flow_batch((flow,)))
-        self._tail.add(flow)
-        self._maybe_spill()
-
-    def _wal_chunk_rows(self) -> int:
-        """Rows journaled per ``add_all`` record.
-
-        A journaled chunk must land in the tail whole before a spill
-        may seal it: spilling mid-chunk would strand the chunk's later
-        rows in the *previous* (now stale) journal epoch and lose them
-        on crash.  So spill checks happen only at chunk boundaries, and
-        the chunk is sized well under both spill budgets to keep that
-        granularity loss negligible.
-        """
-        chunk = min(4096, self.spill_rows)
-        if self.spill_bytes is not None:
-            chunk = min(chunk, max(1, self.spill_bytes // _ROW_BYTES))
-        return chunk
-
-    def add_all(self, flows: Iterable[FlowRecord]) -> None:
-        """Insert many flow records (journaled in chunks when the WAL
-        is enabled)."""
-        if not self.wal_enabled:
-            # self._tail rebinds on spill — re-fetch it every iteration.
-            for flow in flows:
-                self._tail.add(flow)
-                self._maybe_spill()
-            return
-        chunk_rows = self._wal_chunk_rows()
-        iterator = iter(flows)
-        while True:
-            chunk = list(islice(iterator, chunk_rows))
-            if not chunk:
-                return
-            self._wal.append(_encode_flow_batch(chunk))
-            tail = self._tail
-            for flow in chunk:
-                tail.add(flow)
-            self._maybe_spill()
-
-    def ingest_batch(self, payload) -> int:
-        """Absorb one eventcodec tagged-flow batch (see
-        :meth:`FlowDatabase.ingest_batch`); spills past the budget.
-
-        The raw batch is journaled as-is before ingestion, so an
-        acknowledged batch replays bit-identically after a crash.
-        """
-        if self.wal_enabled:
-            self._wal.append(bytes(payload))
-        count = self._tail.ingest_batch(payload)
-        self._maybe_spill()
-        return count
-
-    def tail_bytes(self) -> int:
-        """Approximate byte weight of the live tail (columns + labels).
-
-        O(1) amortized — ``_maybe_spill`` calls this per inserted flow
-        when a byte budget is set, so the label-byte total is tracked
-        incrementally (the intern table is append-only) instead of
-        re-summed over every distinct FQDN each time.
-        """
-        names = self._tail._fqdn_names
-        while self._tail_label_count < len(names):
-            self._tail_label_bytes += len(names[self._tail_label_count])
-            self._tail_label_count += 1
-        return len(self._tail) * _ROW_BYTES + self._tail_label_bytes
-
-    def _maybe_spill(self) -> None:
-        tail = self._tail
-        if not len(tail):
-            return
-        if len(tail) >= self.spill_rows or (
-            self.spill_bytes is not None
-            and self.tail_bytes() >= self.spill_bytes
-        ):
-            self.flush()
-
-    def flush(self) -> Optional[str]:
-        """Seal the live tail into a new segment; returns its file name
-        (None when the tail is empty).
-
-        The sealed tail is *released*, not cached: spilling is what
-        bounds resident memory on a multi-day ingest, so the rows now
-        live on disk only and rematerialize lazily if queried."""
-        tail = self._tail
-        if not len(tail):
-            return None
-        self._sync_tail_map()
-        name = self._writer.write(tail)
-        # Deliberate read-back: re-opening the file we just wrote
-        # verifies the write end to end (size + CRC over what actually
-        # hit the filesystem) before the manifest commits it — one
-        # extra sequential read per sealed segment, page-cache warm.
-        reader = SegmentReader.open(self.directory / name)
-        reader.fqdn_map = self._tail_map
-        self._segments.append(reader)
-        # Epoch protocol: the manifest commits the segment AND the new
-        # WAL epoch in one atomic rename, and only then is the journal
-        # replaced.  A crash before the manifest leaves an orphan
-        # segment plus a current-epoch journal (replayed — no loss); a
-        # crash after it leaves a stale-epoch journal (discarded — the
-        # rows live in the committed segment, no double count).
-        self._wal_epoch += 1
-        self._write_manifest()
-        if self.wal_enabled:
-            self._wal.reset(self._wal_epoch)
-        else:
-            # Journal-less mode still clears a journal inherited from a
-            # WAL-enabled run: its rows are sealed now.
-            self._wal.epoch = self._wal_epoch
-            if self._wal.path.exists():
-                self._wal.discard()
-        self._tail = FlowDatabase()
-        self._tail_map = array("i")
-        self._tail_label_bytes = 0
-        self._tail_label_count = 0
-        return name
-
-    def close(self) -> None:
-        """Seal any live rows and release the worker pool and journal
-        handle.  The store object stays usable (both rebuild lazily on
-        next use)."""
-        self.flush()
-        self._wal.close()
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-
-    def __enter__(self) -> "FlowStore":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    # -- maintenance -------------------------------------------------------
-
-    @property
-    def segments(self) -> tuple[SegmentReader, ...]:
-        return tuple(self._segments)
-
-    def release_segments(self) -> None:
-        """Drop every cached in-memory segment materialization."""
-        for reader in self._segments:
-            reader.release()
-
-    def compact(self, small_rows: Optional[int] = None) -> int:
-        """Merge segment runs into single segments; returns the number
-        of segment files removed.
-
-        With ``small_rows=None`` every sealed segment merges into one.
-        Otherwise only *adjacent* runs of two or more segments, each
-        smaller than ``small_rows`` rows, are rewritten (adjacency
-        preserves global row order, which the query surface relies
-        on).  String-table ids are re-interned into the merged tables;
-        the old files are unlinked only after the new segment is
-        committed to the manifest.
-        """
-        self.flush()
-        segments = self._segments
-        if small_rows is None:
-            runs = [(0, len(segments))] if len(segments) >= 2 else []
-        else:
-            runs = []
-            start = None
-            for index, reader in enumerate(segments):
-                if reader.n_rows < small_rows:
-                    if start is None:
-                        start = index
-                    continue
-                if start is not None and index - start >= 2:
-                    runs.append((start, index))
-                start = None
-            if start is not None and len(segments) - start >= 2:
-                runs.append((start, len(segments)))
-        removed = 0
-        for start, stop in reversed(runs):
-            run = segments[start:stop]
-            name = self._writer.next_name()
-            _merge_segment_files(run, self.directory / name)
-            merged = SegmentReader.open(self.directory / name)
-            merged.fqdn_map = _map_local_fqdns(self._interns, merged.labels)
-            segments[start:stop] = [merged]
-            self._write_manifest()
-            for reader in run:
-                try:
-                    _io.unlink(reader.path)
-                except OSError:  # pragma: no cover - best-effort cleanup
-                    pass
-            removed += len(run) - 1
-        return removed
-
-    def health(self) -> dict:
-        """Self-diagnosis of the open store.
-
-        Reports everything graceful degradation and crash recovery did
-        at open: quarantined segments (with reasons), journal recovery
-        statistics (records replayed, torn bytes dropped, stale epochs
-        discarded), and orphaned temp files swept.  ``status`` is
-        ``"degraded"`` whenever any sealed data is missing — i.e. a
-        segment sits in quarantine or a journal record could not be
-        replayed — and ``"ok"`` otherwise.  Surfaced by
-        ``repro-flowstore stats`` and checked (non-zero exit) by
-        ``repro-flowstore verify``.
-        """
-        wal = dict(self._wal_report) if self._wal_report else {
-            "enabled": self.wal_enabled,
-            "epoch": self._wal_epoch,
-            "recovered_batches": 0,
-            "recovered_rows": 0,
-            "torn_bytes_dropped": 0,
-            "skipped_records": 0,
-            "stale_dropped": False,
-        }
-        wal["enabled"] = self.wal_enabled
-        wal["epoch"] = self._wal_epoch
-        degraded = bool(self._quarantined) or bool(
-            wal.get("skipped_records")
-        )
-        return {
-            "status": "degraded" if degraded else "ok",
-            "strict": self.strict,
-            "quarantined_segments": [
-                dict(entry) for entry in self._quarantined
-            ],
-            "wal": wal,
-            "tmp_files_swept": self._swept_tmp,
-        }
-
-    def stats(self) -> dict:
-        """Inspection summary (the ``repro-flowstore inspect``/``stats``
-        payload) — per-segment format version and pruning metadata
-        included, so the store is fully introspectable without reading
-        any column block."""
-        self._sync_tail_map()  # fqdns/slds counts must include the tail
-        segments = [
-            {
-                "name": reader.name,
-                "version": reader.version,
-                "rows": reader.n_rows,
-                "labels": reader.n_labels,
-                "bytes": reader.file_size,
-                "resident": reader.resident,
-                "meta": (
-                    reader.meta.to_manifest()
-                    if reader.meta is not None else None
-                ),
-            }
-            for reader in self._segments
-        ]
-        versions: dict[str, int] = {}
-        for reader in self._segments:
-            key = str(reader.version)
-            versions[key] = versions.get(key, 0) + 1
-        return {
-            "directory": str(self.directory),
-            "format": FORMAT_VERSION,
-            "segment_versions": versions,
-            "parallel": self.parallel,
-            "prune": self.prune,
-            "health": self.health(),
-            "segments": segments,
-            "sealed_rows": sum(reader.n_rows for reader in self._segments),
-            "tail_rows": len(self._tail),
-            "rows": len(self),
-            "fqdns": len(self._interns._fqdn_names),
-            "slds": len(self._interns._sld_names),
-            "bytes_on_disk": sum(
-                reader.file_size for reader in self._segments
-            ),
-        }
-
-    def prune_report(self, hint: QueryHint) -> dict:
-        """Which sealed segments a query carrying ``hint`` would scan.
-
-        Pure metadata arithmetic — no segment is opened beyond what
-        :class:`FlowStore` already validated, nothing is materialized.
-        The ``repro-flowstore prune-report`` payload.
-        """
-        segments = []
-        pruned_rows = scanned_rows = 0
-        for reader in self._segments:
-            admitted = not self.prune or hint.admits(reader.meta)
-            segments.append({
-                "name": reader.name,
-                "rows": reader.n_rows,
-                "version": reader.version,
-                "scan": admitted,
-            })
-            if admitted:
-                scanned_rows += reader.n_rows
-            else:
-                pruned_rows += reader.n_rows
-        return {
-            "directory": str(self.directory),
-            "prune": self.prune,
-            "segments": segments,
-            "scanned_segments": sum(1 for s in segments if s["scan"]),
-            "pruned_segments": sum(1 for s in segments if not s["scan"]),
-            "scanned_rows": scanned_rows,
-            "pruned_rows": pruned_rows,
-            "tail_rows": len(self._tail),
-        }
+    def _sync_tail_map(self) -> None:
+        with self._mutex:
+            names = self._tail._fqdn_names
+            tail_map = self._tail_map
+            intern = self._interns._intern_fqdn
+            while len(tail_map) < len(names):
+                tail_map.append(intern(names[len(tail_map)]))
 
     # -- merge plumbing ----------------------------------------------------
 
-    def _sync_tail_map(self) -> None:
-        names = self._tail._fqdn_names
-        tail_map = self._tail_map
-        intern = self._interns._intern_fqdn
-        while len(tail_map) < len(names):
-            tail_map.append(intern(names[len(tail_map)]))
-
-    def _source_bounds(self) -> tuple[list[int], list[int]]:
+    @staticmethod
+    def _source_bounds(
+        segments: Sequence[SegmentReader], tail_len: int
+    ) -> tuple[list[int], list[int]]:
         """Per-source (base, end) global row ranges — derived from the
         segment headers alone, so no segment is materialized."""
         bases: list[int] = []
         ends: list[int] = []
         base = 0
-        for reader in self._segments:
+        for reader in segments:
             bases.append(base)
             base += reader.n_rows
             ends.append(base)
-        if len(self._tail):
+        if tail_len:
             bases.append(base)
-            ends.append(base + len(self._tail))
+            ends.append(base + tail_len)
         return bases, ends
 
     def _each(self):
@@ -2252,18 +1644,20 @@ class FlowStore:
         ``cache_segments=False`` a segment this pass materialized is
         released again as soon as the consumer advances — a whole-store
         query then holds one segment in memory at a time instead of
-        pinning the full dataset.
+        pinning the full dataset.  The tail is yielded under the store
+        mutex, so consuming it cannot interleave with the writer.
         """
-        self._sync_tail_map()
+        segments, tail, tail_map = self._view()
         base = 0
-        for reader in self._segments:
+        for reader in segments:
             was_resident = reader.resident
             yield base, reader.database(), reader.fqdn_map
             if not self.cache_segments and not was_resident:
                 reader.release()
             base += reader.n_rows
-        if len(self._tail):
-            yield base, self._tail, self._tail_map
+        with self._mutex:
+            if len(tail):
+                yield base, tail, tail_map
 
     @staticmethod
     def _extend_offset(out: array, rows, base: int) -> None:
@@ -2285,13 +1679,15 @@ class FlowStore:
     def _offset_rows(rows, base: int) -> array:
         """``rows + base`` as a fresh packed array."""
         out = array("I")
-        FlowStore._extend_offset(out, rows, base)
+        _StoreReadMixin._extend_offset(out, rows, base)
         return out
 
-    def _split_rows(self, rows) -> list[array]:
+    def _split_rows(
+        self, rows, segments: Sequence[SegmentReader], tail_len: int
+    ) -> list[array]:
         """Partition global row indices into per-source local rows
         (bounds come from the headers; nothing is materialized)."""
-        bases, ends = self._source_bounds()
+        bases, ends = self._source_bounds(segments, tail_len)
         out = [array("I") for _ in bases]
         if rows is None or not len(rows):
             return out
@@ -2317,15 +1713,15 @@ class FlowStore:
                 out[index].append(row - bases[index])
         return out
 
-    def _executor(self):
-        if self._pool is None:
-            from concurrent.futures import ThreadPoolExecutor
-
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.parallel,
-                thread_name_prefix="flowstore",
-            )
-        return self._pool
+    def _note_scan(self, scanned: int, pruned: int) -> None:
+        """Fold one pass's pruning outcome into the shared counters
+        (the ``/metrics`` prune-hit-rate feed; snapshots share their
+        parent store's dict, so the service sees one series)."""
+        with self._mutex:
+            stats = self._scan_stats
+            stats["queries"] += 1
+            stats["segments_scanned"] += scanned
+            stats["segments_pruned"] += pruned
 
     def _run_sources(self, kernel, hint: Optional[QueryHint] = None,
                      rows=None) -> list:
@@ -2352,21 +1748,33 @@ class FlowStore:
 
         With ``parallel > 1`` the surviving kernels run on the thread
         pool; because partials are merged from this ordered result
-        list, parallel execution is bit-identical to serial.
+        list, parallel execution is bit-identical to serial.  The
+        member set is the :meth:`_view` capture, and the tail kernel
+        runs under the store mutex — so concurrent ingest can never
+        tear a pass, and a :class:`StoreSnapshot` pass never sees a
+        segment retired out from under it.
         """
-        self._sync_tail_map()
+        segments, tail, tail_map = self._view()
+        tail_len = len(tail)
         prune = self.prune
-        split = self._split_rows(rows) if rows is not None else None
+        split = (
+            self._split_rows(rows, segments, tail_len)
+            if rows is not None else None
+        )
         cache = self.cache_segments
+        mutex = self._mutex
         thunks = []
+        scanned = pruned = 0
         base = 0
-        for index, reader in enumerate(self._segments):
+        for index, reader in enumerate(segments):
             local = split[index] if split is not None else None
             skip = prune and (
                 (split is not None and not len(local))
                 or (hint is not None and not hint.admits(reader.meta))
             )
             if not skip:
+                scanned += 1
+
                 def thunk(reader=reader, local=local, base=base):
                     was_resident = reader.resident
                     try:
@@ -2377,16 +1785,17 @@ class FlowStore:
                         if not cache and not was_resident:
                             reader.release()
                 thunks.append(thunk)
+            else:
+                pruned += 1
             base += reader.n_rows
-        if len(self._tail):
-            local = (
-                split[len(self._segments)] if split is not None else None
-            )
-            thunks.append(
-                lambda local=local, base=base: kernel(
-                    self._tail, self._tail_map, local, base
-                )
-            )
+        if tail_len:
+            local = split[len(segments)] if split is not None else None
+
+            def tail_thunk(local=local, base=base):
+                with mutex:
+                    return kernel(tail, tail_map, local, base)
+            thunks.append(tail_thunk)
+        self._note_scan(scanned, pruned)
         if self.parallel > 1 and len(thunks) > 1:
             return list(self._executor().map(_call_thunk, thunks))
         return [thunk() for thunk in thunks]
@@ -2431,13 +1840,15 @@ class FlowStore:
 
     def fqdns(self) -> list[str]:
         """All distinct labels, in global first-appearance order."""
-        self._sync_tail_map()
-        return list(self._interns._fqdn_names)
+        with self._mutex:
+            self._sync_tail_map()
+            return list(self._interns._fqdn_names)
 
     def slds(self) -> list[str]:
         """All distinct second-level domains seen."""
-        self._sync_tail_map()
-        return list(self._interns._sld_names)
+        with self._mutex:
+            self._sync_tail_map()
+            return list(self._interns._sld_names)
 
     def servers(self) -> list[int]:
         """All distinct server addresses, first-appearance order."""
@@ -2459,13 +1870,16 @@ class FlowStore:
 
     def fqdns_for_domain(self, sld: str) -> set[str]:
         """Distinct FQDNs under one second-level domain."""
-        self._sync_tail_map()
-        interns = self._interns
-        sld_id = interns._sld_ids.get(sld.lower())
-        if sld_id is None:
-            return set()
-        names = interns._fqdn_names
-        return {names[fqdn_id] for fqdn_id in interns._sld_fqdns[sld_id]}
+        with self._mutex:
+            self._sync_tail_map()
+            interns = self._interns
+            sld_id = interns._sld_ids.get(sld.lower())
+            if sld_id is None:
+                return set()
+            names = interns._fqdn_names
+            return {
+                names[fqdn_id] for fqdn_id in interns._sld_fqdns[sld_id]
+            }
 
     # -- row-index views ---------------------------------------------------
 
@@ -2834,9 +2248,10 @@ class FlowStore:
     # -- stats -------------------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(
-            reader.n_rows for reader in self._segments
-        ) + len(self._tail)
+        with self._mutex:
+            return sum(
+                reader.n_rows for reader in self._segments
+            ) + len(self._tail)
 
     def __iter__(self) -> Iterator[FlowRecord]:
         for _base, db, _m in self._each():
@@ -2846,14 +2261,19 @@ class FlowStore:
     def tagged_count(self) -> int:
         """Number of flows carrying a label (segment summaries + live
         tail — no segment is materialized for this)."""
-        return sum(
-            reader.summary()["tagged_rows"] for reader in self._segments
-        ) + self._tail.tagged_count
+        segments, tail, _tail_map = self._view()
+        total = sum(
+            reader.summary()["tagged_rows"] for reader in segments
+        )
+        with self._mutex:
+            return total + tail.tagged_count
 
     def count_by_protocol(self) -> dict[Protocol, int]:
         """Flow counts per layer-7 protocol (summaries + live tail)."""
-        totals = list(self._tail._protocol_counts)
-        for reader in self._segments:
+        segments, tail, _tail_map = self._view()
+        with self._mutex:
+            totals = list(tail._protocol_counts)
+        for reader in segments:
             for index, count in enumerate(
                 reader.summary()["protocol_counts"]
             ):
@@ -2867,20 +2287,880 @@ class FlowStore:
     def time_span(self) -> tuple[float, float]:
         """(earliest start, latest end) across all rows (summaries +
         live tail)."""
-        if not len(self):
-            return (0.0, 0.0)
+        segments, tail, _tail_map = self._view()
+        rows = 0
         lo = float("inf")
         hi = float("-inf")
-        for reader in self._segments:
+        for reader in segments:
+            rows += reader.n_rows
             summary = reader.summary()
             if summary["min_start"] < lo:
                 lo = summary["min_start"]
             if summary["max_end"] > hi:
                 hi = summary["max_end"]
-        if len(self._tail):
-            start, end = self._tail.time_span()
-            if start < lo:
-                lo = start
-            if end > hi:
-                hi = end
+        with self._mutex:
+            if len(tail):
+                rows += len(tail)
+                start, end = tail.time_span()
+                if start < lo:
+                    lo = start
+                if end > hi:
+                    hi = end
+        if not rows:
+            return (0.0, 0.0)
         return (lo, hi)
+
+
+class FlowStore(_StoreReadMixin):
+    """Durable Flow Database: sealed segments plus a live in-memory tail.
+
+    ``FlowStore(directory)`` opens (or creates) a store.  Ingestion
+    (:meth:`add`, :meth:`add_all`, :meth:`ingest_batch`) lands in an
+    in-memory :class:`FlowDatabase` tail and spills to a new segment
+    whenever the tail reaches ``spill_rows`` rows (or, if given,
+    ``spill_bytes`` of column/label data).  :meth:`flush` seals the
+    tail explicitly; :meth:`compact` merges segment runs.
+
+    Every read method of the in-memory ``FlowDatabase`` is available
+    and answers over *all* rows — sealed and live alike: string-keyed
+    queries run per segment and concatenate in row order; id-keyed
+    grouped aggregations run per segment on local ids, remap through
+    per-segment id maps onto one global intern table (built from the
+    segment string tables in segment order, which reproduces global
+    first-appearance order) and merge.  The analytics layer therefore
+    runs unchanged on a store that never held the dataset in one piece.
+
+    Two execution knobs (both answer-preserving):
+
+    * ``prune`` (default True) — skip sealed segments whose footer
+      metadata (:class:`SegmentMeta`) proves they cannot contribute to
+      a label/domain/server/time-window query, *before* any column is
+      read.  ``prune=False`` restores the PR4 scan-everything pass —
+      the differential baseline the property suite compares against.
+    * ``parallel=N`` — run the surviving per-segment kernels on an
+      ``N``-thread pool and merge partials in segment order, so
+      results are bit-identical to the serial pass.  Threads (not
+      processes) because the kernels live in numpy reductions,
+      ``frombytes`` bulk copies and file reads — all GIL-releasing —
+      and because the merged results then need no pickling.
+    """
+
+    def __init__(
+        self,
+        directory,
+        spill_rows: Optional[int] = None,
+        spill_bytes: Optional[int] = None,
+        cache_segments: bool = True,
+        parallel: Optional[int] = None,
+        prune: bool = True,
+        wal: bool = True,
+        wal_sync: bool = True,
+        strict: bool = False,
+    ):
+        if spill_rows is None:
+            spill_rows = DEFAULT_SPILL_ROWS
+        if spill_rows <= 0:
+            raise ValueError("spill_rows must be positive")
+        if spill_bytes is not None and spill_bytes <= 0:
+            raise ValueError("spill_bytes must be positive")
+        if parallel is None:
+            parallel = 1
+        if parallel <= 0:
+            raise ValueError("parallel must be positive")
+        self.directory = Path(directory)
+        self.spill_rows = spill_rows
+        self.spill_bytes = spill_bytes
+        #: True (default) keeps materialized segments cached for the
+        #: next query — right when the dataset fits and queries repeat
+        #: (the experiments sweep).  False streams every whole-store
+        #: pass load→merge→release, holding one segment at a time —
+        #: right for larger-than-memory stores.
+        self.cache_segments = cache_segments
+        self.parallel = parallel
+        self.prune = prune
+        #: wal (default True) journals every acknowledged ingest into
+        #: ``tail.wal`` before it lands in the in-memory tail, so a
+        #: crash loses nothing that was acknowledged.  ``wal_sync=False``
+        #: skips the per-record fsync (crash-consistent against process
+        #: death but not power loss).  A surviving current-epoch journal
+        #: is replayed at open even with ``wal=False`` — durability is
+        #: only ever dropped going forward, never retroactively.
+        self.wal_enabled = wal
+        #: strict=True restores PR4/PR5 hard-fail opens: any segment
+        #: that fails validation raises ``StorageError``.  The default
+        #: quarantines it and degrades gracefully (see :meth:`health`).
+        self.strict = strict
+        self._pool = None                # lazily-built thread pool
+        #: Store mutex (single writer, many readers).  Readers hold it
+        #: only for view capture and tail kernels; sealed-segment scans
+        #: run lock-free.  Reentrant because a tail kernel may call
+        #: back into helpers that take it again.
+        self._mutex = threading.RLock()
+        #: Snapshot bookkeeping: the generation bumps on every member
+        #: set change (seal, compact); pins count live readers per
+        #: generation; retired holds (generation, path) of compacted
+        #: segment files whose unlink waits for the last older pin.
+        self._generation = 0
+        self._pins: dict[int, int] = {}
+        self._retired: list[tuple[int, Path]] = []
+        #: Shared pruning counters behind the /metrics prune hit-rate.
+        self._scan_stats = {
+            "queries": 0, "segments_scanned": 0, "segments_pruned": 0,
+        }
+        self._writer = SegmentWriter(self.directory)
+        self._interns = FlowDatabase()   # global id tables only (0 rows)
+        self._segments: list[SegmentReader] = []
+        self._tail = FlowDatabase()
+        self._tail_map = array("i")      # tail-local fqdn id -> global
+        self._tail_label_bytes = 0       # incremental tail_bytes() state
+        self._tail_label_count = 0
+        manifest = self._read_manifest()
+        self._wal_epoch: int = manifest["wal_epoch"]
+        self._quarantined: list[dict] = manifest["quarantined"]
+        self._swept_tmp = self._sweep_tmp_files()
+        newly_quarantined = False
+        for name in manifest["segments"]:
+            try:
+                reader = SegmentReader.open(self.directory / name)
+            except StorageError as exc:
+                if self.strict:
+                    raise
+                self._quarantine_segment(name, exc)
+                newly_quarantined = True
+                continue
+            reader.fqdn_map = _map_local_fqdns(self._interns, reader.labels)
+            self._segments.append(reader)
+        self._wal = TailJournal(
+            self.directory / WAL_NAME, self._wal_epoch, sync=wal_sync
+        )
+        self._wal_report: dict = {}
+        self._recover_wal()
+        if newly_quarantined:
+            # Commit the drop: the manifest stops listing the segment
+            # and records it under "quarantined" so the degradation is
+            # visible to every later open and to the CLI.
+            self._write_manifest()
+
+    # -- crash recovery / degradation --------------------------------------
+
+    def _sweep_tmp_files(self) -> int:
+        """Unlink ``*.tmp`` orphans left by a crashed atomic rename.
+
+        They are invisible to readers (only renamed files are ever
+        opened) but would otherwise accumulate forever.  Swept before
+        the journal is opened so a crashed ``tail.wal.tmp`` cannot
+        shadow a later reset.
+        """
+        swept = 0
+        try:
+            entries = list(self.directory.iterdir())
+        except OSError:  # pragma: no cover - directory just created
+            return 0
+        for entry in entries:
+            if not entry.name.endswith(".tmp"):
+                continue
+            try:
+                _retry_io(
+                    lambda path=entry: _io.unlink(path),
+                    f"sweep {entry.name}",
+                )
+            except OSError as exc:  # pragma: no cover - best-effort
+                logger.warning(
+                    "could not sweep orphan %s: %s", entry, exc
+                )
+                continue
+            logger.info("swept orphaned temp file %s", entry.name)
+            swept += 1
+        return swept
+
+    def _quarantine_segment(self, name: str, exc: Exception) -> None:
+        """Move a failed segment aside and record the degradation.
+
+        The store stays open and serves every surviving row; the
+        quarantined file keeps its bytes for post-mortem under
+        ``quarantine/``.  Note the store's global row numbering shifts
+        by the missing segment's rows — degraded means *smaller*, never
+        *wrong*.
+        """
+        logger.error("quarantining segment %s: %s", name, exc)
+        entry = {"name": name, "reason": str(exc)}
+        source = self.directory / name
+        if source.exists():
+            qdir = self.directory / QUARANTINE_DIR
+            try:
+                qdir.mkdir(exist_ok=True)
+                _retry_io(
+                    lambda: _io.replace(source, qdir / name),
+                    f"quarantine {name}",
+                )
+            except OSError as move_exc:  # pragma: no cover - best-effort
+                logger.warning(
+                    "could not move %s to quarantine: %s", name, move_exc
+                )
+                entry["reason"] += f" (quarantine move failed: {move_exc})"
+        if not any(
+            existing["name"] == name for existing in self._quarantined
+        ):
+            self._quarantined.append(entry)
+
+    def _recover_wal(self) -> None:
+        """Replay (or discard) a journal that survived the last process.
+
+        * epoch == manifest epoch — the journal holds exactly the rows
+          the manifest does not: replay into the tail, drop a torn
+          trailing record.
+        * epoch < manifest epoch — the crash hit between the manifest
+          commit and the journal reset of a seal: every journaled row
+          already lives in a committed segment; discard.
+        * epoch > manifest epoch — cannot happen under the protocol
+          (the epoch is bumped manifest-first); seeing it means the
+          directory was tampered with, so replaying could double rows.
+          Discarded (raised under ``strict=True``).
+        """
+        report = {
+            "enabled": self.wal_enabled,
+            "epoch": self._wal_epoch,
+            "recovered_batches": 0,
+            "recovered_rows": 0,
+            "torn_bytes_dropped": 0,
+            "skipped_records": 0,
+            "stale_dropped": False,
+        }
+        self._wal_report = report
+        epoch, payloads, raw = TailJournal.recover(self._wal.path)
+        if raw["bytes"] == 0 and epoch is None and raw["torn_bytes"] == 0:
+            return                      # no journal on disk
+        if epoch is None:
+            # Unreadable header: a crash during journal creation, before
+            # anything was acknowledged against it.
+            logger.warning(
+                "dropping tail journal with unreadable header (%d bytes)",
+                raw["bytes"],
+            )
+            report["torn_bytes_dropped"] = raw["bytes"]
+            self._wal.discard()
+            return
+        if epoch != self._wal_epoch:
+            if epoch > self._wal_epoch and self.strict:
+                raise StorageError(
+                    f"tail journal epoch {epoch} is ahead of manifest "
+                    f"epoch {self._wal_epoch}"
+                )
+            level = logger.error if epoch > self._wal_epoch else logger.info
+            level(
+                "discarding tail journal at epoch %d (store is at %d)",
+                epoch, self._wal_epoch,
+            )
+            report["stale_dropped"] = True
+            self._wal.discard()
+            return
+        for payload in payloads:
+            try:
+                rows = self._tail.ingest_batch(payload)
+            except ValueError as exc:
+                # A record that fails ingest would have raised on the
+                # original call too — its rows were never acknowledged.
+                logger.warning(
+                    "skipping unplayable tail journal record: %s", exc
+                )
+                report["skipped_records"] += 1
+                continue
+            report["recovered_batches"] += 1
+            report["recovered_rows"] += rows
+        report["torn_bytes_dropped"] = raw["torn_bytes"]
+        if raw["torn_bytes"]:
+            logger.warning(
+                "dropped %d torn trailing bytes from tail journal",
+                raw["torn_bytes"],
+            )
+        if self.wal_enabled:
+            if raw["torn_bytes"]:
+                self._wal.truncate_to(raw["valid_size"])
+        # With wal=False the journal file is left in place: its rows are
+        # live in the tail but not yet durable, and the file is only
+        # discarded once flush() seals them into a committed segment.
+
+    # -- manifest ----------------------------------------------------------
+
+    def _read_manifest(self) -> dict:
+        path = self.directory / MANIFEST_NAME
+        empty = {"segments": [], "wal_epoch": 0, "quarantined": []}
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return empty
+        except OSError as exc:
+            raise StorageError(f"cannot read {path}: {exc}") from exc
+        try:
+            manifest = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"malformed manifest {path}: {exc}") from exc
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") not in (
+                FORMAT_VERSION_V1, FORMAT_VERSION
+            )
+            or not isinstance(manifest.get("segments"), list)
+        ):
+            raise StorageError(f"unsupported manifest {path}")
+        names: list[str] = []
+        for entry in manifest["segments"]:
+            # v1 manifests list bare names; v2 entries are objects
+            # carrying a copy of the pruning metadata.  Only the name
+            # is consumed here — the footer (CRC-covered) is the
+            # authoritative metadata source.
+            name = entry.get("name") if isinstance(entry, dict) else entry
+            if (
+                not isinstance(name, str)
+                or not _SEGMENT_RE.match(name)
+            ):
+                raise StorageError(f"bad segment name {name!r} in manifest")
+            names.append(name)
+        # Pre-PR6 manifests carry neither key: epoch 0, nothing
+        # quarantined.
+        wal_epoch = manifest.get("wal_epoch", 0)
+        if not isinstance(wal_epoch, int) or wal_epoch < 0:
+            raise StorageError(f"bad wal_epoch {wal_epoch!r} in manifest")
+        quarantined: list[dict] = []
+        raw_quarantined = manifest.get("quarantined", [])
+        if not isinstance(raw_quarantined, list):
+            raise StorageError("bad quarantined list in manifest")
+        for entry in raw_quarantined:
+            if (
+                not isinstance(entry, dict)
+                or not isinstance(entry.get("name"), str)
+                or not isinstance(entry.get("reason"), str)
+            ):
+                raise StorageError(
+                    f"bad quarantine entry {entry!r} in manifest"
+                )
+            quarantined.append(
+                {"name": entry["name"], "reason": entry["reason"]}
+            )
+        return {
+            "segments": names,
+            "wal_epoch": wal_epoch,
+            "quarantined": quarantined,
+        }
+
+    def _write_manifest(self) -> None:
+        payload = json.dumps({
+            "format": FORMAT_VERSION,
+            "wal_epoch": self._wal_epoch,
+            "segments": [
+                {
+                    "name": reader.name,
+                    "rows": reader.n_rows,
+                    "meta": (
+                        reader.meta.to_manifest()
+                        if reader.meta is not None else None
+                    ),
+                }
+                for reader in self._segments
+            ],
+            "quarantined": self._quarantined,
+        }, indent=2) + "\n"
+        _write_file_atomic(
+            self.directory / MANIFEST_NAME,
+            payload.encode("utf-8"),
+            "manifest",
+        )
+
+    def _executor(self):
+        with self._mutex:
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.parallel,
+                    thread_name_prefix="flowstore",
+                )
+            return self._pool
+
+    # -- ingestion / spilling ---------------------------------------------
+
+    def add(self, flow: FlowRecord) -> None:
+        """Insert one flow record (spills when the budget is crossed).
+
+        With the journal enabled the flow is validated, encoded and
+        durably appended to ``tail.wal`` *before* it lands in the tail
+        — once ``add`` returns, the row survives a crash.
+        """
+        if self.wal_enabled:
+            self._wal.append(_encode_flow_batch((flow,)))
+        with self._mutex:
+            self._tail.add(flow)
+        self._maybe_spill()
+
+    def _wal_chunk_rows(self) -> int:
+        """Rows journaled per ``add_all`` record.
+
+        A journaled chunk must land in the tail whole before a spill
+        may seal it: spilling mid-chunk would strand the chunk's later
+        rows in the *previous* (now stale) journal epoch and lose them
+        on crash.  So spill checks happen only at chunk boundaries, and
+        the chunk is sized well under both spill budgets to keep that
+        granularity loss negligible.
+        """
+        chunk = min(4096, self.spill_rows)
+        if self.spill_bytes is not None:
+            chunk = min(chunk, max(1, self.spill_bytes // _ROW_BYTES))
+        return chunk
+
+    def add_all(self, flows: Iterable[FlowRecord]) -> None:
+        """Insert many flow records (journaled in chunks when the WAL
+        is enabled)."""
+        if not self.wal_enabled:
+            # self._tail rebinds on spill — re-fetch it every iteration.
+            for flow in flows:
+                with self._mutex:
+                    self._tail.add(flow)
+                self._maybe_spill()
+            return
+        chunk_rows = self._wal_chunk_rows()
+        iterator = iter(flows)
+        while True:
+            chunk = list(islice(iterator, chunk_rows))
+            if not chunk:
+                return
+            self._wal.append(_encode_flow_batch(chunk))
+            with self._mutex:
+                tail = self._tail
+                for flow in chunk:
+                    tail.add(flow)
+            self._maybe_spill()
+
+    def ingest_batch(self, payload) -> int:
+        """Absorb one eventcodec tagged-flow batch (see
+        :meth:`FlowDatabase.ingest_batch`); spills past the budget.
+
+        The raw batch is journaled as-is before ingestion, so an
+        acknowledged batch replays bit-identically after a crash.
+        """
+        if self.wal_enabled:
+            self._wal.append(bytes(payload))
+        with self._mutex:
+            count = self._tail.ingest_batch(payload)
+        self._maybe_spill()
+        return count
+
+    def tail_bytes(self) -> int:
+        """Approximate byte weight of the live tail (columns + labels).
+
+        O(1) amortized — ``_maybe_spill`` calls this per inserted flow
+        when a byte budget is set, so the label-byte total is tracked
+        incrementally (the intern table is append-only) instead of
+        re-summed over every distinct FQDN each time.
+        """
+        names = self._tail._fqdn_names
+        while self._tail_label_count < len(names):
+            self._tail_label_bytes += len(names[self._tail_label_count])
+            self._tail_label_count += 1
+        return len(self._tail) * _ROW_BYTES + self._tail_label_bytes
+
+    def _maybe_spill(self) -> None:
+        tail = self._tail
+        if not len(tail):
+            return
+        if len(tail) >= self.spill_rows or (
+            self.spill_bytes is not None
+            and self.tail_bytes() >= self.spill_bytes
+        ):
+            self.flush()
+
+    def flush(self) -> Optional[str]:
+        """Seal the live tail into a new segment; returns its file name
+        (None when the tail is empty).
+
+        The sealed tail is *released*, not cached: spilling is what
+        bounds resident memory on a multi-day ingest, so the rows now
+        live on disk only and rematerialize lazily if queried.
+
+        Concurrent readers are never torn by a seal: the segment file
+        is written and read back outside the mutex (readers keep the
+        old view: segments + live tail), then the in-memory commit —
+        append the reader, rebind an empty tail, bump the generation —
+        happens atomically under the mutex.  A snapshot pinned before
+        the commit keeps the *old* tail object, which is frozen forever
+        after the rebind, so it still sees every row exactly once."""
+        tail = self._tail
+        if not len(tail):
+            return None
+        self._sync_tail_map()
+        name = self._writer.write(tail)
+        # Deliberate read-back: re-opening the file we just wrote
+        # verifies the write end to end (size + CRC over what actually
+        # hit the filesystem) before the manifest commits it — one
+        # extra sequential read per sealed segment, page-cache warm.
+        reader = SegmentReader.open(self.directory / name)
+        reader.fqdn_map = self._tail_map
+        with self._mutex:
+            self._segments.append(reader)
+            # Epoch protocol: the manifest commits the segment AND the
+            # new WAL epoch in one atomic rename, and only then is the
+            # journal replaced.  A crash before the manifest leaves an
+            # orphan segment plus a current-epoch journal (replayed —
+            # no loss); a crash after it leaves a stale-epoch journal
+            # (discarded — the rows live in the committed segment, no
+            # double count).
+            self._wal_epoch += 1
+            self._generation += 1
+            self._tail = FlowDatabase()
+            self._tail_map = array("i")
+            self._tail_label_bytes = 0
+            self._tail_label_count = 0
+        self._write_manifest()
+        if self.wal_enabled:
+            self._wal.reset(self._wal_epoch)
+        else:
+            # Journal-less mode still clears a journal inherited from a
+            # WAL-enabled run: its rows are sealed now.
+            self._wal.epoch = self._wal_epoch
+            if self._wal.path.exists():
+                self._wal.discard()
+        return name
+
+    def close(self) -> None:
+        """Seal any live rows and release the worker pool and journal
+        handle.  The store object stays usable (both rebuild lazily on
+        next use)."""
+        self.flush()
+        self._wal.close()
+        # Close invalidates outstanding snapshots: anything retired
+        # but still pinned is dropped now rather than leaked forever.
+        self._drain_retired(force=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "FlowStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- maintenance -------------------------------------------------------
+
+    @property
+    def segments(self) -> tuple[SegmentReader, ...]:
+        return tuple(self._segments)
+
+    def release_segments(self) -> None:
+        """Drop every cached in-memory segment materialization."""
+        for reader in self._segments:
+            reader.release()
+
+    # -- snapshot isolation ------------------------------------------------
+
+    def pin(self) -> "StoreSnapshot":
+        """Pin the current manifest generation and return a read-only
+        :class:`StoreSnapshot` over it.
+
+        While the pin is held, :meth:`compact` defers unlinking any
+        segment file retired at a later generation, so every query the
+        snapshot runs sees exactly the member set of the pin instant —
+        bit-identical answers no matter how many seals or compactions
+        land meanwhile.  Use as a context manager::
+
+            with store.pin() as snap:
+                snap.rows_in_window(t0, t1)
+
+        Pins are cheap (a refcount) but hold disk: release them
+        promptly or compacted files accumulate.
+        """
+        with self._mutex:
+            snapshot = StoreSnapshot(self)
+            self._pins[snapshot.generation] = (
+                self._pins.get(snapshot.generation, 0) + 1
+            )
+            return snapshot
+
+    def unpin(self, snapshot: "StoreSnapshot") -> None:
+        """Release a pin (idempotent); unlinks any retired segment
+        files that were waiting on it."""
+        with self._mutex:
+            if snapshot._released:
+                return
+            snapshot._released = True
+            generation = snapshot.generation
+            count = self._pins.get(generation, 0) - 1
+            if count > 0:
+                self._pins[generation] = count
+            else:
+                self._pins.pop(generation, None)
+        self._drain_retired()
+
+    def _drain_retired(self, force: bool = False) -> None:
+        """Unlink retired segment files no pinned reader can still see.
+
+        A file retired at generation G is visible only to snapshots
+        pinned at generations < G, so it is due for unlink once the
+        oldest outstanding pin is >= G (or there are no pins at all).
+        ``force=True`` drops everything regardless — :meth:`close`
+        uses it, invalidating any outstanding snapshots.
+        """
+        with self._mutex:
+            floor = min(self._pins) if self._pins else None
+            due: list[Path] = []
+            keep: list[tuple[int, Path]] = []
+            for generation, path in self._retired:
+                if force or floor is None or floor >= generation:
+                    due.append(path)
+                else:
+                    keep.append((generation, path))
+            self._retired = keep
+        for path in due:
+            try:
+                _io.unlink(path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def compact(self, small_rows: Optional[int] = None) -> int:
+        """Merge segment runs into single segments; returns the number
+        of segment files removed.
+
+        With ``small_rows=None`` every sealed segment merges into one.
+        Otherwise only *adjacent* runs of two or more segments, each
+        smaller than ``small_rows`` rows, are rewritten (adjacency
+        preserves global row order, which the query surface relies
+        on).  String-table ids are re-interned into the merged tables;
+        the old files are unlinked only after the new segment is
+        committed to the manifest — and, when readers hold pinned
+        snapshots from an earlier generation, deferred further until
+        the last such pin is released (:meth:`unpin` drains them), so
+        a pinned snapshot can always rematerialize its segments.
+        """
+        self.flush()
+        segments = self._segments
+        if small_rows is None:
+            runs = [(0, len(segments))] if len(segments) >= 2 else []
+        else:
+            runs = []
+            start = None
+            for index, reader in enumerate(segments):
+                if reader.n_rows < small_rows:
+                    if start is None:
+                        start = index
+                    continue
+                if start is not None and index - start >= 2:
+                    runs.append((start, index))
+                start = None
+            if start is not None and len(segments) - start >= 2:
+                runs.append((start, len(segments)))
+        removed = 0
+        for start, stop in reversed(runs):
+            run = segments[start:stop]
+            name = self._writer.next_name()
+            # The merge reads only sealed (immutable) files — no lock.
+            _merge_segment_files(run, self.directory / name)
+            merged = SegmentReader.open(self.directory / name)
+            with self._mutex:
+                # Interning into the shared global tables and splicing
+                # the member list are the commit point for readers.
+                merged.fqdn_map = _map_local_fqdns(
+                    self._interns, merged.labels
+                )
+                segments[start:stop] = [merged]
+                self._generation += 1
+                retire_gen = self._generation
+            self._write_manifest()
+            with self._mutex:
+                self._retired.extend(
+                    (retire_gen, reader.path) for reader in run
+                )
+            # With no pins outstanding this unlinks immediately, in
+            # the same order the pre-pinning code did (the crash sweep
+            # counts on that); otherwise the files wait for unpin.
+            self._drain_retired()
+            removed += len(run) - 1
+        return removed
+
+    def health(self) -> dict:
+        """Self-diagnosis of the open store.
+
+        Reports everything graceful degradation and crash recovery did
+        at open: quarantined segments (with reasons), journal recovery
+        statistics (records replayed, torn bytes dropped, stale epochs
+        discarded), and orphaned temp files swept.  ``status`` is
+        ``"degraded"`` whenever any sealed data is missing — i.e. a
+        segment sits in quarantine or a journal record could not be
+        replayed — and ``"ok"`` otherwise.  Surfaced by
+        ``repro-flowstore stats`` and checked (non-zero exit) by
+        ``repro-flowstore verify``.
+        """
+        wal = dict(self._wal_report) if self._wal_report else {
+            "enabled": self.wal_enabled,
+            "epoch": self._wal_epoch,
+            "recovered_batches": 0,
+            "recovered_rows": 0,
+            "torn_bytes_dropped": 0,
+            "skipped_records": 0,
+            "stale_dropped": False,
+        }
+        wal["enabled"] = self.wal_enabled
+        wal["epoch"] = self._wal_epoch
+        degraded = bool(self._quarantined) or bool(
+            wal.get("skipped_records")
+        )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "strict": self.strict,
+            "quarantined_segments": [
+                dict(entry) for entry in self._quarantined
+            ],
+            "wal": wal,
+            "tmp_files_swept": self._swept_tmp,
+        }
+
+    def stats(self) -> dict:
+        """Inspection summary (the ``repro-flowstore inspect``/``stats``
+        payload) — per-segment format version and pruning metadata
+        included, so the store is fully introspectable without reading
+        any column block."""
+        self._sync_tail_map()  # fqdns/slds counts must include the tail
+        segments = [
+            {
+                "name": reader.name,
+                "version": reader.version,
+                "rows": reader.n_rows,
+                "labels": reader.n_labels,
+                "bytes": reader.file_size,
+                "resident": reader.resident,
+                "meta": (
+                    reader.meta.to_manifest()
+                    if reader.meta is not None else None
+                ),
+            }
+            for reader in self._segments
+        ]
+        versions: dict[str, int] = {}
+        for reader in self._segments:
+            key = str(reader.version)
+            versions[key] = versions.get(key, 0) + 1
+        with self._mutex:
+            pinned = [
+                {"generation": generation, "readers": readers}
+                for generation, readers in sorted(self._pins.items())
+            ]
+            retired_pending = len(self._retired)
+            scan_stats = dict(self._scan_stats)
+            generation = self._generation
+        return {
+            "directory": str(self.directory),
+            "format": FORMAT_VERSION,
+            "segment_versions": versions,
+            "parallel": self.parallel,
+            "prune": self.prune,
+            "health": self.health(),
+            "segments": segments,
+            "sealed_rows": sum(reader.n_rows for reader in self._segments),
+            "tail_rows": len(self._tail),
+            "rows": len(self),
+            "fqdns": len(self._interns._fqdn_names),
+            "slds": len(self._interns._sld_names),
+            "bytes_on_disk": sum(
+                reader.file_size for reader in self._segments
+            ),
+            "wal_epoch": self._wal_epoch,
+            "generation": generation,
+            "pinned_generations": pinned,
+            "retired_pending": retired_pending,
+            "scan_stats": scan_stats,
+        }
+
+    def prune_report(self, hint: QueryHint) -> dict:
+        """Which sealed segments a query carrying ``hint`` would scan.
+
+        Pure metadata arithmetic — no segment is opened beyond what
+        :class:`FlowStore` already validated, nothing is materialized.
+        The ``repro-flowstore prune-report`` payload.
+        """
+        segments = []
+        pruned_rows = scanned_rows = 0
+        for reader in self._segments:
+            admitted = not self.prune or hint.admits(reader.meta)
+            segments.append({
+                "name": reader.name,
+                "rows": reader.n_rows,
+                "version": reader.version,
+                "scan": admitted,
+            })
+            if admitted:
+                scanned_rows += reader.n_rows
+            else:
+                pruned_rows += reader.n_rows
+        return {
+            "directory": str(self.directory),
+            "prune": self.prune,
+            "segments": segments,
+            "scanned_segments": sum(1 for s in segments if s["scan"]),
+            "pruned_segments": sum(1 for s in segments if not s["scan"]),
+            "scanned_rows": scanned_rows,
+            "pruned_rows": pruned_rows,
+            "tail_rows": len(self._tail),
+        }
+
+
+class StoreSnapshot(_StoreReadMixin):
+    """A pinned, read-only view of a :class:`FlowStore` generation.
+
+    Constructed only via :meth:`FlowStore.pin` (under the store mutex).
+    The snapshot captures the member set of the pin instant — the
+    segments tuple plus the then-live tail — and answers the full
+    :class:`_StoreReadMixin` query surface over exactly those rows, no
+    matter how many seals or compactions the store commits afterwards:
+    the pin keeps retired segment files on disk until release.
+
+    The pin freezes the **sealed member set** (the manifest
+    generation).  The captured tail is the *live* tail until the next
+    seal and then frozen forever (``flush`` rebinds a fresh one), so:
+
+    * on a quiescent store the snapshot is fully immutable;
+    * under concurrent ingest, rows acknowledged after the pin remain
+      visible in the captured tail until a seal freezes it — every
+      answer therefore corresponds to segments + a **batch-aligned
+      prefix of the acknowledged stream** (tail appends are atomic
+      under the mutex), never a torn state, and never loses a row the
+      pin had seen.
+
+    Shared-state caveats (documented, deliberate):
+
+    * the global intern tables are append-only and shared with the
+      live store — :meth:`fqdns`/:meth:`slds` may list labels interned
+      after the pin (ids in query results are always valid);
+    * ``_scan_stats`` is shared too, so snapshot queries feed the same
+      prune-hit-rate series the service exports.
+
+    Use as a context manager; :meth:`close`/``unpin`` is idempotent.
+    """
+
+    def __init__(self, store: FlowStore):
+        self._store = store
+        self.generation = store._generation
+        self._segments = tuple(store._segments)
+        self._tail = store._tail
+        self._tail_map = store._tail_map
+        self._interns = store._interns
+        self._mutex = store._mutex
+        self._scan_stats = store._scan_stats
+        self.prune = store.prune
+        self.parallel = store.parallel
+        self.cache_segments = store.cache_segments
+        self._released = False
+
+    def _executor(self):
+        return self._store._executor()
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def close(self) -> None:
+        self._store.unpin(self)
+
+    def __enter__(self) -> "StoreSnapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+

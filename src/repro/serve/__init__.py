@@ -1,0 +1,20 @@
+"""``repro-serve`` — the always-on query service over a live FlowStore.
+
+One process that ingests continuously (WAL on, tagged batches through
+the sniffer pipeline) while answering the full analytics query surface
+over HTTP/JSON, the Sec. 7 "live monitoring" shape.  Pure stdlib:
+:mod:`http.server` threading for the listener, the FlowStore's own
+snapshot isolation for consistent answers under live ingest, a
+single-flight layer coalescing identical in-flight queries, and a
+Prometheus-text ``/metrics`` registry.
+
+* :mod:`repro.serve.metrics` — counters / gauges / histograms;
+* :mod:`repro.serve.singleflight` — duplicate-query coalescing;
+* :mod:`repro.serve.server` — the HTTP app (routes, handlers, JSON);
+* :mod:`repro.serve.cli` — the ``repro-serve`` entry point.
+"""
+
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.singleflight import SingleFlight
+
+__all__ = ["MetricsRegistry", "SingleFlight"]

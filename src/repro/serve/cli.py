@@ -1,0 +1,224 @@
+"""``repro-serve`` — run the always-on query service from the shell.
+
+Wraps one durable :class:`~repro.analytics.storage.FlowStore` (WAL on
+by default) and the HTTP query API of :mod:`repro.serve.server` in a
+single process.  Three ingest arrangements:
+
+* ``repro-serve DIR`` — serve an existing store; new rows arrive only
+  via ``POST /ingest`` (eventcodec batches);
+* ``repro-serve DIR --pcap FILE`` — additionally run the sniffer
+  pipeline over a capture on the main thread, draining tagged batches
+  into the same store while queries are answered live;
+* optional background compaction (``--compact-small`` +
+  ``--compact-interval``) — the maintenance loop the runbook
+  describes, safe under readers thanks to snapshot pinning.
+
+SIGTERM/SIGINT drain through the PR6 shutdown path: the pipeline's
+tagged flows are streamed into the store, the tail is sealed and the
+journal reset, the listener stops, and only then is the signal
+re-delivered so the exit status is honest.  See ``docs/runbook.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+
+from repro.analytics.storage import FlowStore
+from repro.serve.server import ServeApp
+from repro.sniffer.fanout import install_shutdown_signals
+
+
+class SerializedWriter:
+    """A FlowStore facade that routes every ingest-side call through
+    the app's writer lock.
+
+    The sniffer pipeline drains into the store from the main thread
+    while HTTP ``POST /ingest`` lands on listener threads; both must
+    honor the store's single-writer contract, so the pipeline is
+    handed this facade instead of the bare store.  Reads delegate
+    unchanged (the store's own mutex covers them).
+    """
+
+    def __init__(self, store: FlowStore, lock: threading.Lock):
+        self._store = store
+        self._lock = lock
+
+    def ingest_batch(self, payload) -> int:
+        with self._lock:
+            return self._store.ingest_batch(payload)
+
+    def add(self, flow) -> None:
+        with self._lock:
+            self._store.add(flow)
+
+    def add_all(self, flows) -> None:
+        with self._lock:
+            self._store.add_all(flows)
+
+    def flush(self):
+        with self._lock:
+            return self._store.flush()
+
+    def compact(self, small_rows=None) -> int:
+        with self._lock:
+            return self._store.compact(small_rows)
+
+    def close(self) -> None:
+        with self._lock:
+            self._store.close()
+
+    def __getattr__(self, name):
+        return getattr(self._store, name)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve the analytics query surface of a durable "
+                    "flow store over HTTP while ingesting live.",
+    )
+    parser.add_argument(
+        "store", metavar="DIR",
+        help="flow-store directory (created if missing)",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8800,
+                        help="TCP port (default 8800; 0 = ephemeral)")
+    parser.add_argument(
+        "--pcap", metavar="FILE",
+        help="also ingest this capture through the sniffer pipeline "
+             "while serving",
+    )
+    parser.add_argument("--clist", type=int, default=200_000,
+                        help="resolver circular-list size (with --pcap)")
+    parser.add_argument("--warmup", type=float, default=300.0,
+                        help="statistics warm-up seconds (with --pcap)")
+    parser.add_argument("--batch-events", type=int, default=8192,
+                        help="events per drained batch (with --pcap)")
+    parser.add_argument("--spill-rows", type=int, default=None,
+                        help="tail row budget before sealing a segment")
+    parser.add_argument("--spill-bytes", type=int, default=None,
+                        help="tail byte budget before sealing a segment")
+    parser.add_argument("--parallel", type=int, default=None,
+                        help="query worker threads (default 1 = serial)")
+    parser.add_argument("--no-prune", action="store_true",
+                        help="disable metadata segment pruning")
+    parser.add_argument("--no-wal", action="store_true",
+                        help="disable the ingest journal (crash loses "
+                             "the unsealed tail)")
+    parser.add_argument("--no-wal-sync", action="store_true",
+                        help="journal without per-record fsync")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail instead of quarantining bad segments")
+    parser.add_argument(
+        "--compact-small", type=int, metavar="ROWS", default=None,
+        help="background-compact adjacent runs of segments smaller "
+             "than ROWS (needs --compact-interval)",
+    )
+    parser.add_argument(
+        "--compact-interval", type=float, metavar="SECONDS",
+        default=None,
+        help="seconds between background compaction passes",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if (args.compact_interval is None) != (args.compact_small is None):
+        _build_parser().error(
+            "--compact-small and --compact-interval go together"
+        )
+
+    store = FlowStore(
+        args.store,
+        spill_rows=args.spill_rows,
+        spill_bytes=args.spill_bytes,
+        parallel=args.parallel,
+        prune=not args.no_prune,
+        wal=not args.no_wal,
+        wal_sync=not args.no_wal_sync,
+        strict=args.strict,
+    )
+    app = ServeApp(store)
+    httpd = app.make_server(args.host, args.port)
+    host, port = httpd.server_address[:2]
+    listener = threading.Thread(
+        target=httpd.serve_forever, name="repro-serve-http", daemon=True
+    )
+    listener.start()
+    print(f"repro-serve: listening on http://{host}:{port} "
+          f"(store {args.store}, {len(store)} rows)", flush=True)
+
+    writer = SerializedWriter(store, app.writer_lock)
+
+    pipeline = None
+    if args.pcap:
+        from repro.sniffer.cli import sniff_pcap
+
+        # Probe before any ingest side effect (typo'd path must not
+        # dirty the store).
+        with open(args.pcap, "rb"):
+            pass
+
+    stop_maintenance = threading.Event()
+    maintenance = None
+    if args.compact_interval is not None:
+        def _maintain():
+            while not stop_maintenance.wait(args.compact_interval):
+                removed = writer.compact(args.compact_small)
+                if removed:
+                    print(f"repro-serve: compacted {removed} segments",
+                          flush=True)
+        maintenance = threading.Thread(
+            target=_maintain, name="repro-serve-compact", daemon=True
+        )
+        maintenance.start()
+
+    closed = threading.Event()
+
+    def shutdown() -> None:
+        if closed.is_set():
+            return
+        closed.set()
+        stop_maintenance.set()
+        httpd.shutdown()
+        httpd.server_close()
+        if pipeline is not None:
+            pipeline.close()      # drain tagged flows + seal the tail
+        writer.close()
+
+    install_shutdown_signals(shutdown)
+
+    def _bind_pipeline(built) -> None:
+        # Bound before the first packet, so a SIGTERM mid-capture
+        # still drains through pipeline.close() (the PR6 path).
+        nonlocal pipeline
+        pipeline = built
+
+    try:
+        if args.pcap:
+            sniff_pcap(
+                args.pcap,
+                clist_size=args.clist,
+                warmup=args.warmup,
+                batch_events=args.batch_events,
+                flow_store=writer,
+                store_drain_hook=app.note_ingest,
+                on_pipeline=_bind_pipeline,
+            )
+            print(f"repro-serve: capture ingested, {len(store)} rows "
+                  f"total; still serving (Ctrl-C to stop)", flush=True)
+        # Serve until a signal arrives (the handler re-delivers it
+        # after a clean drain, terminating the wait).
+        closed.wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,306 @@
+"""Process-local metrics registry with Prometheus text exposition.
+
+The service exports its operational state at ``/metrics`` in the
+`Prometheus text format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ —
+counters, gauges and histograms, optionally labeled — without taking a
+client-library dependency (the container rule: stdlib only).  Only the
+subset the service needs is implemented:
+
+* every metric family has a fixed label-name tuple declared up front;
+* samples are keyed by label-value tuple and guarded by one lock per
+  family (update cost: one dict operation under a lock);
+* counters and gauges may instead be *callback-backed* (``fn=``) —
+  the value is read at scrape time, which is how store-side state
+  (segment counts, WAL epoch, pruning totals) is exported without
+  threading hooks through the storage layer;
+* histograms use cumulative ``_bucket{le=...}`` samples plus ``_sum``
+  and ``_count``, with latency-flavored default buckets.
+
+The registry renders the whole family set deterministically (insertion
+order, sorted label sets) so the observability docs can pin exact
+output shapes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Seconds. Spans sub-millisecond in-process lookups to multi-second
+#: whole-store scans (the BENCH_* trajectory's observed range).
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _label_string(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+class _Metric:
+    """Shared family plumbing: label resolution + locked sample dict."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._samples: dict[tuple, float] = {}
+
+    def _key(self, labels: dict) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: got labels {sorted(labels)}, "
+                f"declared {sorted(self.labelnames)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        """``(suffix, label_string, value)`` rows for rendering."""
+        with self._lock:
+            items = sorted(self._samples.items())
+        return [
+            ("", _label_string(self.labelnames, key), value)
+            for key, value in items
+        ]
+
+    def render(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        rows = self.samples()
+        if not rows and not self.labelnames:
+            rows = [("", "", 0.0)]
+        for suffix, labels, value in rows:
+            lines.append(
+                f"{self.name}{suffix}{labels} {_format_value(value)}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+class Counter(_Metric):
+    """Monotonically increasing total; ``fn`` makes it scrape-backed."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = (),
+                 fn: Optional[Callable[[], float]] = None):
+        super().__init__(name, help_text, labelnames)
+        if fn is not None and self.labelnames:
+            raise ValueError("callback-backed metrics cannot be labeled")
+        self._fn = fn
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if self._fn is not None:
+            raise ValueError(f"{self.name} is callback-backed")
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._samples.get(self._key(labels), 0.0)
+
+    def samples(self):
+        if self._fn is not None:
+            return [("", "", float(self._fn()))]
+        return super().samples()
+
+
+class Gauge(_Metric):
+    """A value that goes both ways; ``fn`` makes it scrape-backed."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = (),
+                 fn: Optional[Callable[[], float]] = None):
+        super().__init__(name, help_text, labelnames)
+        if fn is not None and self.labelnames:
+            raise ValueError("callback-backed metrics cannot be labeled")
+        self._fn = fn
+
+    def set(self, value: float, **labels) -> None:
+        if self._fn is not None:
+            raise ValueError(f"{self.name} is callback-backed")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = float(value)
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if self._fn is not None:
+            raise ValueError(f"{self.name} is callback-backed")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._samples.get(self._key(labels), 0.0)
+
+    def samples(self):
+        if self._fn is not None:
+            return [("", "", float(self._fn()))]
+        return super().samples()
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (``_bucket``/``_sum``/``_count``)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = (),
+                 buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS):
+        super().__init__(name, help_text, labelnames)
+        bounds = sorted(float(bound) for bound in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        self.buckets = tuple(bounds)
+        # per label-key: [bucket counts..., +Inf count, sum]
+        self._samples: dict[tuple, list[float]] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            row = self._samples.get(key)
+            if row is None:
+                row = [0.0] * (len(self.buckets) + 1) + [0.0]
+                self._samples[key] = row
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    row[index] += 1
+                    break
+            else:
+                row[len(self.buckets)] += 1
+            row[-1] += value
+
+    def count(self, **labels) -> int:
+        with self._lock:
+            row = self._samples.get(self._key(labels))
+            return int(sum(row[:-1])) if row else 0
+
+    def samples(self):
+        with self._lock:
+            items = sorted(
+                (key, list(row)) for key, row in self._samples.items()
+            )
+        out: list[tuple[str, str, float]] = []
+        names = self.labelnames
+        for key, row in items:
+            cumulative = 0.0
+            for index, bound in enumerate(self.buckets):
+                cumulative += row[index]
+                out.append((
+                    "_bucket",
+                    _label_string(
+                        names + ("le",), key + (_format_value(bound),)
+                    ),
+                    cumulative,
+                ))
+            cumulative += row[len(self.buckets)]
+            out.append((
+                "_bucket",
+                _label_string(names + ("le",), key + ("+Inf",)),
+                cumulative,
+            ))
+            out.append(("_sum", _label_string(names, key), row[-1]))
+            out.append(("_count", _label_string(names, key), cumulative))
+        return out
+
+    def render(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for suffix, labels, value in self.samples():
+            lines.append(
+                f"{self.name}{suffix}{labels} {_format_value(value)}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+class MetricsRegistry:
+    """Ordered family set with one-call text exposition."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            if metric.name in self._metrics:
+                raise ValueError(f"duplicate metric {metric.name}")
+            self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str,
+                labelnames: Sequence[str] = (),
+                fn: Optional[Callable[[], float]] = None) -> Counter:
+        return self._register(Counter(name, help_text, labelnames, fn))
+
+    def gauge(self, name: str, help_text: str,
+              labelnames: Sequence[str] = (),
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        return self._register(Gauge(name, help_text, labelnames, fn))
+
+    def histogram(self, name: str, help_text: str,
+                  labelnames: Sequence[str] = (),
+                  buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+                  ) -> Histogram:
+        return self._register(
+            Histogram(name, help_text, labelnames, buckets)
+        )
+
+    def get(self, name: str) -> _Metric:
+        with self._lock:
+            return self._metrics[name]
+
+    def render(self) -> str:
+        """The full ``/metrics`` payload (text format 0.0.4)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return "".join(metric.render() for metric in metrics)

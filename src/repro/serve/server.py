@@ -1,0 +1,489 @@
+"""The ``repro-serve`` HTTP application: routes, handlers, JSON shapes.
+
+One :class:`ServeApp` wraps a live :class:`~repro.analytics.storage.FlowStore`
+and exposes its query surface over HTTP/JSON (full reference in
+``docs/http-api.md``):
+
+* **Snapshot isolation** — every ``/query/*`` request runs over a
+  pinned :class:`~repro.analytics.storage.StoreSnapshot`, so its answer
+  is computed against one frozen member set even while ingest, seals
+  and compactions land concurrently; a pinned reader can never 404
+  half-way through a scan.
+* **Single-flight coalescing** — identical concurrent queries (same
+  route + canonicalized params) share one execution and one snapshot
+  (:mod:`repro.serve.singleflight`); the duplicate callers surface in
+  ``serve_coalesced_total``.
+* **Single-writer ingest** — ``POST /ingest`` accepts one eventcodec
+  tagged-flow batch per request and acknowledges only after the
+  store's WAL fsync; a writer lock serializes ingest with the CLI's
+  pipeline drain, preserving the store's single-writer contract.
+* **Metrics** — ``GET /metrics`` renders the process registry in
+  Prometheus text format (catalog in ``docs/observability.md``).
+
+Everything is stdlib: :class:`http.server.ThreadingHTTPServer` gives
+one thread per in-flight request, which the store's mutex discipline
+(lock-free sealed-segment scans, serialized tail access) is built for.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.analytics.storage import FlowStore, QueryHint
+from repro.net.ip import ip_from_str, ip_to_str
+from repro.serve.metrics import MetricsRegistry
+from repro.sniffer.eventcodec import PROTOCOLS
+
+__all__ = ["ServeApp", "BadRequest"]
+
+#: Refuse ingest bodies past this size (64 MiB): a stray huge POST must
+#: not balloon the tail past every spill budget in one call.
+MAX_INGEST_BYTES = 64 << 20
+
+_PROTOCOL_BY_VALUE = {p.value: i for i, p in enumerate(PROTOCOLS)}
+
+
+class BadRequest(ValueError):
+    """Maps to a 400 with ``{"error": ...}``."""
+
+
+def _one(params: dict, name: str, required: bool = False,
+         convert: Optional[Callable] = None):
+    """Single-valued query parameter (400 on repeats / bad values)."""
+    values = params.get(name, [])
+    if not values:
+        if required:
+            raise BadRequest(f"missing required parameter {name!r}")
+        return None
+    if len(values) > 1:
+        raise BadRequest(f"parameter {name!r} given more than once")
+    value = values[0]
+    if convert is None:
+        return value
+    try:
+        return convert(value)
+    except (ValueError, OverflowError) as exc:
+        raise BadRequest(f"bad {name!r}: {exc}") from exc
+
+
+def _many(params: dict, name: str, convert: Callable) -> list:
+    out = []
+    for value in params.get(name, []):
+        try:
+            out.append(convert(value))
+        except (ValueError, OverflowError) as exc:
+            raise BadRequest(f"bad {name!r}: {exc}") from exc
+    return out
+
+
+def _ip_param(text: str) -> int:
+    """Server/client address: dotted quad or bare u32."""
+    if "." in text:
+        return ip_from_str(text)
+    value = int(text)
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"{value} is not a u32 address")
+    return value
+
+
+def _protocol_param(text: str) -> int:
+    index = _PROTOCOL_BY_VALUE.get(text.lower())
+    if index is None:
+        raise ValueError(
+            f"unknown protocol {text!r} "
+            f"(one of {sorted(_PROTOCOL_BY_VALUE)})"
+        )
+    return index
+
+
+def _hint_from_params(params: dict) -> QueryHint:
+    """The shared ``fqdn/sld/server/client/t0/t1/protocol`` hint
+    vocabulary (used by ``/prune-report``)."""
+    fqdn = _one(params, "fqdn")
+    sld = _one(params, "sld")
+    servers = _many(params, "server", _ip_param) or None
+    clients = _many(params, "client", _ip_param) or None
+    t0 = _one(params, "t0", convert=float)
+    t1 = _one(params, "t1", convert=float)
+    if (t0 is None) != (t1 is None):
+        raise BadRequest("t0 and t1 must be given together")
+    return QueryHint(
+        fqdn=fqdn.lower() if fqdn else None,
+        sld=sld.lower() if sld else None,
+        servers=servers,
+        clients=clients,
+        window=(t0, t1) if t0 is not None else None,
+        protocol=_one(params, "protocol", convert=_protocol_param),
+    )
+
+
+class ServeApp:
+    """The HTTP application state: store + metrics + coalescing.
+
+    Transport-free by design — :meth:`handle` maps ``(method, path,
+    params, body)`` to ``(status, content_type, payload)``, so the
+    routing layer is unit-testable without sockets, and
+    :meth:`make_server` wraps it in a ``ThreadingHTTPServer``.
+    """
+
+    def __init__(self, store: FlowStore,
+                 registry: Optional[MetricsRegistry] = None):
+        from repro.serve.singleflight import SingleFlight
+
+        self.store = store
+        self.registry = registry if registry is not None else (
+            MetricsRegistry()
+        )
+        self.singleflight = SingleFlight()
+        #: Serializes every ingest path into the single-writer store
+        #: (HTTP POSTs against each other and against the CLI's
+        #: pipeline drain loop).
+        self.writer_lock = threading.Lock()
+        self._register_metrics()
+        #: Route table for ``/query/*`` — an instance dict so tests
+        #: can wrap an entry (e.g. with a barrier) to shape timing.
+        self.query_routes: dict[str, Callable] = {
+            "len": lambda snap, params: {"rows": len(snap)},
+            "tagged-count": lambda snap, params: {
+                "tagged_rows": snap.tagged_count,
+            },
+            "time-span": self._q_time_span,
+            "count-by-protocol": self._q_count_by_protocol,
+            "fqdns": lambda snap, params: {"fqdns": snap.fqdns()},
+            "slds": lambda snap, params: {"slds": snap.slds()},
+            "rows-in-window": self._q_rows_in_window,
+            "rows-for-fqdn": self._q_rows_for_fqdn,
+            "rows-for-domain": self._q_rows_for_domain,
+            "rows-for-port": self._q_rows_for_port,
+            "servers-for-fqdn": self._q_servers_for_fqdn,
+            "servers-for-domain": self._q_servers_for_domain,
+            "fqdns-for-servers": self._q_fqdns_for_servers,
+            "fqdn-server-counts": self._q_fqdn_server_counts,
+            "fqdn-client-counts": self._q_fqdn_client_counts,
+            "fqdn-flow-byte-totals": self._q_fqdn_flow_byte_totals,
+            "server-flow-counts": self._q_server_flow_counts,
+            "unique-servers-per-bin": self._q_unique_servers_per_bin,
+        }
+
+    # -- metrics -----------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        reg = self.registry
+        store = self.store
+        self.m_requests = reg.counter(
+            "serve_requests_total",
+            "HTTP requests served, by route and status code.",
+            labelnames=("route", "code"),
+        )
+        self.m_latency = reg.histogram(
+            "serve_query_seconds",
+            "End-to-end /query handler latency in seconds "
+            "(coalesced followers included).",
+            labelnames=("route",),
+        )
+        self.m_coalesced = reg.counter(
+            "serve_coalesced_total",
+            "Queries answered from an identical in-flight execution.",
+            labelnames=("route",),
+        )
+        self.m_ingest_batches = reg.counter(
+            "serve_ingest_batches_total",
+            "Tagged-flow batches acknowledged into the store.",
+        )
+        self.m_ingest_rows = reg.counter(
+            "serve_ingest_rows_total",
+            "Flow rows acknowledged into the store (rate() of this "
+            "is the ingest rate).",
+        )
+        reg.gauge(
+            "serve_inflight_queries",
+            "Distinct coalescing keys currently executing.",
+            fn=lambda: self.singleflight.in_flight(),
+        )
+        # Store-side state, read at scrape time.
+        reg.gauge("flowstore_rows",
+                  "Total rows (sealed segments + live tail).",
+                  fn=lambda: len(store))
+        reg.gauge("flowstore_tail_rows",
+                  "Rows in the live in-memory tail.",
+                  fn=lambda: len(store._tail))
+        reg.gauge("flowstore_segments",
+                  "Sealed segment files in the manifest.",
+                  fn=lambda: len(store._segments))
+        reg.gauge("flowstore_quarantined_segments",
+                  "Segments quarantined by graceful degradation.",
+                  fn=lambda: len(store._quarantined))
+        reg.gauge("flowstore_generation",
+                  "Manifest generation (bumps on seal/compact).",
+                  fn=lambda: store._generation)
+        reg.gauge("flowstore_wal_epoch",
+                  "Current WAL epoch from the manifest protocol.",
+                  fn=lambda: store._wal_epoch)
+        reg.gauge("flowstore_pinned_readers",
+                  "Readers currently holding pinned snapshots.",
+                  fn=lambda: sum(store._pins.values()))
+        reg.gauge("flowstore_retired_pending",
+                  "Compacted segment files awaiting unpin to unlink.",
+                  fn=lambda: len(store._retired))
+        scan = store._scan_stats
+        reg.counter("flowstore_scan_queries_total",
+                    "Whole-store query passes executed.",
+                    fn=lambda: scan["queries"])
+        reg.counter("flowstore_segments_scanned_total",
+                    "Sealed segments materialized/scanned by queries.",
+                    fn=lambda: scan["segments_scanned"])
+        reg.counter(
+            "flowstore_segments_pruned_total",
+            "Sealed segments skipped by pruning metadata "
+            "(pruned / (scanned + pruned) is the prune hit-rate).",
+            fn=lambda: scan["segments_pruned"],
+        )
+        wal = store._wal_report
+        reg.counter("flowstore_wal_recovered_batches",
+                    "Journal batches replayed at open.",
+                    fn=lambda: wal.get("recovered_batches", 0))
+        reg.counter("flowstore_wal_recovered_rows",
+                    "Journal rows replayed at open.",
+                    fn=lambda: wal.get("recovered_rows", 0))
+        reg.counter("flowstore_wal_torn_bytes_dropped",
+                    "Torn trailing journal bytes dropped at open.",
+                    fn=lambda: wal.get("torn_bytes_dropped", 0))
+        reg.counter("flowstore_wal_skipped_records",
+                    "Unplayable journal records skipped at open "
+                    "(non-zero means sealed data was lost).",
+                    fn=lambda: wal.get("skipped_records", 0))
+
+    def note_ingest(self, batches: int, rows: int) -> None:
+        """Ingest-accounting hook — also wired as the sniffer
+        pipeline's ``store_drain_hook`` by the CLI."""
+        if batches:
+            self.m_ingest_batches.inc(batches)
+        if rows:
+            self.m_ingest_rows.inc(rows)
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, payload: bytes) -> int:
+        """Absorb one eventcodec batch; returns acknowledged rows.
+
+        Returns only after the store's WAL append (fsync included when
+        ``wal_sync``) — an acknowledged batch survives a crash.
+        """
+        with self.writer_lock:
+            rows = self.store.ingest_batch(payload)
+        self.note_ingest(1, rows)
+        return rows
+
+    # -- query handlers ----------------------------------------------------
+
+    def _q_time_span(self, snap, params):
+        t0, t1 = snap.time_span()
+        return {"t0": t0, "t1": t1}
+
+    def _q_count_by_protocol(self, snap, params):
+        return {
+            "counts": {
+                protocol.value: count
+                for protocol, count in snap.count_by_protocol().items()
+            },
+        }
+
+    def _q_rows_in_window(self, snap, params):
+        t0 = _one(params, "t0", required=True, convert=float)
+        t1 = _one(params, "t1", required=True, convert=float)
+        return {"rows": list(snap.rows_in_window(t0, t1))}
+
+    def _q_rows_for_fqdn(self, snap, params):
+        fqdn = _one(params, "fqdn", required=True)
+        return {"rows": list(snap.rows_for_fqdn(fqdn))}
+
+    def _q_rows_for_domain(self, snap, params):
+        sld = _one(params, "sld", required=True)
+        return {"rows": list(snap.rows_for_domain(sld))}
+
+    def _q_rows_for_port(self, snap, params):
+        port = _one(params, "port", required=True, convert=int)
+        return {"rows": list(snap.rows_for_port(port))}
+
+    def _q_servers_for_fqdn(self, snap, params):
+        fqdn = _one(params, "fqdn", required=True)
+        servers = sorted(snap.servers_for_fqdn(fqdn))
+        return {
+            "servers": servers,
+            "servers_dotted": [ip_to_str(s) for s in servers],
+        }
+
+    def _q_servers_for_domain(self, snap, params):
+        sld = _one(params, "sld", required=True)
+        servers = sorted(snap.servers_for_domain(sld))
+        return {
+            "servers": servers,
+            "servers_dotted": [ip_to_str(s) for s in servers],
+        }
+
+    def _q_fqdns_for_servers(self, snap, params):
+        servers = _many(params, "server", _ip_param)
+        if not servers:
+            raise BadRequest("at least one 'server' parameter required")
+        return {"fqdns": sorted(snap.fqdns_for_servers(servers))}
+
+    def _q_fqdn_server_counts(self, snap, params):
+        groups = snap.fqdn_server_counts()
+        return {"groups": [list(group) for group in groups]}
+
+    def _q_fqdn_client_counts(self, snap, params):
+        groups = snap.fqdn_client_counts()
+        return {"groups": [list(group) for group in groups]}
+
+    def _q_fqdn_flow_byte_totals(self, snap, params):
+        groups = snap.fqdn_flow_byte_totals()
+        return {"groups": [list(group) for group in groups]}
+
+    def _q_server_flow_counts(self, snap, params):
+        counts = snap.server_flow_counts()
+        return {"counts": [[server, n] for server, n in counts.items()]}
+
+    def _q_unique_servers_per_bin(self, snap, params):
+        sld = _one(params, "sld", required=True)
+        bin_seconds = _one(params, "bin", required=True, convert=float)
+        if bin_seconds <= 0:
+            raise BadRequest("bin must be positive")
+        series = snap.unique_servers_per_bin(sld, bin_seconds)
+        return {"series": [[t, n] for t, n in series]}
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _run_query(self, route: str, params: dict) -> dict:
+        fn = self.query_routes[route]
+        key = (
+            route,
+            tuple(sorted(
+                (name, tuple(values))
+                for name, values in params.items()
+            )),
+        )
+        start = time.perf_counter()
+
+        def compute():
+            # One pinned snapshot per execution: the whole answer is
+            # computed against a single generation, and coalesced
+            # followers share it.
+            with self.store.pin() as snap:
+                return fn(snap, params)
+
+        result, coalesced = self.singleflight.do(key, compute)
+        self.m_latency.observe(
+            time.perf_counter() - start, route=route
+        )
+        if coalesced:
+            self.m_coalesced.inc(route=route)
+        return result
+
+    def handle(self, method: str, path: str, params: dict,
+               body: bytes = b"") -> tuple[int, str, bytes]:
+        """Route one request → ``(status, content_type, payload)``."""
+        route = path
+        try:
+            if path == "/ingest":
+                if method != "POST":
+                    return self._finish(route, 405, {
+                        "error": "POST required",
+                    })
+                if not body:
+                    raise BadRequest("empty ingest body")
+                if len(body) > MAX_INGEST_BYTES:
+                    raise BadRequest(
+                        f"ingest body over {MAX_INGEST_BYTES} bytes"
+                    )
+                try:
+                    rows = self.ingest(body)
+                except ValueError as exc:
+                    raise BadRequest(f"undecodable batch: {exc}") from exc
+                return self._finish(route, 200, {"rows": rows})
+            if method != "GET":
+                return self._finish(route, 405, {"error": "GET required"})
+            if path == "/metrics":
+                payload = self.registry.render().encode("utf-8")
+                self.m_requests.inc(route=route, code="200")
+                return (
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    payload,
+                )
+            if path == "/health":
+                return self._finish(route, 200, self.store.health())
+            if path == "/stats":
+                return self._finish(route, 200, self.store.stats())
+            if path == "/prune-report":
+                hint = _hint_from_params(params)
+                return self._finish(
+                    route, 200, self.store.prune_report(hint)
+                )
+            if path.startswith("/query/"):
+                name = path[len("/query/"):]
+                if name not in self.query_routes:
+                    return self._finish(route, 404, {
+                        "error": f"unknown query {name!r}",
+                        "queries": sorted(self.query_routes),
+                    })
+                return self._finish(
+                    route, 200, self._run_query(name, params)
+                )
+            return self._finish(route, 404, {"error": "unknown route"})
+        except BadRequest as exc:
+            return self._finish(route, 400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            return self._finish(route, 500, {
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+
+    def _finish(self, route: str, status: int,
+                payload: dict) -> tuple[int, str, bytes]:
+        self.m_requests.inc(route=route, code=str(status))
+        raw = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return status, "application/json", raw
+
+    # -- transport ---------------------------------------------------------
+
+    def make_server(self, host: str = "127.0.0.1",
+                    port: int = 0) -> ThreadingHTTPServer:
+        """A ready-to-run threading HTTP server bound to this app
+        (``port=0`` picks a free port; read ``server_address``)."""
+        app = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # Quiet by default: one log line per request belongs to
+            # access-log tooling, not stderr.
+            def log_message(self, format, *args):
+                pass
+
+            protocol_version = "HTTP/1.1"
+
+            def _respond(self, body: bytes = b""):
+                split = urlsplit(self.path)
+                params = parse_qs(
+                    split.query, keep_blank_values=True
+                )
+                status, content_type, payload = app.handle(
+                    self.command, split.path, params, body
+                )
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def do_GET(self):
+                self._respond()
+
+            def do_POST(self):
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length) if length else b""
+                self._respond(body)
+
+        return ThreadingHTTPServer((host, port), Handler)

@@ -1,0 +1,90 @@
+"""Single-flight coalescing of identical in-flight calls.
+
+When many HTTP clients ask the same expensive question at once (the
+dashboard-refresh stampede), only one of them should pay for the
+whole-store scan.  :class:`SingleFlight` keys in-flight work by an
+arbitrary hashable — the serve layer uses the canonicalized request
+``(path, sorted query params)`` — and makes every duplicate arrival
+*wait for the leader's result* instead of recomputing it.
+
+Semantics:
+
+* the first caller for a key becomes the **leader** and runs ``fn()``;
+* callers arriving while the leader is in flight become **followers**:
+  they block on the leader's completion and receive the same result
+  object (or the same raised exception);
+* the key is forgotten the moment the leader finishes, *before* the
+  followers wake — a caller arriving after that starts a fresh flight,
+  so results are never served stale, only shared while identical work
+  was genuinely concurrent.
+
+``do`` reports whether the caller coalesced, which feeds the
+``serve_coalesced_total`` metric and lets the e2e test prove the
+barrier behavior (N concurrent identical queries, 1 execution).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable, TypeVar
+
+__all__ = ["SingleFlight"]
+
+T = TypeVar("T")
+
+_UNSET = object()
+
+
+class _Flight:
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.value = _UNSET
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Per-key leader/follower coalescing (thread-safe)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights: dict[Hashable, _Flight] = {}
+
+    def in_flight(self) -> int:
+        """Number of distinct keys currently executing."""
+        with self._lock:
+            return len(self._flights)
+
+    def do(self, key: Hashable,
+           fn: Callable[[], T]) -> tuple[T, bool]:
+        """Run ``fn`` (or wait for the identical in-flight run).
+
+        Returns ``(result, coalesced)``: ``coalesced`` is True when
+        this caller received a leader's result instead of executing.
+        An exception raised by the leader propagates to every waiter.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._flights[key] = flight
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, True
+        try:
+            flight.value = fn()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            # Retire the key before waking followers: a caller that
+            # arrives now computes fresh rather than reading a result
+            # that predates its arrival.
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+        return flight.value, False

@@ -26,6 +26,8 @@ def sniff_pcap(
     batch_events: int = 8192,
     flow_store=None,
     handle_signals: bool = False,
+    store_drain_hook=None,
+    on_pipeline=None,
 ) -> SnifferPipeline:
     """Run the packet path over the capture at ``path``.
 
@@ -33,6 +35,11 @@ def sniff_pcap(
     the pipeline — drain the workers, seal the flow store's tail and
     journal — before the signal terminates the process, so killing a
     durable capture mid-run loses nothing that was acknowledged.
+    ``store_drain_hook`` is installed on the pipeline before any
+    packet is processed (see ``SnifferPipeline.store_drain_hook``);
+    ``on_pipeline`` is called with the constructed pipeline before
+    processing starts, so a caller's own shutdown handler can reach it
+    even when this call is interrupted mid-capture.
     """
     # Probe the capture before any side effect: constructing the
     # pipeline with flow_store creates the store directory, and a
@@ -45,6 +52,9 @@ def sniff_pcap(
         collect_labels=processes > 1,
         flow_store=flow_store,
     )
+    pipeline.store_drain_hook = store_drain_hook
+    if on_pipeline is not None:
+        on_pipeline(pipeline)
     if handle_signals:
         pipeline.install_signal_handlers()
 

@@ -523,6 +523,10 @@ class FanoutPipeline:
                 flow_store = FlowStore(flow_store)
             collect_flows = True
         self.flow_store = flow_store
+        #: Optional observability hook, ``hook(batches, rows)`` after
+        #: every non-empty drain into the store (see
+        #: ``SnifferPipeline.store_drain_hook``).  Must not raise.
+        self.store_drain_hook = None
         # Feed-path durable-drain cadence: one worker round-trip per
         # ~64k dispatched events (0 disables; see _note_dispatch).
         self._drain_interval = (
@@ -697,8 +701,12 @@ class FanoutPipeline:
         """Move every buffered worker tagged-flow batch into the
         attached flow store (the single definition of the drain
         protocol, shared by the feed path, collect and close)."""
+        batches = rows = 0
         for payload in self.drain_tagged_batches():
-            self.flow_store.ingest_batch(payload)
+            rows += self.flow_store.ingest_batch(payload)
+            batches += 1
+        if batches and self.store_drain_hook is not None:
+            self.store_drain_hook(batches, rows)
 
     def _note_dispatch(self) -> None:
         """Feed-path hook: every ``_drain_interval`` dispatched batches

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from collections import Counter
 from itertools import islice
-from typing import Iterable, Optional, Union
+from typing import Callable, Iterable, Optional, Union
 
 from repro.net.flow import DnsObservation, FlowRecord, Protocol
 from repro.net.packet import Packet
@@ -185,6 +185,11 @@ class SnifferPipeline:
         self._emitted_flows = 0  # emit_tagged_batches drain cursor
         self.flow_store = flow_store
         self.retain_flows = retain_flows
+        #: Optional observability hook, called as ``hook(batches,
+        #: rows)`` after every non-empty store drain (both the
+        #: in-process path and the fan-out pool's) — ``repro-serve``
+        #: wires it to its ingest-rate metrics.  Must not raise.
+        self.store_drain_hook: Optional[Callable[[int, int], None]] = None
         # Durable single-process runs drain mid-stream (every
         # ~batch_events tagged flows), so one multi-day processing call
         # keeps spilling to disk instead of deferring all durability —
@@ -648,7 +653,14 @@ class SnifferPipeline:
                 # durability) and on collect()/close().
                 flow_store=self.flow_store,
             )
+            # Forward through a bound method so a hook installed on
+            # the pipeline after the pool exists still takes effect.
+            self._fanout.store_drain_hook = self._note_store_drain
         return self._fanout.start()
+
+    def _note_store_drain(self, batches: int, rows: int) -> None:
+        if self.store_drain_hook is not None:
+            self.store_drain_hook(batches, rows)
 
     def _store_drain(self) -> None:
         """Stream tagged flows emitted since the last drain into the
@@ -663,8 +675,12 @@ class SnifferPipeline:
             # worker batches periodically during feeding and again on
             # collect()/close() (see _fanout_pipeline).
             return
+        batches = rows = 0
         for payload in self.emit_tagged_batches(self.batch_events):
-            self.flow_store.ingest_batch(payload)
+            rows += self.flow_store.ingest_batch(payload)
+            batches += 1
+        if batches and self.store_drain_hook is not None:
+            self.store_drain_hook(batches, rows)
         if not self.retain_flows and self._emitted_flows:
             del self.tagged_flows[:self._emitted_flows]
             self._emitted_flows = 0

@@ -1,0 +1,170 @@
+"""The docs stay true or the build goes red.
+
+Four classes of drift this suite catches:
+
+* a markdown link (README or docs/) pointing at a file that is gone;
+* a ``src/...`` / ``tests/...`` path or a ``repro.x.y`` module named
+  in prose that no longer exists or no longer imports;
+* a documented CLI whose ``--help`` no longer runs;
+* the API/metrics references diverging from the code: every
+  ``/query/<name>`` route and every ``/metrics`` family must appear in
+  the docs, and vice versa.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_PAGES = sorted((REPO / "docs").glob("*.md"))
+PAGES = [REPO / "README.md", *DOC_PAGES]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
+_PATH = re.compile(r"`((?:src|tests|docs|benchmarks|examples)/[\w./-]+?\.(?:py|md))`")
+_MODULE = re.compile(r"`(repro(?:\.\w+)+)`")
+_HELP_CMD = re.compile(r"python -m (repro[\w.]+)")
+
+
+def _page_ids():
+    return [page.relative_to(REPO).as_posix() for page in PAGES]
+
+
+def test_the_four_serve_docs_exist():
+    names = {page.name for page in DOC_PAGES}
+    assert {
+        "architecture.md", "http-api.md", "runbook.md",
+        "observability.md", "failure-modes.md",
+    } <= names
+
+
+@pytest.mark.parametrize("page", PAGES, ids=_page_ids())
+def test_markdown_links_resolve(page):
+    text = page.read_text(encoding="utf-8")
+    broken = []
+    for target in _LINK.findall(text):
+        if "://" in target:                      # external URL
+            continue
+        resolved = (page.parent / target).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{page.name}: broken links {broken}"
+
+
+@pytest.mark.parametrize("page", PAGES, ids=_page_ids())
+def test_referenced_paths_exist(page):
+    text = page.read_text(encoding="utf-8")
+    missing = [
+        path for path in _PATH.findall(text)
+        if not (REPO / path).exists()
+    ]
+    assert not missing, f"{page.name}: dead paths {missing}"
+
+
+@pytest.mark.parametrize("page", PAGES, ids=_page_ids())
+def test_referenced_modules_import(page):
+    text = page.read_text(encoding="utf-8")
+    failures = []
+    for module in set(_MODULE.findall(text)):
+        try:
+            importlib.import_module(module)
+            continue
+        except ImportError:
+            pass
+        # Maybe a dotted attribute path (module.ClassName).
+        parent, _dot, attr = module.rpartition(".")
+        try:
+            if not hasattr(importlib.import_module(parent), attr):
+                failures.append(f"{module}: no attribute {attr!r}")
+        except ImportError as exc:
+            failures.append(f"{module}: {exc}")
+    assert not failures, f"{page.name}: {failures}"
+
+
+def _documented_cli_modules():
+    modules = set()
+    for page in PAGES:
+        modules.update(_HELP_CMD.findall(page.read_text(encoding="utf-8")))
+    # Only entry points (modules with a main); json.tool-style stdlib
+    # helpers never match the repro prefix.
+    return sorted(modules)
+
+
+@pytest.mark.parametrize("module", _documented_cli_modules())
+def test_documented_clis_answer_help(module):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", module, "--help"],
+        capture_output=True, text=True, timeout=60, env=env,
+    )
+    assert result.returncode == 0, (
+        f"python -m {module} --help failed:\n{result.stderr}"
+    )
+    assert "usage" in result.stdout.lower()
+
+
+def _app():
+    from repro.analytics.storage import FlowStore
+    from repro.serve.server import ServeApp
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as directory:
+        store = FlowStore(Path(directory) / "store")
+        try:
+            yield_app = ServeApp(store)
+            # Collected eagerly: the registry and routes are static.
+            routes = set(yield_app.query_routes)
+            families = {m.name for m in yield_app.registry._metrics.values()}
+        finally:
+            store.close()
+    return routes, families
+
+
+def test_http_api_doc_matches_query_routes():
+    routes, _families = _app()
+    text = (REPO / "docs" / "http-api.md").read_text(encoding="utf-8")
+    table_names = set(re.findall(r"^\| `([\w-]+)` \|", text, re.M))
+    assert table_names == routes, (
+        f"docs/http-api.md route table out of sync: "
+        f"undocumented={sorted(routes - table_names)}, "
+        f"stale={sorted(table_names - routes)}"
+    )
+
+
+def test_observability_doc_matches_registry():
+    _routes, families = _app()
+    text = (REPO / "docs" / "observability.md").read_text(encoding="utf-8")
+    documented = set(re.findall(r"`((?:serve|flowstore)_\w+)`", text))
+    assert families <= documented, (
+        f"metrics missing from docs/observability.md: "
+        f"{sorted(families - documented)}"
+    )
+    # Everything the doc names as a family must be registered (prose
+    # may additionally mention label names; restrict to the catalog
+    # tables' first column).
+    tabled = set(re.findall(r"^\| `((?:serve|flowstore)_\w+)` \|", text, re.M))
+    assert tabled <= families, (
+        f"stale metrics documented: {sorted(tabled - families)}"
+    )
+
+
+def test_runbook_quarantine_workflow_points_at_real_tools():
+    text = (REPO / "docs" / "runbook.md").read_text(encoding="utf-8")
+    assert "failure-modes.md" in text
+    assert "repro.analytics.flowstore_cli" in text
+    assert "quarantine" in text
+
+
+def test_architecture_doc_is_linked_from_readme():
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    for page in ("docs/architecture.md", "docs/http-api.md",
+                 "docs/runbook.md", "docs/observability.md"):
+        assert page in readme, f"README does not link {page}"
