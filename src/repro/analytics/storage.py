@@ -688,6 +688,12 @@ _io = _OsIO()
 _TRANSIENT_ERRNOS = frozenset({
     errno.EINTR, errno.EAGAIN, errno.ENOSPC, errno.EDQUOT,
 })
+#: Capacity exhaustion: the subset of transient errnos that means the
+#: *volume* is full rather than the call unlucky.  When one of these
+#: survives the bounded retry below, the condition will not clear on
+#: its own — the serve layer's degradation governor trips straight to
+#: read-only on it instead of waiting out a failure streak.
+CAPACITY_ERRNOS = frozenset({errno.ENOSPC, errno.EDQUOT})
 #: Bounded backoff: 4 attempts, 10 ms doubling (70 ms worst case).
 _IO_ATTEMPTS = 4
 _IO_BACKOFF = 0.01
@@ -1595,6 +1601,16 @@ class _StoreReadMixin:
       the live store and keep growing past a snapshot's pin point.
     """
 
+    #: Optional cooperative cancellation token (duck-typed: ``check()``
+    #: raising to cancel, ``note_scheduled(n)``/``note_done()`` for
+    #: partial-work accounting — :class:`repro.serve.deadline.Deadline`
+    #: is the canonical implementation).  Assigned per *instance* —
+    #: the serve layer sets it on a pinned :class:`StoreSnapshot`, so
+    #: one request's deadline never leaks into another reader.
+    #: :meth:`_run_sources` consults it at every kernel boundary,
+    #: including kernels running on the ``parallel`` pool.
+    cancel_token = None
+
     # -- consistent view capture ------------------------------------------
 
     def _view(self) -> tuple[tuple, FlowDatabase, array]:
@@ -1753,7 +1769,16 @@ class _StoreReadMixin:
         runs under the store mutex — so concurrent ingest can never
         tear a pass, and a :class:`StoreSnapshot` pass never sees a
         segment retired out from under it.
+
+        When :attr:`cancel_token` is set, every kernel boundary calls
+        ``token.check()`` first — on the request thread in serial mode
+        and on each pool worker under ``parallel > 1`` — so an expired
+        request stops before the *next* segment is materialized rather
+        than finishing an unbounded scan.  Completed kernels are
+        reported via ``token.note_done()`` (the partial-work counters
+        behind the serve layer's 504 payload).
         """
+        token = self.cancel_token
         segments, tail, tail_map = self._view()
         tail_len = len(tail)
         prune = self.prune
@@ -1776,6 +1801,8 @@ class _StoreReadMixin:
                 scanned += 1
 
                 def thunk(reader=reader, local=local, base=base):
+                    if token is not None:
+                        token.check()
                     was_resident = reader.resident
                     try:
                         return kernel(
@@ -1784,6 +1811,8 @@ class _StoreReadMixin:
                     finally:
                         if not cache and not was_resident:
                             reader.release()
+                        if token is not None:
+                            token.note_done()
                 thunks.append(thunk)
             else:
                 pruned += 1
@@ -1792,10 +1821,18 @@ class _StoreReadMixin:
             local = split[len(segments)] if split is not None else None
 
             def tail_thunk(local=local, base=base):
+                if token is not None:
+                    token.check()
                 with mutex:
-                    return kernel(tail, tail_map, local, base)
+                    result = kernel(tail, tail_map, local, base)
+                if token is not None:
+                    token.note_done()
+                return result
             thunks.append(tail_thunk)
         self._note_scan(scanned, pruned)
+        if token is not None:
+            token.note_scheduled(len(thunks))
+            token.check()
         if self.parallel > 1 and len(thunks) > 1:
             return list(self._executor().map(_call_thunk, thunks))
         return [thunk() for thunk in thunks]

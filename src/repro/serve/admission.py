@@ -1,0 +1,143 @@
+"""Bounded admission control for the serve daemon.
+
+``ThreadingHTTPServer`` starts a thread per connection, so without a
+gate an overload does not queue — it *accumulates*: every excess
+request pins a thread, a socket, and (for queries) a snapshot until
+the box runs out of something.  :class:`AdmissionController` bounds
+that: each **route class** (``query`` covers every GET surface,
+``ingest`` the single-writer POST path) gets a configurable number of
+in-flight slots plus a bounded wait queue.  A request past both limits
+is *shed immediately* with 503 + ``Retry-After`` — shedding is cheap
+and honest, piling up is neither.  ``/health`` and ``/metrics`` never
+pass through the gate (the serve layer exempts them), so the daemon
+stays observable precisely when the gate is busiest.
+
+The gate is a plain condition variable, not a semaphore: it must
+distinguish "waiting in the bounded queue" from "running" (both are
+exposed as gauges), and a queued waiter must give up at its own
+deadline rather than whenever the semaphore happens to signal.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["AdmissionController", "RouteClassLimits", "default_limits"]
+
+
+class RouteClassLimits:
+    """Admission limits for one route class.
+
+    ``max_inflight`` requests execute concurrently; up to ``max_queue``
+    more wait (each at most ``max_wait_s`` seconds, further bounded by
+    the request's own deadline); everything past that is shed.
+    """
+
+    __slots__ = ("max_inflight", "max_queue", "max_wait_s")
+
+    def __init__(self, max_inflight: int, max_queue: int,
+                 max_wait_s: float = 0.5):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self.max_wait_s = float(max_wait_s)
+
+
+def default_limits() -> dict[str, RouteClassLimits]:
+    """Fresh default limits (a factory — the values are mutable)."""
+    return {
+        "query": RouteClassLimits(8, 16, 0.5),
+        "ingest": RouteClassLimits(2, 8, 0.5),
+    }
+
+
+class _Gate:
+    """One route class's slots + bounded wait queue."""
+
+    def __init__(self, limits: RouteClassLimits, clock):
+        self.limits = limits
+        self._clock = clock
+        self._cond = threading.Condition()
+        self.inflight = 0
+        self.queued = 0
+
+    def try_acquire(self, wait_s: float) -> bool:
+        """Take a slot, waiting up to ``wait_s`` in the bounded queue;
+        False means shed."""
+        with self._cond:
+            if self.inflight < self.limits.max_inflight:
+                self.inflight += 1
+                return True
+            if self.queued >= self.limits.max_queue or wait_s <= 0:
+                return False
+            expires = self._clock() + wait_s
+            self.queued += 1
+            try:
+                while self.inflight >= self.limits.max_inflight:
+                    remaining = expires - self._clock()
+                    if remaining <= 0:
+                        return False
+                    self._cond.wait(remaining)
+                self.inflight += 1
+                return True
+            finally:
+                self.queued -= 1
+
+    def release(self) -> None:
+        with self._cond:
+            self.inflight -= 1
+            self._cond.notify()
+
+
+class AdmissionController:
+    """Per-route-class gates behind one facade (thread-safe)."""
+
+    def __init__(self, limits: dict[str, RouteClassLimits] | None = None,
+                 clock=time.monotonic):
+        self.limits = dict(limits) if limits is not None else (
+            default_limits()
+        )
+        self._gates = {
+            name: _Gate(class_limits, clock)
+            for name, class_limits in self.limits.items()
+        }
+
+    def try_acquire(self, route_class: str,
+                    budget_s: float | None = None) -> bool:
+        """Admit one request of ``route_class`` (False = shed).
+
+        The queue wait is the class's ``max_wait_s``, further clamped
+        by ``budget_s`` (the request's remaining deadline) — a request
+        never spends budget queueing that it no longer has.
+        """
+        gate = self._gates[route_class]
+        wait = gate.limits.max_wait_s
+        if budget_s is not None:
+            wait = min(wait, max(0.0, budget_s))
+        return gate.try_acquire(wait)
+
+    def release(self, route_class: str) -> None:
+        self._gates[route_class].release()
+
+    def inflight(self, route_class: str) -> int:
+        return self._gates[route_class].inflight
+
+    def queued(self, route_class: str) -> int:
+        return self._gates[route_class].queued
+
+    def snapshot(self) -> dict:
+        """Per-class occupancy for ``/health``."""
+        return {
+            name: {
+                "inflight": gate.inflight,
+                "queued": gate.queued,
+                "max_inflight": gate.limits.max_inflight,
+                "max_queue": gate.limits.max_queue,
+                "max_wait_s": gate.limits.max_wait_s,
+            }
+            for name, gate in sorted(self._gates.items())
+        }

@@ -26,6 +26,8 @@ import sys
 import threading
 
 from repro.analytics.storage import FlowStore
+from repro.serve.admission import AdmissionController, RouteClassLimits
+from repro.serve.governor import DegradationGovernor
 from repro.serve.server import ServeApp
 from repro.sniffer.fanout import install_shutdown_signals
 
@@ -123,6 +125,48 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seconds between background compaction passes",
     )
+    overload = parser.add_argument_group(
+        "overload protection (docs/runbook.md: Overload & degraded "
+        "mode)"
+    )
+    overload.add_argument("--query-inflight", type=int, default=8,
+                          help="concurrent query-class requests before "
+                               "queueing (default 8)")
+    overload.add_argument("--query-queue", type=int, default=16,
+                          help="queued query-class requests before "
+                               "shedding with 503 (default 16)")
+    overload.add_argument("--ingest-inflight", type=int, default=2,
+                          help="concurrent /ingest requests before "
+                               "queueing (default 2)")
+    overload.add_argument("--ingest-queue", type=int, default=8,
+                          help="queued /ingest requests before "
+                               "shedding with 503 (default 8)")
+    overload.add_argument("--queue-wait", type=float, default=0.5,
+                          metavar="SECONDS",
+                          help="max seconds a request waits in the "
+                               "admission queue (default 0.5)")
+    overload.add_argument("--default-deadline", type=float,
+                          default=30.0, metavar="SECONDS",
+                          help="query deadline when the client sends "
+                               "no X-Request-Deadline (default 30; "
+                               "0 disables)")
+    overload.add_argument("--socket-timeout", type=float, default=10.0,
+                          metavar="SECONDS",
+                          help="per-connection socket timeout "
+                               "(default 10)")
+    overload.add_argument("--degraded-backoff", type=float,
+                          default=1.0, metavar="SECONDS",
+                          help="initial probe backoff after the store "
+                               "goes read-only (default 1; doubles "
+                               "per failed probe)")
+    overload.add_argument("--degraded-backoff-max", type=float,
+                          default=60.0, metavar="SECONDS",
+                          help="probe backoff ceiling (default 60)")
+    overload.add_argument("--degraded-threshold", type=int, default=3,
+                          help="consecutive non-capacity ingest "
+                               "failures before read-only "
+                               "(default 3; ENOSPC/EDQUOT trip "
+                               "immediately)")
     return parser
 
 
@@ -143,7 +187,29 @@ def main(argv=None) -> int:
         wal_sync=not args.no_wal_sync,
         strict=args.strict,
     )
-    app = ServeApp(store)
+    app = ServeApp(
+        store,
+        admission=AdmissionController({
+            "query": RouteClassLimits(
+                args.query_inflight, args.query_queue,
+                args.queue_wait,
+            ),
+            "ingest": RouteClassLimits(
+                args.ingest_inflight, args.ingest_queue,
+                args.queue_wait,
+            ),
+        }),
+        governor=DegradationGovernor(
+            failure_threshold=args.degraded_threshold,
+            backoff_s=args.degraded_backoff,
+            backoff_max_s=args.degraded_backoff_max,
+        ),
+        default_deadline_s=(
+            args.default_deadline if args.default_deadline > 0
+            else None
+        ),
+        socket_timeout_s=args.socket_timeout,
+    )
     httpd = app.make_server(args.host, args.port)
     host, port = httpd.server_address[:2]
     listener = threading.Thread(
@@ -213,8 +279,12 @@ def main(argv=None) -> int:
             print(f"repro-serve: capture ingested, {len(store)} rows "
                   f"total; still serving (Ctrl-C to stop)", flush=True)
         # Serve until a signal arrives (the handler re-delivers it
-        # after a clean drain, terminating the wait).
-        closed.wait()
+        # after a clean drain, terminating the wait).  Polled rather
+        # than awaited forever: the kernel may hand the signal to a
+        # busy listener thread, and the Python-level handler then only
+        # runs once the main thread wakes to check for it.
+        while not closed.wait(0.5):
+            pass
     except KeyboardInterrupt:  # pragma: no cover - interactive
         shutdown()
     return 0

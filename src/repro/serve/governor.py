@@ -1,0 +1,191 @@
+"""Read-only degradation: the ingest circuit breaker.
+
+An always-on vantage-point monitor hits disk-capacity walls (ENOSPC,
+EDQUOT) and flaky volumes as a matter of course.  The store's own
+``_retry_io`` already absorbs *transient* blips with a bounded
+retry/backoff; what it cannot decide is policy — what the *service*
+should do once a WAL append has exhausted its retries.  Answering 500
+and letting clients hammer the dying volume is the worst option: every
+attempt burns the full retry/backoff budget while holding the writer
+lock, and the failed appends churn the disk exactly when it needs
+slack.
+
+:class:`DegradationGovernor` is that policy — a circuit breaker over
+the ingest path:
+
+* **ready** — every ingest is admitted.  An ENOSPC/EDQUOT escaping the
+  store's retries trips the breaker immediately (a full volume does
+  not fix itself between requests); any other ``OSError`` from the
+  WAL/ingest path trips it after ``failure_threshold`` *consecutive*
+  failures.
+* **read_only** — ``/ingest`` answers 503 with a machine-readable
+  reason and ``Retry-After``; queries are untouched.  After the
+  current backoff elapses, exactly one ingest is admitted as a
+  **probe** (half-open): success flips back to ready and resets the
+  backoff, failure doubles it (bounded by ``backoff_max_s``) and stays
+  read-only.  Recovery is therefore automatic once the operator (or a
+  log rotation) clears the condition — no restart required.
+
+Every transition and probe outcome is surfaced through the optional
+``on_transition(to_state, reason)`` / ``on_probe(outcome)`` hooks —
+the serve layer wires them to the ``serve_degraded_transitions_total``
+and ``serve_degraded_probes_total`` counters — and :meth:`snapshot`
+feeds the ``/health`` payload's ``service`` block.
+"""
+
+from __future__ import annotations
+
+import errno as errno_mod
+import threading
+import time
+
+from repro.analytics.storage import CAPACITY_ERRNOS
+
+__all__ = ["DegradationGovernor", "READY", "READ_ONLY"]
+
+READY = "ready"
+READ_ONLY = "read_only"
+
+
+class DegradationGovernor:
+    """Ready/read-only state machine for the ingest path (thread-safe).
+
+    The caller brackets every admitted store write with
+    :meth:`record_success` / :meth:`record_failure`; :meth:`admit`
+    decides whether the write may reach the store at all.
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 backoff_s: float = 1.0, backoff_max_s: float = 60.0,
+                 clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.failure_threshold = int(failure_threshold)
+        self.initial_backoff_s = float(backoff_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.state = READY
+        self.reason: str | None = None
+        self.detail: str | None = None
+        self._consecutive_failures = 0
+        self._backoff_s = self.initial_backoff_s
+        self._opened_at: float | None = None
+        self._probe_at: float | None = None
+        self._probing = False
+        self.transitions = {READY: 0, READ_ONLY: 0}
+        self.probes = {"ok": 0, "failed": 0}
+        #: Optional observers (the serve layer points these at metric
+        #: counters).  Called outside any store lock but inside the
+        #: governor's own, so keep them non-reentrant and cheap.
+        self.on_transition = None
+        self.on_probe = None
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self) -> tuple[bool, dict | None]:
+        """May one ingest reach the store right now?
+
+        Returns ``(True, None)`` when admitted (in read-only state that
+        admission *is* the half-open probe), else ``(False, info)``
+        with the machine-readable 503 payload fields.
+        """
+        with self._lock:
+            if self.state == READY:
+                return True, None
+            now = self._clock()
+            if not self._probing and now >= self._probe_at:
+                self._probing = True
+                return True, None
+            retry_after = max(0.0, self._probe_at - now)
+            if self._probing and retry_after <= 0:
+                # A probe is already in flight; try again shortly.
+                retry_after = min(1.0, self._backoff_s)
+            return False, {
+                "state": self.state,
+                "reason": self.reason,
+                "detail": self.detail,
+                "retry_after_s": round(retry_after, 3),
+            }
+
+    # -- outcome reporting -------------------------------------------------
+
+    def record_success(self) -> None:
+        """An admitted store write completed."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self.state == READY:
+                return
+            if self._probing:
+                self._probing = False
+                self.probes["ok"] += 1
+                if self.on_probe is not None:
+                    self.on_probe("ok")
+            self._transition(READY, reason=None, detail=None)
+
+    def record_failure(self, exc: OSError) -> None:
+        """An admitted store write raised ``exc`` (retries exhausted)."""
+        name = errno_mod.errorcode.get(exc.errno, str(exc.errno))
+        capacity = exc.errno in CAPACITY_ERRNOS
+        with self._lock:
+            now = self._clock()
+            if self.state == READ_ONLY:
+                if self._probing:
+                    self._probing = False
+                    self.probes["failed"] += 1
+                    if self.on_probe is not None:
+                        self.on_probe("failed")
+                # Failed probe (or straggler): back off harder.
+                self._backoff_s = min(
+                    self._backoff_s * 2.0, self.backoff_max_s
+                )
+                self._probe_at = now + self._backoff_s
+                self.reason = name
+                self.detail = str(exc)
+                return
+            self._consecutive_failures += 1
+            if capacity or (
+                self._consecutive_failures >= self.failure_threshold
+            ):
+                self._backoff_s = self.initial_backoff_s
+                self._probe_at = now + self._backoff_s
+                self._opened_at = now
+                self._transition(READ_ONLY, name, str(exc))
+
+    def _transition(self, to_state: str, reason, detail) -> None:
+        # Caller holds the lock.
+        self.state = to_state
+        self.reason = reason
+        self.detail = detail
+        self.transitions[to_state] += 1
+        if to_state == READY:
+            self._consecutive_failures = 0
+            self._backoff_s = self.initial_backoff_s
+            self._opened_at = None
+            self._probe_at = None
+            self._probing = False
+        if self.on_transition is not None:
+            self.on_transition(to_state, reason)
+
+    # -- inspection --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The ``/health`` payload's ``service`` block."""
+        with self._lock:
+            now = self._clock()
+            return {
+                "state": self.state,
+                "reason": self.reason,
+                "detail": self.detail,
+                "consecutive_failures": self._consecutive_failures,
+                "read_only_for_s": (
+                    round(now - self._opened_at, 3)
+                    if self._opened_at is not None else None
+                ),
+                "next_probe_in_s": (
+                    round(max(0.0, self._probe_at - now), 3)
+                    if self._probe_at is not None else None
+                ),
+                "transitions": dict(self.transitions),
+                "probes": dict(self.probes),
+            }

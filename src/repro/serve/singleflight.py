@@ -18,6 +18,19 @@ Semantics:
   so results are never served stale, only shared while identical work
   was genuinely concurrent.
 
+Overload hardening (PR 8):
+
+* ``timeout`` bounds a follower's wait.  Without it a follower whose
+  leader thread dies without reaching its cleanup (daemon-thread
+  teardown, a signal between becoming leader and entering ``try``)
+  would block forever; with it the wait ends in
+  :class:`SingleFlightTimeout`, which the serve layer maps to 504.
+* ``retry_on_leader_error`` makes a follower **re-dispatch** instead
+  of inheriting the leader's exception: a leader that crashed (or ran
+  out of *its* deadline budget) no longer fails every coalesced caller
+  — each follower starts or joins a fresh flight with its own budget,
+  until its own timeout runs out.
+
 ``do`` reports whether the caller coalesced, which feeds the
 ``serve_coalesced_total`` metric and lets the e2e test prove the
 barrier behavior (N concurrent identical queries, 1 execution).
@@ -26,13 +39,18 @@ barrier behavior (N concurrent identical queries, 1 execution).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Hashable, TypeVar
 
-__all__ = ["SingleFlight"]
+__all__ = ["SingleFlight", "SingleFlightTimeout"]
 
 T = TypeVar("T")
 
 _UNSET = object()
+
+
+class SingleFlightTimeout(TimeoutError):
+    """A follower's bounded wait for its leader expired."""
 
 
 class _Flight:
@@ -56,35 +74,59 @@ class SingleFlight:
         with self._lock:
             return len(self._flights)
 
-    def do(self, key: Hashable,
-           fn: Callable[[], T]) -> tuple[T, bool]:
+    def do(self, key: Hashable, fn: Callable[[], T],
+           timeout: float | None = None,
+           retry_on_leader_error: bool = False) -> tuple[T, bool]:
         """Run ``fn`` (or wait for the identical in-flight run).
 
         Returns ``(result, coalesced)``: ``coalesced`` is True when
         this caller received a leader's result instead of executing.
-        An exception raised by the leader propagates to every waiter.
+        An exception raised by the leader propagates to every waiter —
+        unless ``retry_on_leader_error``, in which case a follower that
+        observes a failed leader re-dispatches (fresh flight) rather
+        than inheriting the failure.  ``timeout`` bounds the *total*
+        time spent waiting on leaders (across re-dispatches); when it
+        runs out the caller gets :class:`SingleFlightTimeout`, never a
+        hang.
         """
-        with self._lock:
-            flight = self._flights.get(key)
-            leader = flight is None
-            if leader:
-                flight = _Flight()
-                self._flights[key] = flight
-        if not leader:
-            flight.done.wait()
-            if flight.error is not None:
-                raise flight.error
-            return flight.value, True
-        try:
-            flight.value = fn()
-        except BaseException as exc:
-            flight.error = exc
-            raise
-        finally:
-            # Retire the key before waking followers: a caller that
-            # arrives now computes fresh rather than reading a result
-            # that predates its arrival.
+        expires = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
             with self._lock:
-                self._flights.pop(key, None)
-            flight.done.set()
-        return flight.value, False
+                flight = self._flights.get(key)
+                leader = flight is None
+                if leader:
+                    flight = _Flight()
+                    self._flights[key] = flight
+            if leader:
+                try:
+                    flight.value = fn()
+                except BaseException as exc:
+                    flight.error = exc
+                    raise
+                finally:
+                    # Retire the key before waking followers: a caller
+                    # that arrives now computes fresh rather than
+                    # reading a result that predates its arrival.
+                    with self._lock:
+                        self._flights.pop(key, None)
+                    flight.done.set()
+                return flight.value, False
+            wait = (
+                None if expires is None
+                else expires - time.monotonic()
+            )
+            if wait is not None and wait <= 0:
+                raise SingleFlightTimeout(
+                    f"timed out waiting on in-flight {key!r}"
+                )
+            if not flight.done.wait(wait):
+                raise SingleFlightTimeout(
+                    f"timed out waiting on in-flight {key!r}"
+                )
+            if flight.error is None:
+                return flight.value, True
+            if not retry_on_leader_error:
+                raise flight.error
+            # Leader failed: loop and re-dispatch with our own budget.

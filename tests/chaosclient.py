@@ -1,0 +1,187 @@
+"""Misbehaving HTTP clients for the service-level chaos suite.
+
+The serve daemon's overload protections (admission gate, socket
+timeouts, ``Content-Length``-first body handling, request deadlines)
+exist for clients that the stdlib test clients cannot imitate:
+``urllib`` always sends complete well-formed requests.  This module
+speaks raw sockets so a test can be exactly as rude as the internet:
+
+* :func:`slow_loris` — opens a connection and trickles header bytes
+  forever (never finishing the request), the classic thread-starvation
+  attack on one-thread-per-connection servers;
+* :func:`mid_body_disconnect` — sends a POST promising
+  ``Content-Length`` bytes, transmits a prefix, and vanishes;
+* :func:`oversized_post` — announces a body far over the ingest cap
+  and starts streaming it, recording how much the server accepted
+  before refusing (a hardened server answers 413 from the header
+  alone);
+* :func:`raw_get` / :func:`raw_post` — minimal well-formed requests
+  over a raw socket, returning status, headers, and body, so tests
+  can read ``Retry-After`` and status codes without ``urllib``'s
+  error-mapping in the way.
+
+Every helper takes ``(host, port)`` and bounds its own socket with a
+timeout — the chaos suite must never hang on the server it is trying
+to wedge.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+
+def open_conn(host: str, port: int, timeout: float = 10.0
+              ) -> socket.socket:
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(timeout)
+    return sock
+
+
+def _read_response(sock: socket.socket) -> tuple[int, dict, bytes]:
+    """Parse one HTTP/1.x response off a raw socket."""
+    blob = b""
+    while b"\r\n\r\n" not in blob:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("connection closed before headers")
+        blob += chunk
+    head, body = blob.split(b"\r\n\r\n", 1)
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0))
+    while len(body) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        body += chunk
+    return status, headers, body
+
+
+def raw_get(host: str, port: int, path: str,
+            headers: dict | None = None, timeout: float = 10.0
+            ) -> tuple[int, dict, bytes]:
+    """One well-formed GET over a fresh socket (no urllib remapping)."""
+    extra = "".join(
+        f"{name}: {value}\r\n"
+        for name, value in (headers or {}).items()
+    )
+    with open_conn(host, port, timeout) as sock:
+        sock.sendall(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n{extra}"
+            f"Connection: close\r\n\r\n".encode("latin-1")
+        )
+        return _read_response(sock)
+
+
+def raw_post(host: str, port: int, path: str, body: bytes,
+             headers: dict | None = None, timeout: float = 10.0
+             ) -> tuple[int, dict, bytes]:
+    extra = "".join(
+        f"{name}: {value}\r\n"
+        for name, value in (headers or {}).items()
+    )
+    with open_conn(host, port, timeout) as sock:
+        sock.sendall(
+            f"POST {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(body)}\r\n{extra}"
+            f"Connection: close\r\n\r\n".encode("latin-1") + body
+        )
+        return _read_response(sock)
+
+
+def get_json(host: str, port: int, path: str,
+             headers: dict | None = None, timeout: float = 10.0
+             ) -> tuple[int, dict, dict]:
+    """GET returning ``(status, headers, parsed-JSON body)``."""
+    status, rsp_headers, body = raw_get(
+        host, port, path, headers, timeout
+    )
+    return status, rsp_headers, json.loads(body)
+
+
+def slow_loris(host: str, port: int, timeout: float = 10.0
+               ) -> socket.socket:
+    """Open a connection and send only a partial request line.
+
+    Returns the live socket (caller closes).  The request is never
+    completed — a hardened server must reclaim the handler thread via
+    its socket timeout rather than wait forever.
+    """
+    sock = open_conn(host, port, timeout)
+    sock.sendall(b"GET /query/len HT")  # ...and never finishes
+    return sock
+
+
+def wait_closed(sock: socket.socket, deadline_s: float) -> bool:
+    """True once the server closes its end (EOF) within the budget."""
+    expires = time.monotonic() + deadline_s
+    sock.settimeout(0.25)
+    while time.monotonic() < expires:
+        try:
+            if sock.recv(4096) == b"":
+                return True
+        except socket.timeout:
+            continue
+        except OSError:
+            return True
+    return False
+
+
+def mid_body_disconnect(host: str, port: int, path: str = "/ingest",
+                        content_length: int = 100_000,
+                        send_bytes: int = 128,
+                        timeout: float = 10.0) -> None:
+    """POST a body prefix, then vanish (RST/FIN mid-upload)."""
+    with open_conn(host, port, timeout) as sock:
+        sock.sendall(
+            f"POST {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {content_length}\r\n\r\n"
+            .encode("latin-1")
+        )
+        sock.sendall(b"x" * send_bytes)
+        # Context exit closes the socket with the body unfinished.
+
+
+def oversized_post(host: str, port: int, path: str = "/ingest",
+                   content_length: int = 1 << 30,
+                   chunk: int = 4096, max_send: int = 1 << 20,
+                   timeout: float = 10.0) -> tuple[int, int]:
+    """Announce a huge body and stream it until the server answers.
+
+    Returns ``(status, bytes_sent)``.  A ``Content-Length``-first
+    server responds (413) after zero body bytes; one that reads before
+    checking forces the client (and itself) through the whole upload.
+    """
+    with open_conn(host, port, timeout) as sock:
+        sock.sendall(
+            f"POST {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {content_length}\r\n\r\n"
+            .encode("latin-1")
+        )
+        sent = 0
+        payload = b"x" * chunk
+        sock.settimeout(0.05)
+        while sent < max_send:
+            # An early response (or a closed connection) ends the
+            # upload — that is the behavior under test.
+            try:
+                if sock.recv(1, socket.MSG_PEEK):
+                    break
+            except socket.timeout:
+                pass
+            except OSError:
+                break
+            try:
+                sock.sendall(payload)
+            except OSError:
+                break
+            sent += chunk
+        sock.settimeout(timeout)
+        status, _headers, _body = _read_response(sock)
+        return status, sent

@@ -15,7 +15,12 @@ test can:
 * **inject transient errors** — a one-shot ``OSError`` at a given
   operation index (``errors``) or a persistent errno for one
   operation kind (``persistent``) — to exercise the bounded
-  retry/backoff and the benign-vs-fatal directory-fsync split.
+  retry/backoff and the benign-vs-fatal directory-fsync split;
+* **scope the injection** (``only``) to operations whose detail
+  string contains a substring — e.g. ``only="tail.wal"`` makes an
+  ENOSPC hit the journal-append path while segment seals still
+  succeed, which is how the serve-layer chaos suite drives the
+  read-only governor without also breaking recovery.
 
 The crash model matches a real crash on a journaling filesystem:
 operations that completed before the crash are durable (the suite
@@ -52,7 +57,8 @@ class FaultFS:
     """Counting / crashing / error-injecting stand-in for storage._io."""
 
     def __init__(self, crash_at=None, torn=False, errors=None,
-                 persistent=None, flaky=None, real_fsync=True):
+                 persistent=None, flaky=None, real_fsync=True,
+                 only=None):
         #: Total operations observed so far (and the index the next
         #: operation will get).
         self.ops = 0
@@ -69,6 +75,10 @@ class FaultFS:
         self.flaky = {
             kind: list(spec) for kind, spec in (flaky or {}).items()
         }
+        #: Detail-substring scope: when set, faults (crash, errors,
+        #: persistent, flaky) only fire on operations whose detail
+        #: contains this text; everything else is counted but behaves.
+        self.only = only
         #: The crash sweep passes real_fsync=False: the op is still
         #: counted (and crashable) but os.fsync is skipped — in the
         #: crash model completed writes are durable anyway, and the
@@ -82,6 +92,8 @@ class FaultFS:
         self.ops += 1
         self.counts[kind] += 1
         self.log.append((index, kind, detail))
+        if self.only is not None and self.only not in detail:
+            return False
         if kind in self.persistent:
             raise OSError(self.persistent[kind], f"injected {kind} error")
         if index in self.errors:
@@ -97,7 +109,8 @@ class FaultFS:
     # -- the storage._io interface ----------------------------------------
 
     def write(self, handle, data) -> None:
-        if self._tick("write", f"{len(data)} bytes"):
+        name = getattr(handle, "name", "?")
+        if self._tick("write", f"{name}: {len(data)} bytes"):
             if self.torn and len(data) > 1:
                 # The crash tears the write mid-payload: a prefix hits
                 # the disk, the rest never does.

@@ -413,6 +413,15 @@ class TestMetrics:
             "serve_ingest_batches_total",
             "serve_ingest_rows_total",
             "serve_inflight_queries",
+            "serve_shed_total",
+            "serve_deadline_exceeded_total",
+            "serve_degraded_transitions_total",
+            "serve_degraded_probes_total",
+            "serve_read_only",
+            "serve_admission_inflight_query",
+            "serve_admission_queued_query",
+            "serve_admission_inflight_ingest",
+            "serve_admission_queued_ingest",
             "flowstore_rows",
             "flowstore_tail_rows",
             "flowstore_segments",
