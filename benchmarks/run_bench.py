@@ -1244,6 +1244,88 @@ def bench_flowdb_parallel_analytics(quick: bool) -> dict:
     }, run_fast, run_serial)
 
 
+def bench_flowdb_sharded_query(quick: bool) -> dict:
+    """Scatter-gather overhead: a 2-shard coordinator vs one flat store.
+
+    Both arms hold the same 120k flows — the flat store in shard-major
+    order, so every answer is bit-identical (asserted before timing) —
+    and run the whole grouped-aggregation sweep warm and in-process.
+    The ratio prices the coordinator's fan/merge/remap layer on one
+    core, where it can only lose; like the other topology benches it
+    is machine-bound (shards pay off on real cores / per-shard
+    processes) and gate-exempt.
+    """
+    from repro.analytics.shard import ShardCoordinator
+    from repro.analytics.storage import FlowStore
+
+    n_flows = 120_000  # fixed across quick/full; see bench_flowdb_ingest
+    flows, _ipdb, _domains, _cdns = make_flow_workload(n_flows)
+    flows.sort(key=lambda flow: flow.start)
+    repetitions = 2 if quick else 5
+    root = _spill_root() / "sharded_query"
+    shutil.rmtree(root, ignore_errors=True)
+    root.mkdir(parents=True, exist_ok=True)
+
+    sharded = ShardCoordinator(root / "sharded", shards=2,
+                               spill_rows=8192, wal=False)
+    sharded.add_all(flows)
+    sharded.flush()
+    flat = FlowStore(root / "flat", spill_rows=8192, wal=False)
+    flat.add_all(
+        [flow for part in sharded.router.split_flows(flows)
+         for flow in part]
+    )
+    flat.flush()
+
+    def run_sweep(db) -> int:
+        acc = len(db.fqdn_server_counts())
+        acc += len(db.fqdn_client_counts())
+        acc += len(db.fqdn_flow_byte_totals())
+        acc += len(db.server_flow_counts())
+        acc += len(db.fqdn_bin_pairs(600.0))
+        acc += len(db.server_fqdn_bin_triples(600.0))
+        acc += len(db.fqdn_first_seen())
+        acc += len(db.sld_flow_stats(db.tagged_rows()))
+        return acc
+
+    def run_fast():
+        return run_sweep(sharded)
+
+    def run_seed():
+        return run_sweep(flat)
+
+    assert run_fast() == run_seed()  # bit-identical before timing
+    assert sharded.fqdn_server_counts() == flat.fqdn_server_counts()
+    n_ops = 8
+    fast = best_of(run_fast, repetitions)
+    seed = best_of(run_seed, repetitions)
+    result = add_peaks({
+        "description": (
+            "Whole-store grouped-aggregation sweep, warm and "
+            "in-process: a 2-shard scatter-gather coordinator vs one "
+            "flat FlowStore over the same rows (shard-major order; "
+            "bit-identical answers asserted before timing).  On one "
+            "core the coordinator can only add fan/merge overhead, so "
+            "the ratio is machine-bound and the regression gate skips "
+            "it"
+        ),
+        "workload": {
+            "flows": n_flows, "aggregations": n_ops,
+            "shards": 2, "backend": "inprocess", "spill_rows": 8192,
+        },
+        "unit": "sweeps/s",
+        "seed_s": seed,
+        "fast_s": fast,
+        "seed_ops_per_s": n_ops / seed,
+        "fast_ops_per_s": n_ops / fast,
+        "speedup": seed / fast,
+        "gate_exempt": True,
+    }, run_fast, run_seed)
+    sharded.close()
+    flat.close()
+    return result
+
+
 # -- faithful replicas of the seed per-flow analytics loops ----------------
 # (the pre-PR 3 bodies of temporal/spatial/content/trackers/tangle,
 # operating on the retained seed row store — the apples-to-apples
@@ -1776,6 +1858,7 @@ BENCHES = {
     "flowdb_reopen_query": bench_flowdb_reopen_query,
     "flowdb_pruned_query": bench_flowdb_pruned_query,
     "flowdb_parallel_analytics": bench_flowdb_parallel_analytics,
+    "flowdb_sharded_query": bench_flowdb_sharded_query,
     "flowdb_serve_query": bench_flowdb_serve_query,
     "flowdb_serve_overload": bench_flowdb_serve_overload,
     "analytics_experiments": bench_analytics_experiments,

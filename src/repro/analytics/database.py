@@ -145,8 +145,23 @@ class FlowDatabase:
     def __new__(
         cls, spill_dir=None, spill_rows=None, spill_bytes=None,
         parallel=None, wal=None, strict=None,
+        shards=None, shard_by=None, shard_backend=None,
     ):
         if spill_dir is not None and cls is FlowDatabase:
+            if shards is not None:
+                from repro.analytics.shard import ShardCoordinator
+
+                return ShardCoordinator(
+                    spill_dir, shards=shards, by=shard_by,
+                    backend=(
+                        "inprocess" if shard_backend is None
+                        else shard_backend
+                    ),
+                    spill_rows=spill_rows, spill_bytes=spill_bytes,
+                    parallel=parallel,
+                    wal=True if wal is None else wal,
+                    strict=bool(strict),
+                )
             from repro.analytics.storage import FlowStore
 
             return FlowStore(
@@ -160,6 +175,7 @@ class FlowDatabase:
     def __init__(
         self, spill_dir=None, spill_rows=None, spill_bytes=None,
         parallel=None, wal=None, strict=None,
+        shards=None, shard_by=None, shard_backend=None,
     ) -> None:
         # spill_*/parallel/wal/strict are consumed by __new__ (which
         # builds a FlowStore and never reaches this initializer).
@@ -181,6 +197,13 @@ class FlowDatabase:
             raise TypeError(
                 "wal/strict apply to the durable store only; pass "
                 "spill_dir too (or construct FlowStore directly)"
+            )
+        if shards is not None or shard_by is not None \
+                or shard_backend is not None:
+            raise TypeError(
+                "shards/shard_by/shard_backend apply to the durable "
+                "store only; pass spill_dir too (or construct "
+                "repro.analytics.shard.ShardCoordinator directly)"
             )
         self.columns = FlowColumns()
         # Lazily-materialized record cache: object-ingested rows hold

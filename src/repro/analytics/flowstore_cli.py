@@ -45,7 +45,7 @@ from repro.analytics.storage import (
 )
 
 
-def _open_existing(directory, strict: bool = False) -> FlowStore:
+def _open_existing(directory, strict: bool = False):
     """Open a store that must already exist.
 
     ``FlowStore`` itself creates missing directories (the writer-side
@@ -53,11 +53,20 @@ def _open_existing(directory, strict: bool = False) -> FlowStore:
     an error, not a freshly-created empty store reported as healthy.
     ``strict=True`` (the ``--strict`` flag) restores hard-fail opens:
     a corrupt segment raises instead of being quarantined.
+
+    A directory carrying ``SHARDS.json`` opens as a
+    :class:`repro.analytics.shard.ShardCoordinator` over its shard
+    stores; every flat-store subcommand then reports across all
+    shards (``prune-report`` without opening any of them).
     """
     from pathlib import Path
 
+    from repro.analytics.shard import SHARDS_NAME, ShardCoordinator
+
     if not Path(directory).is_dir():
         raise StorageError(f"no flow store at {directory}")
+    if (Path(directory) / SHARDS_NAME).exists():
+        return ShardCoordinator(directory, strict=strict)
     return FlowStore(directory, strict=strict)
 
 
@@ -102,6 +111,9 @@ def _cmd_inspect(args) -> int:
         suffix = f" (segments: {breakdown}; compact upgrades)"
     print(f"flow store : {stats['directory']}")
     print(f"format     : v{stats['format']}{suffix}")
+    if stats.get("sharded"):
+        print(f"sharded    : {stats['shards']} shards "
+              f"(routing by {stats['by']})")
     print(f"health     : {stats['health']['status']}")
     print(f"rows       : {stats['rows']} "
           f"(sealed {stats['sealed_rows']}, tail {stats['tail_rows']})")
@@ -121,8 +133,12 @@ def _cmd_inspect(args) -> int:
     if stats["segments"]:
         print("\nsegments:")
         for segment in stats["segments"]:
+            where = (
+                f"shard-{segment['shard']:02d}/" if "shard" in segment
+                else ""
+            )
             print(
-                f"  {segment['name']}  v{segment['version']}  "
+                f"  {where}{segment['name']}  v{segment['version']}  "
                 f"rows={segment['rows']:<10d}"
                 f"labels={segment['labels']:<8d}bytes={segment['bytes']}"
             )
@@ -145,6 +161,11 @@ def _cmd_prune_report(args) -> int:
               file=sys.stderr)
         return 1
     if args.t0 is not None:
+        if args.t0 > args.t1:
+            # An inverted window would "prune" every segment — that is
+            # a caller bug, not a 100% prune win.
+            print("error: --t0 must be <= --t1", file=sys.stderr)
+            return 1
         window = (args.t0, args.t1)
     protocol = None
     if args.protocol is not None:
@@ -168,13 +189,32 @@ def _cmd_prune_report(args) -> int:
         protocol=protocol,
     )
     report = store.prune_report(hint)
+    total_rows = report["scanned_rows"] + report["pruned_rows"]
+    if report.get("sharded"):
+        # Manifest-only coordinator report: no segment was opened, so
+        # there is no version column and no live-tail row count (the
+        # unsealed rows live in each shard's journal, never replayed
+        # for a report).
+        for segment in report["segments"]:
+            verdict = "scan " if segment["scan"] else "prune"
+            print(
+                f"  shard-{segment['shard']:02d}/{segment['name']}  "
+                f"rows={segment['rows']:<10d}{verdict}"
+            )
+        print(
+            f"would scan {report['scanned_segments']} of "
+            f"{report['scanned_segments'] + report['pruned_segments']} "
+            f"segments across {report['shards']} shards "
+            f"({report['scanned_rows']} of {total_rows} sealed rows; "
+            f"decided from manifests alone, live tails always scanned)"
+        )
+        return 0
     for segment in report["segments"]:
         verdict = "scan " if segment["scan"] else "prune"
         print(
             f"  {segment['name']}  v{segment['version']}  "
             f"rows={segment['rows']:<10d}{verdict}"
         )
-    total_rows = report["scanned_rows"] + report["pruned_rows"]
     print(
         f"would scan {report['scanned_segments']} of "
         f"{report['scanned_segments'] + report['pruned_segments']} "
@@ -205,14 +245,22 @@ def _verify_segment(reader) -> tuple[str, int, str]:
     return reader.name, rows, problem
 
 
-def _cmd_verify(args) -> int:
-    if args.parallel is not None and args.parallel <= 0:
-        # Same contract as FlowStore(parallel=...): a zero/negative
-        # worker count is an error, not a silent serial run.
-        print("error: --parallel must be positive", file=sys.stderr)
-        return 1
-    store = _open_existing(args.directory, strict=args.strict)
-    parallel = args.parallel or 1
+def _verify_store(directory, strict: bool, parallel: int,
+                  prefix: str = "") -> tuple[int, int, int, dict]:
+    """Verify one flat store directory end to end.
+
+    Returns ``(n_segments, total_rows, bad, health)``.  On top of the
+    per-segment footer recomputation (:func:`_verify_segment`) this
+    cross-checks the *promoted* metadata copy each v2 manifest entry
+    carries against the segment footer — the copy is what
+    manifest-only pruning (sharded ``prune-report``) trusts without
+    opening the segment, so a drifted copy must fail verification.
+    """
+    from pathlib import Path
+
+    from repro.analytics.shard import _manifest_entries
+
+    store = FlowStore(directory, strict=strict)
     if parallel > 1 and len(store.segments) > 1:
         from concurrent.futures import ThreadPoolExecutor
 
@@ -220,45 +268,109 @@ def _cmd_verify(args) -> int:
             results = list(pool.map(_verify_segment, store.segments))
     else:
         results = [_verify_segment(reader) for reader in store.segments]
+    promoted = {
+        name: meta for name, _rows, meta in _manifest_entries(
+            Path(directory)
+        )
+    }
     total = 0
     bad = 0
     for (name, rows, problem), reader in zip(results, store.segments):
+        if not problem and promoted.get(name) != reader.meta:
+            problem = (
+                "manifest metadata copy does not match segment footer"
+            )
         note = "no pruning metadata (v1 segment)" if (
             reader.meta is None
         ) else "metadata ok"
         if problem:
             bad += 1
-            print(f"  {name}: {rows} rows, ERROR: {problem}")
+            print(f"  {prefix}{name}: {rows} rows, ERROR: {problem}")
         else:
-            print(f"  {name}: {rows} rows ok, {note}")
+            print(f"  {prefix}{name}: {rows} rows ok, {note}")
         total += rows
     health = store.health()
     _print_health(health)
+    store.close()
+    return len(store.segments), total, bad, health
+
+
+def _cmd_verify(args) -> int:
+    if args.parallel is not None and args.parallel <= 0:
+        # Same contract as FlowStore(parallel=...): a zero/negative
+        # worker count is an error, not a silent serial run.
+        print("error: --parallel must be positive", file=sys.stderr)
+        return 1
+    from pathlib import Path
+
+    from repro.analytics.shard import SHARDS_NAME, ShardCoordinator
+
+    if not Path(args.directory).is_dir():
+        raise StorageError(f"no flow store at {args.directory}")
+    parallel = args.parallel or 1
+    if (Path(args.directory) / SHARDS_NAME).exists():
+        # Sharded root: verify every shard store in turn (each is a
+        # complete FlowStore with its own manifest and journal).
+        coordinator = ShardCoordinator(args.directory, strict=args.strict)
+        targets = [
+            (coordinator.shard_directory(index), f"shard-{index:02d}/")
+            for index in range(coordinator.shards)
+        ]
+        coordinator.close()
+    else:
+        targets = [(args.directory, "")]
+    n_segments = total = bad = 0
+    quarantined = skipped = 0
+    degraded = False
+    for directory, prefix in targets:
+        if prefix and not Path(directory).is_dir():
+            # A shard no ingest has reached yet: an empty store, fine.
+            print(f"  {prefix}(empty shard, nothing sealed)")
+            continue
+        segments, rows, store_bad, health = _verify_store(
+            directory, args.strict, parallel, prefix
+        )
+        n_segments += segments
+        total += rows
+        bad += store_bad
+        degraded = degraded or health["status"] != "ok"
+        quarantined += len(health["quarantined_segments"])
+        skipped += health["wal"]["skipped_records"]
     if bad:
         print(
-            f"error: {bad} of {len(store.segments)} segments failed "
+            f"error: {bad} of {n_segments} segments failed "
             f"metadata verification",
             file=sys.stderr,
         )
         return 1
-    if health["status"] != "ok":
+    if degraded:
         # The surviving segments verified clean, but sealed data is
         # missing (quarantined segment / unplayable journal record) —
         # a verification pass must not report such a store healthy.
         print(
             f"error: store is degraded "
-            f"({len(health['quarantined_segments'])} quarantined "
-            f"segments, {health['wal']['skipped_records']} skipped "
+            f"({quarantined} quarantined "
+            f"segments, {skipped} skipped "
             f"journal records)",
             file=sys.stderr,
         )
         return 1
-    print(f"verified {len(store.segments)} segments, {total} rows")
+    print(f"verified {n_segments} segments, {total} rows")
     return 0
 
 
 def _cmd_compact(args) -> int:
     store = _open_existing(args.directory, strict=args.strict)
+    if getattr(store, "sharded", False):
+        before = len(store.stats()["segments"])
+        removed = store.compact(small_rows=args.small_rows)
+        after = len(store.stats()["segments"])
+        store.close()
+        print(
+            f"compacted {before} segments -> {after} across "
+            f"{store.shards} shards ({removed} files merged away)"
+        )
+        return 0
     before = len(store.segments)
     removed = store.compact(small_rows=args.small_rows)
     print(
@@ -276,9 +388,13 @@ def _cmd_ingest_trace(args) -> int:
     from repro.experiments.datasets import DEFAULT_CLIST, DEFAULT_SEED, get_trace
     from repro.sniffer.pipeline import SnifferPipeline
 
+    from repro.analytics.shard import SHARDS_NAME, ShardCoordinator
+
     seed = DEFAULT_SEED if args.seed is None else args.seed
     directory = Path(args.directory) / args.trace
-    if (directory / "MANIFEST.json").exists():
+    if (directory / "MANIFEST.json").exists() or (
+        directory / SHARDS_NAME
+    ).exists():
         # Appending to an existing store would silently double every
         # flow count the experiments read.
         if not args.force:
@@ -290,7 +406,12 @@ def _cmd_ingest_trace(args) -> int:
             return 1
         shutil.rmtree(directory)
     trace = get_trace(args.trace, seed)
-    store = FlowStore(directory, spill_rows=args.spill_rows)
+    if args.shards is not None:
+        store = ShardCoordinator(
+            directory, shards=args.shards, spill_rows=args.spill_rows
+        )
+    else:
+        store = FlowStore(directory, spill_rows=args.spill_rows)
     # Sidecar first, marked in-progress: a crash mid-ingest leaves a
     # store with committed segments but only part of the trace, and
     # repro-exp must refuse it rather than compute figures from a
@@ -418,6 +539,11 @@ def main(argv: list[str] | None = None) -> int:
     ingest.add_argument(
         "--spill-rows", type=int, default=65536,
         help="rows per spilled segment (default 65536)",
+    )
+    ingest.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="persist as an N-shard store (client-address routing) "
+             "instead of one flat FlowStore",
     )
     ingest.add_argument(
         "--force", action="store_true",

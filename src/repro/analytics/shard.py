@@ -1,0 +1,1378 @@
+"""Sharded Flow Database: a scatter-gather coordinator over N FlowStores.
+
+One :class:`FlowStore` scales until a single directory's segment scan —
+or a single Python process — becomes the bottleneck.  This module
+splits the store horizontally instead: a :class:`ShardRouter` assigns
+every ingested event to one of *N* shards (by client address, the
+paper's natural per-user partition, or by time), each shard is a full
+:class:`FlowStore` — WAL, quarantine, snapshot pins and footer
+metadata all intact — and a :class:`ShardCoordinator` fans every query
+out to all shards and merges the partial results **bit-identically**
+to one flat store holding the same rows.
+
+Topology::
+
+    ShardCoordinator(root/)           SHARDS.json   (fixed topology)
+      |- shard-00/                    a complete FlowStore
+      |    |- MANIFEST.json  tail.wal  seg-*.fseg  quarantine/
+      |- shard-01/
+      |- ...
+
+Two execution backends share one op protocol (:func:`_shard_execute`):
+
+* ``backend="inprocess"`` keeps all N stores in this process — the
+  default, zero extra moving parts;
+* ``backend="process"`` runs one OS process per shard over a duplex
+  pipe (the ``repro.sniffer.fanout`` discipline), which doubles as a
+  process-pool rescue for ``parallel=N`` deployments where the GIL —
+  or a missing numpy — makes the flat store's thread pool useless.
+
+Merge contract
+--------------
+
+The coordinator's global row space is the shard-major concatenation
+``shard-00 rows ++ shard-01 rows ++ ...``.  Every query result equals
+the same query against one flat ``FlowStore`` that ingested the rows
+in that shard-major order (the differential suite in
+``tests/test_shard_differential.py`` enforces this property, with and
+without numpy).  Two sharding-specific caveats:
+
+* global row indices are positions in the concatenation, so they are
+  stable only while no ingest runs (a flat store only ever appends at
+  the end; a sharded one grows every shard's slice in place);
+* interned fqdn/sld ids follow *query-time* first-appearance order
+  over the shard-major label tables, which equals the flat store's
+  order once the store is quiescent.  Under interleaved multi-round
+  ingest the id *assignment* may differ while every id↔label mapping
+  stays consistent — compare name-keyed surfaces in that regime.
+
+Manifest-only pruning
+---------------------
+
+``prune_report`` answers "which segments would this hint scan" from
+the shards' ``MANIFEST.json`` files alone: the v2 manifest carries a
+verified copy of every segment footer's pruning metadata
+(:meth:`SegmentMeta.from_manifest`), so the report opens **zero**
+segment files — the backend is not even started.  That is what makes
+the report safe to run against a store another process is serving.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+from array import array
+from bisect import bisect_right
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.analytics import database as _dbmod
+from repro.analytics.database import FlowDatabase
+from repro.analytics.storage import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    FlowStore,
+    QueryHint,
+    SegmentMeta,
+    StorageError,
+    _le_np,
+    _StoreReadMixin,
+    _write_file_atomic,
+)
+from repro.net.flow import DnsObservation, FlowRecord, Protocol
+from repro.sniffer.eventcodec import PROTOCOLS, BatchEncoder, decode_events
+from repro.sniffer.sharding import shard_of
+
+SHARDS_NAME = "SHARDS.json"
+SHARDS_FORMAT = 1
+
+#: Default bucket width (seconds) for ``by="time"`` routing — one hour,
+#: the granularity of the paper's per-hour traffic breakdowns.
+DEFAULT_TIME_WINDOW = 3600.0
+
+_ROUTING_KEYS = ("client", "time")
+
+
+class ShardError(StorageError):
+    """A shard backend failed structurally (dead worker, bad reply)."""
+
+
+# ---------------------------------------------------------------------------
+# routing
+
+
+class ShardRouter:
+    """Deterministic event→shard assignment.
+
+    ``by="client"`` routes on the low client-address byte
+    (:func:`repro.sniffer.sharding.shard_of` — the same hash the live
+    capture fan-out uses, so a sniffer shard and a store shard can be
+    pinned one-to-one).  ``by="time"`` routes on the flow start (DNS:
+    observation timestamp) bucketed into ``time_window``-second strides.
+    """
+
+    __slots__ = ("shards", "by", "time_window")
+
+    def __init__(self, shards: int, by: str = "client",
+                 time_window: float = DEFAULT_TIME_WINDOW):
+        if not isinstance(shards, int) or shards < 1:
+            raise StorageError(f"shards must be a positive int, not {shards!r}")
+        if by not in _ROUTING_KEYS:
+            raise StorageError(
+                f"unknown routing key {by!r} (expected one of {_ROUTING_KEYS})"
+            )
+        if not time_window > 0:
+            raise StorageError("time_window must be positive")
+        self.shards = shards
+        self.by = by
+        self.time_window = float(time_window)
+
+    def shard_for(self, event) -> int:
+        """Shard index of one :class:`FlowRecord` / :class:`DnsObservation`."""
+        if self.by == "client":
+            client_ip = (
+                event.fid.client_ip if isinstance(event, FlowRecord)
+                else event.client_ip
+            )
+            return shard_of(client_ip, self.shards)
+        timestamp = (
+            event.start if isinstance(event, FlowRecord) else event.timestamp
+        )
+        return int(timestamp // self.time_window) % self.shards
+
+    def split_flows(self, flows: Iterable[FlowRecord]) -> list[list[FlowRecord]]:
+        """Partition a flow iterable into per-shard lists, order kept."""
+        out: list[list[FlowRecord]] = [[] for _ in range(self.shards)]
+        for flow in flows:
+            out[self.shard_for(flow)].append(flow)
+        return out
+
+    def split_batch(self, payload) -> list[bytes]:
+        """Re-encode one eventcodec batch into per-shard batches.
+
+        Event order within a shard is preserved; an empty shard gets a
+        valid zero-event batch (``ingest_batch`` of it is a no-op).
+        """
+        encoders = [BatchEncoder() for _ in range(self.shards)]
+        for event in decode_events(payload):
+            encoders[self.shard_for(event)].add(event)
+        return [encoder.take() for encoder in encoders]
+
+    def config(self) -> dict:
+        return {
+            "format": SHARDS_FORMAT,
+            "shards": self.shards,
+            "by": self.by,
+            "time_window": self.time_window,
+        }
+
+
+# ---------------------------------------------------------------------------
+# the per-shard op protocol (shared by both backends)
+
+# Ops dispatched straight to the FlowStore method of the same name with
+# the request args.  Anything not listed here (and not in _SPECIAL_OPS)
+# is rejected — the worker never getattr()s an arbitrary request string.
+_PLAIN_OPS = frozenset({
+    # ingest / lifecycle
+    "add_all", "ingest_batch", "flush", "compact", "stats", "health",
+    # row-index views
+    "rows_for_fqdn", "rows_for_domain", "rows_for_port", "rows_in_window",
+    "tagged_rows",
+    # record queries
+    "query_by_fqdn", "query_by_domain", "query_by_port", "query_in_window",
+    # aggregate views
+    "servers_for_fqdn", "servers_for_domain", "fqdns_for_servers",
+    "fqdns_for_rows", "servers", "ports", "count_by_protocol", "time_span",
+    "server_bins_for_fqdn",
+    # grouped aggregations (fqdn ids in results are shard-local;
+    # the coordinator remaps them through its per-shard id maps)
+    "fqdn_server_counts", "fqdn_client_counts", "fqdn_flow_byte_totals",
+    "server_flow_counts", "fqdn_first_seen", "fqdn_bin_pairs",
+    "server_fqdn_bin_triples",
+})
+
+
+def _op_server_row_chunks(store: FlowStore, order: Sequence[int]) -> dict:
+    """Per-server local row chunks for an already-deduped address list.
+
+    ``rows_for_servers`` is server-major and ``server_flow_counts``
+    counts the same predicate, so the flat concatenation splits back
+    into exact per-server chunks without any private kernel.
+    """
+    rows = store.rows_for_servers(order)
+    counts = store.server_flow_counts()
+    chunks: dict[int, array] = {}
+    position = 0
+    for server in order:
+        n = counts.get(server, 0)
+        if n:
+            chunks[server] = rows[position:position + n]
+        position += n
+    return chunks
+
+
+def _op_server_record_chunks(store: FlowStore, order: Sequence[int]) -> dict:
+    records = store.query_by_servers(order)
+    counts = store.server_flow_counts()
+    chunks: dict[int, list[FlowRecord]] = {}
+    position = 0
+    for server in order:
+        n = counts.get(server, 0)
+        if n:
+            chunks[server] = records[position:position + n]
+        position += n
+    return chunks
+
+
+def _op_domain_bin_pairs(store: FlowStore, sld: str,
+                         bin_seconds: float) -> set[tuple[int, int]]:
+    """Deduped ``(bin_index, server_ip)`` pairs for one 2LD — the
+    mergeable primitive behind ``unique_servers_per_bin`` (distinct
+    counts cannot merge across shards; the pairs can).  The binning
+    matches ``FlowDatabase.bin_server_pairs`` (floor division on the
+    stored start)."""
+    return {
+        (int(record.start // bin_seconds), record.fid.server_ip)
+        for record in store.query_by_domain(sld)
+    }
+
+
+_SPECIAL_OPS = {
+    "ping": lambda store: None,
+    "tagged_count": lambda store: store.tagged_count,
+    "all_records": lambda store: list(store),
+    "server_row_chunks": _op_server_row_chunks,
+    "server_record_chunks": _op_server_record_chunks,
+    "domain_bin_pairs": _op_domain_bin_pairs,
+}
+
+
+def _shard_execute(store: FlowStore, op: str, args: tuple,
+                   known_fqdns: int, known_slds: int) -> dict:
+    """Run one op against one shard store and describe the outcome.
+
+    Every reply piggybacks the shard's label-table growth since the
+    coordinator's last sync (``known_fqdns``/``known_slds`` are the
+    lengths it has already absorbed) plus the current row count — the
+    coordinator needs both to remap shard-local ids and to place the
+    shard's slice in the global row space.  The label capture runs
+    *after* the op, so any label the op itself interned (a live tail
+    sync) is already included.
+    """
+    handler = _SPECIAL_OPS.get(op)
+    if handler is not None:
+        result = handler(store, *args)
+    elif op in _PLAIN_OPS:
+        result = getattr(store, op)(*args)
+    else:
+        raise StorageError(f"unknown shard op {op!r}")
+    fqdns = store.fqdns()
+    slds = store.slds()
+    return {
+        "result": result,
+        "new_fqdns": fqdns[known_fqdns:],
+        "new_slds": slds[known_slds:],
+        "n_rows": len(store),
+    }
+
+
+# ---------------------------------------------------------------------------
+# backends
+
+
+class _InProcessBackend:
+    """All N shard stores live in this process; requests run serially
+    in shard order (each store still applies its own ``parallel``
+    thread pool to its own segments)."""
+
+    kind = "inprocess"
+
+    def __init__(self, directories: Sequence[Path], store_kwargs: dict):
+        self.stores: list[FlowStore] = []
+        try:
+            for directory in directories:
+                self.stores.append(FlowStore(directory, **store_kwargs))
+        except BaseException:
+            self.close()
+            raise
+
+    def request_all(self, requests: Sequence[tuple]) -> list[dict]:
+        return [
+            _shard_execute(store, *request)
+            for store, request in zip(self.stores, requests)
+        ]
+
+    def close(self) -> None:
+        for store in self.stores:
+            store.close()
+        self.stores = []
+
+
+def _shard_worker_main(conn, directory: str, store_kwargs: dict) -> None:
+    """One shard's process: open the store, answer ops until EOF/stop.
+
+    Startup is handshaked — ``("ready", None)`` or ``("fatal", msg)`` —
+    so an open failure (e.g. ``strict=True`` over a quarantined shard)
+    surfaces as a :class:`ShardError` in the parent instead of a bare
+    dead pipe.  A ``None`` request is the stop signal: seal the tail,
+    close the store, acknowledge, exit.
+    """
+    store = None
+    try:
+        try:
+            store = FlowStore(directory, **store_kwargs)
+        except Exception as exc:
+            conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
+            return
+        conn.send(("ready", None))
+        while True:
+            try:
+                request = conn.recv()
+            except EOFError:
+                return
+            if request is None:
+                store.close()
+                store = None
+                try:
+                    conn.send(("ok", None))
+                except OSError:
+                    pass
+                return
+            op, args, known_fqdns, known_slds = request
+            try:
+                reply = (
+                    "ok", _shard_execute(store, op, args,
+                                         known_fqdns, known_slds),
+                )
+            except Exception as exc:
+                reply = ("err", f"{type(exc).__name__}: {exc}")
+            conn.send(reply)
+    finally:
+        if store is not None:
+            try:
+                store.close()
+            except Exception:
+                pass
+        conn.close()
+
+
+class _ProcessBackend:
+    """One OS process per shard over a duplex pipe (the ``fanout``
+    worker discipline): pickled ``(op, args, known_fqdns, known_slds)``
+    requests down, ``("ok", reply)`` / ``("err", message)`` up.
+
+    ``fork`` is preferred when available so a worker inherits the
+    parent's runtime state (notably ``repro.analytics.database._np``
+    gating — the no-numpy differential legs depend on it)."""
+
+    kind = "process"
+
+    def __init__(self, directories: Sequence[Path], store_kwargs: dict,
+                 start_method: Optional[str] = None):
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        ctx = multiprocessing.get_context(start_method)
+        self._procs: list = []
+        self._conns: list = []
+        try:
+            for index, directory in enumerate(directories):
+                parent, child = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child, str(directory), dict(store_kwargs)),
+                    name=f"flowstore-shard-{index:02d}",
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._procs.append(proc)
+                self._conns.append(parent)
+            for index, conn in enumerate(self._conns):
+                try:
+                    status, payload = conn.recv()
+                except EOFError:
+                    raise self._dead(index) from None
+                if status != "ready":
+                    raise ShardError(f"shard {index}: {payload}")
+        except BaseException:
+            self.close()
+            raise
+
+    def _dead(self, index: int) -> ShardError:
+        exitcode = self._procs[index].exitcode
+        return ShardError(
+            f"shard worker {index} died (exitcode {exitcode})"
+        )
+
+    def request_all(self, requests: Sequence[tuple]) -> list[dict]:
+        for conn, request in zip(self._conns, requests):
+            try:
+                conn.send(request)
+            except OSError as exc:
+                raise ShardError(f"shard pipe broken: {exc}") from exc
+        replies: list = []
+        first_error: Optional[str] = None
+        # Drain every pipe before raising, so one failed shard cannot
+        # desynchronize the request/reply framing of the others.
+        for index, conn in enumerate(self._conns):
+            try:
+                status, payload = conn.recv()
+            except EOFError:
+                raise self._dead(index) from None
+            if status == "err":
+                if first_error is None:
+                    first_error = f"shard {index}: {payload}"
+                replies.append(None)
+            else:
+                replies.append(payload)
+        if first_error is not None:
+            raise ShardError(first_error)
+        return replies
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+                try:
+                    conn.recv()
+                except EOFError:
+                    pass
+            except OSError:
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5)
+        self._procs = []
+        self._conns = []
+
+
+_BACKENDS = {"inprocess": _InProcessBackend, "process": _ProcessBackend}
+
+
+# ---------------------------------------------------------------------------
+# serve-layer duck typing
+
+
+class _Gauge:
+    """``len()``-able stand-in for the private collections the serve
+    layer's metric lambdas read off a flat :class:`FlowStore`
+    (``_tail``, ``_segments``, ``_quarantined``, ``_retired``).
+    Refreshed from the per-shard payloads on every ``stats()`` /
+    ``health()`` fan, so ``/metrics`` lags at most one scrape's
+    ``/health`` poll."""
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
+
+    def __len__(self) -> int:
+        return self.n
+
+
+class CoordinatorSnapshot:
+    """The coordinator's answer to :meth:`FlowStore.pin`.
+
+    A flat store's snapshot freezes the segment list; the coordinator
+    delegates every read to the live coordinator instead — each fanned
+    query still executes over per-shard :meth:`_view` captures, so a
+    single query is internally consistent, but two reads through one
+    snapshot may observe different generations if ingest runs between
+    them.  That weaker isolation is exactly what the serve layer's
+    per-request pin can tolerate (one query per pin).
+    """
+
+    __slots__ = ("_coordinator", "cancel_token")
+
+    def __init__(self, coordinator: "ShardCoordinator"):
+        self._coordinator = coordinator
+        self.cancel_token = None
+
+    def __getattr__(self, name):
+        return getattr(self._coordinator, name)
+
+    def __len__(self) -> int:
+        return len(self._coordinator)
+
+    def __iter__(self):
+        return iter(self._coordinator)
+
+    @property
+    def released(self) -> bool:
+        return False
+
+    def close(self) -> None:
+        return None
+
+    def __enter__(self) -> "CoordinatorSnapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# the coordinator
+
+
+class ShardCoordinator:
+    """Scatter-gather façade over N shard FlowStores (see module doc).
+
+    Construction is cheap and lazy: shard stores (or worker processes)
+    start on the first fanned operation, so metadata-only paths —
+    :meth:`prune_report` above all — never open a single segment file.
+    The public query surface mirrors :class:`_StoreReadMixin` method
+    for method and merges per-shard partials with the same arithmetic
+    the flat store applies to per-segment partials.
+    """
+
+    #: Duck-typing discriminator for callers (CLI, serve) that treat a
+    #: flat FlowStore and a coordinator through one variable.
+    sharded = True
+
+    def __init__(self, directory, shards: Optional[int] = None,
+                 by: Optional[str] = None,
+                 time_window: Optional[float] = None,
+                 backend: str = "inprocess",
+                 start_method: Optional[str] = None,
+                 spill_rows: Optional[int] = None,
+                 spill_bytes: Optional[int] = None,
+                 cache_segments: bool = True,
+                 parallel: Optional[int] = None,
+                 prune: bool = True,
+                 wal: bool = True, wal_sync: bool = True,
+                 strict: bool = False):
+        if backend not in _BACKENDS:
+            raise StorageError(
+                f"unknown shard backend {backend!r} "
+                f"(expected one of {tuple(_BACKENDS)})"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.router = self._load_or_create_topology(shards, by, time_window)
+        self.shards = self.router.shards
+        self.backend_kind = backend
+        self.prune = bool(prune)
+        self._start_method = start_method
+        self._store_kwargs = {
+            "spill_rows": spill_rows,
+            "spill_bytes": spill_bytes,
+            "cache_segments": cache_segments,
+            "parallel": parallel,
+            "prune": prune,
+            "wal": wal,
+            "wal_sync": wal_sync,
+            "strict": strict,
+        }
+        self._backend = None
+        self._closed = False
+        self._lock = threading.RLock()
+        # Coordinator-global label tables: one FlowDatabase used purely
+        # as an interner, fed shard-major so quiescent id order matches
+        # the flat oracle's.  _fqdn_maps[k][local_id] -> global id.
+        self._interns = FlowDatabase()
+        self._fqdn_maps: list[list[int]] = [[] for _ in range(self.shards)]
+        self._sld_maps: list[list[int]] = [[] for _ in range(self.shards)]
+        self._known_fqdns = [0] * self.shards
+        self._known_slds = [0] * self.shards
+        self._rows = [0] * self.shards
+        # Serve-layer gauges (see _Gauge) and live metric dicts — the
+        # /metrics registration captures these objects once, so they
+        # must be stable and refreshed in place.
+        self._tail = _Gauge()
+        self._segments = _Gauge()
+        self._quarantined = _Gauge()
+        self._retired = _Gauge()
+        self._pins: dict = {}
+        self._scan_stats = {
+            "queries": 0, "segments_scanned": 0, "segments_pruned": 0,
+        }
+        self._wal_report: dict = {}
+        self._generation = 0
+        self._wal_epoch = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def _load_or_create_topology(self, shards, by, time_window) -> ShardRouter:
+        path = self.directory / SHARDS_NAME
+        if path.exists():
+            try:
+                config = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError) as exc:
+                raise StorageError(
+                    f"unreadable shard topology {path}: {exc}"
+                ) from exc
+            if (
+                not isinstance(config, dict)
+                or config.get("format") != SHARDS_FORMAT
+            ):
+                raise StorageError(f"unsupported shard topology {path}")
+            router = ShardRouter(
+                config.get("shards"), config.get("by", "client"),
+                config.get("time_window", DEFAULT_TIME_WINDOW),
+            )
+            # The on-disk topology is authoritative: rows were routed
+            # with it, so opening with different parameters would
+            # silently misroute every future ingest.
+            if shards is not None and shards != router.shards:
+                raise StorageError(
+                    f"store at {self.directory} has {router.shards} "
+                    f"shards, not {shards}"
+                )
+            if by is not None and by != router.by:
+                raise StorageError(
+                    f"store at {self.directory} routes by "
+                    f"{router.by!r}, not {by!r}"
+                )
+            return router
+        if shards is None:
+            raise StorageError(
+                f"no shard topology at {path}; pass shards=N to create one"
+            )
+        router = ShardRouter(
+            shards, by if by is not None else "client",
+            time_window if time_window is not None else DEFAULT_TIME_WINDOW,
+        )
+        payload = json.dumps(router.config(), indent=2) + "\n"
+        _write_file_atomic(path, payload.encode("utf-8"), "shard topology")
+        return router
+
+    def shard_directory(self, index: int) -> Path:
+        return self.directory / f"shard-{index:02d}"
+
+    # -- fan plumbing ------------------------------------------------------
+
+    def _ensure_backend(self):
+        if self._closed:
+            raise StorageError("coordinator is closed")
+        if self._backend is None:
+            directories = [
+                self.shard_directory(k) for k in range(self.shards)
+            ]
+            factory = _BACKENDS[self.backend_kind]
+            if self.backend_kind == "process":
+                self._backend = factory(
+                    directories, self._store_kwargs, self._start_method
+                )
+            else:
+                self._backend = factory(directories, self._store_kwargs)
+        return self._backend
+
+    def _absorb(self, index: int, reply: dict) -> None:
+        """Fold one shard reply's label growth and row count into the
+        coordinator tables (shard-major callers preserve global
+        first-appearance order)."""
+        self._rows[index] = reply["n_rows"]
+        interns = self._interns
+        fqdn_map = self._fqdn_maps[index]
+        for name in reply["new_fqdns"]:
+            fqdn_map.append(interns._intern_fqdn(name))
+        self._known_fqdns[index] += len(reply["new_fqdns"])
+        sld_map = self._sld_maps[index]
+        for name in reply["new_slds"]:
+            # Every sld enters the interner through some fqdn above,
+            # so the lookup cannot miss for store-produced tables.
+            sld_id = interns._sld_ids.get(name)
+            if sld_id is None:  # pragma: no cover - defensive
+                sld_id = len(interns._sld_names)
+                interns._sld_ids[name] = sld_id
+                interns._sld_names.append(name)
+                interns._by_sld[sld_id] = array("I")
+                interns._sld_fqdns.append(array("i"))
+            sld_map.append(sld_id)
+        self._known_slds[index] += len(reply["new_slds"])
+
+    def _fan(self, op: str, args: tuple = (),
+             per_shard_args: Optional[Sequence[tuple]] = None) -> list:
+        """Send one op to every shard, absorb replies in shard order,
+        return the per-shard results (shard order)."""
+        with self._lock:
+            backend = self._ensure_backend()
+            requests = [
+                (
+                    op,
+                    per_shard_args[k] if per_shard_args is not None else args,
+                    self._known_fqdns[k],
+                    self._known_slds[k],
+                )
+                for k in range(self.shards)
+            ]
+            replies = backend.request_all(requests)
+            results = []
+            for index, reply in enumerate(replies):
+                self._absorb(index, reply)
+                results.append(reply["result"])
+            return results
+
+    def _bases(self) -> list[int]:
+        bases, total = [], 0
+        for n_rows in self._rows:
+            bases.append(total)
+            total += n_rows
+        return bases
+
+    def _split_global_rows(self, rows) -> list[array]:
+        """Partition global row indices into per-shard local rows
+        (the sharded analogue of ``_StoreReadMixin._split_rows``)."""
+        bases = self._bases()
+        ends = [bases[k] + self._rows[k] for k in range(self.shards)]
+        out = [array("I") for _ in range(self.shards)]
+        if rows is None or not len(rows):
+            return out
+        np = _dbmod._np
+        if np is not None:
+            taken = (
+                np.frombuffer(rows, np.uint32)
+                if isinstance(rows, array)
+                else np.asarray(rows, np.uint32)
+            )
+            which = np.searchsorted(
+                np.asarray(bases, np.int64), taken, side="right"
+            ) - 1
+            for index in range(self.shards):
+                mask = which == index
+                if mask.any():
+                    local = taken[mask] - bases[index]
+                    out[index].frombytes(_le_np(local, np.uint32))
+            return out
+        for row in rows:
+            index = bisect_right(bases, row) - 1
+            if 0 <= index < len(bases) and row < ends[index]:
+                out[index].append(row - bases[index])
+        return out
+
+    def _fan_rows(self, op: str, rows) -> list:
+        """Fan a grouped aggregation that takes an optional global row
+        set: ``rows=None`` fans as-is, otherwise each shard gets its
+        local slice of the split."""
+        if rows is None:
+            return self._fan(op, (None,))
+        split = self._split_global_rows(rows)
+        return self._fan(op, per_shard_args=[(split[k],)
+                                             for k in range(self.shards)])
+
+    def _concat_offset(self, parts: Sequence) -> array:
+        """Shard-major concatenation of per-shard local row arrays,
+        offset into the global row space."""
+        bases = self._bases()
+        out = array("I")
+        for index, part in enumerate(parts):
+            _StoreReadMixin._extend_offset(out, part, bases[index])
+        return out
+
+    # -- ingestion ---------------------------------------------------------
+
+    def add(self, flow: FlowRecord) -> None:
+        """Insert one flow into its home shard."""
+        target = self.router.shard_for(flow)
+        self._fan("add_all", per_shard_args=[
+            ([flow] if k == target else [],) for k in range(self.shards)
+        ])
+
+    def add_all(self, flows: Iterable[FlowRecord]) -> None:
+        """Route and insert a flow iterable (one fan, order kept
+        within each shard)."""
+        split = self.router.split_flows(flows)
+        self._fan("add_all", per_shard_args=[(split[k],)
+                                             for k in range(self.shards)])
+
+    def ingest_batch(self, payload) -> int:
+        """Split one eventcodec batch across the shards; returns the
+        total number of flows ingested."""
+        payloads = self.router.split_batch(payload)
+        counts = self._fan("ingest_batch", per_shard_args=[
+            (payloads[k],) for k in range(self.shards)
+        ])
+        return sum(counts)
+
+    def flush(self) -> list:
+        """Seal every shard's tail; per-shard new segment names
+        (``None`` where a tail was empty)."""
+        return self._fan("flush")
+
+    def compact(self, small_rows: Optional[int] = None) -> int:
+        """Compact every shard; total segments removed."""
+        return sum(self._fan("compact", (small_rows,)))
+
+    def close(self) -> None:
+        with self._lock:
+            if self._backend is not None:
+                self._backend.close()
+                self._backend = None
+            self._closed = True
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- pinning (serve-layer surface) -------------------------------------
+
+    def pin(self) -> CoordinatorSnapshot:
+        return CoordinatorSnapshot(self)
+
+    def unpin(self, snapshot: CoordinatorSnapshot) -> None:
+        return None
+
+    # -- interned label tables --------------------------------------------
+
+    def fqdn_label(self, fqdn_id: int) -> str:
+        return self._interns._fqdn_names[fqdn_id]
+
+    def sld_label(self, sld_id: int) -> str:
+        return self._interns._sld_names[sld_id]
+
+    def sld_of_fqdn(self, fqdn_id: int) -> int:
+        return self._interns._fqdn_sld[fqdn_id]
+
+    def fqdns(self) -> list[str]:
+        """All distinct labels, shard-major first-appearance order."""
+        self._fan("ping")
+        with self._lock:
+            return list(self._interns._fqdn_names)
+
+    def slds(self) -> list[str]:
+        self._fan("ping")
+        with self._lock:
+            return list(self._interns._sld_names)
+
+    def fqdns_for_domain(self, sld: str) -> set[str]:
+        self._fan("ping")
+        with self._lock:
+            interns = self._interns
+            sld_id = interns._sld_ids.get(sld.lower())
+            if sld_id is None:
+                return set()
+            names = interns._fqdn_names
+            return {
+                names[fqdn_id] for fqdn_id in interns._sld_fqdns[sld_id]
+            }
+
+    def servers(self) -> list[int]:
+        seen: dict[int, None] = {}
+        for part in self._fan("servers"):
+            for server in part:
+                if server not in seen:
+                    seen[server] = None
+        return list(seen)
+
+    def ports(self) -> list[int]:
+        seen: dict[int, None] = {}
+        for part in self._fan("ports"):
+            for port in part:
+                if port not in seen:
+                    seen[port] = None
+        return list(seen)
+
+    # -- row-index views ---------------------------------------------------
+
+    def rows_for_fqdn(self, fqdn: str) -> Sequence[int]:
+        return self._concat_offset(self._fan("rows_for_fqdn", (fqdn,)))
+
+    def rows_for_domain(self, sld: str) -> Sequence[int]:
+        return self._concat_offset(self._fan("rows_for_domain", (sld,)))
+
+    def rows_for_port(self, dst_port: int) -> Sequence[int]:
+        return self._concat_offset(self._fan("rows_for_port", (dst_port,)))
+
+    def rows_in_window(self, t0: float, t1: float) -> Sequence[int]:
+        return self._concat_offset(self._fan("rows_in_window", (t0, t1)))
+
+    def tagged_rows(self) -> Sequence[int]:
+        return self._concat_offset(self._fan("tagged_rows"))
+
+    def rows_for_servers(self, servers: Iterable[int]) -> Sequence[int]:
+        """Server-major concatenated global rows (flat-store order:
+        probe order outermost, then shard-major row order within one
+        server)."""
+        order = list(dict.fromkeys(servers))
+        parts = self._fan("server_row_chunks", (order,))
+        bases = self._bases()
+        out = array("I")
+        for server in order:
+            for index, part in enumerate(parts):
+                chunk = part.get(server)
+                if chunk is not None:
+                    _StoreReadMixin._extend_offset(out, chunk, bases[index])
+        return out
+
+    # -- record queries ----------------------------------------------------
+
+    def _concat_lists(self, parts: Sequence[list]) -> list:
+        out: list = []
+        for part in parts:
+            out.extend(part)
+        return out
+
+    def query_by_fqdn(self, fqdn: str) -> list[FlowRecord]:
+        return self._concat_lists(self._fan("query_by_fqdn", (fqdn,)))
+
+    def query_by_domain(self, sld: str) -> list[FlowRecord]:
+        return self._concat_lists(self._fan("query_by_domain", (sld,)))
+
+    def query_by_port(self, dst_port: int) -> list[FlowRecord]:
+        return self._concat_lists(self._fan("query_by_port", (dst_port,)))
+
+    def query_in_window(self, t0: float, t1: float) -> list[FlowRecord]:
+        return self._concat_lists(self._fan("query_in_window", (t0, t1)))
+
+    def query_by_servers(self, servers: Iterable[int]) -> list[FlowRecord]:
+        order = list(dict.fromkeys(servers))
+        parts = self._fan("server_record_chunks", (order,))
+        out: list[FlowRecord] = []
+        for server in order:
+            for part in parts:
+                chunk = part.get(server)
+                if chunk is not None:
+                    out.extend(chunk)
+        return out
+
+    # -- aggregate views ---------------------------------------------------
+
+    def servers_for_fqdn(self, fqdn: str) -> set[int]:
+        out: set[int] = set()
+        for part in self._fan("servers_for_fqdn", (fqdn,)):
+            out |= part
+        return out
+
+    def servers_for_domain(self, sld: str) -> set[int]:
+        out: set[int] = set()
+        for part in self._fan("servers_for_domain", (sld,)):
+            out |= part
+        return out
+
+    def fqdns_for_servers(self, servers: Iterable[int]) -> set[str]:
+        order = list(dict.fromkeys(servers))
+        out: set[str] = set()
+        for part in self._fan("fqdns_for_servers", (order,)):
+            out |= part
+        return out
+
+    def fqdns_for_rows(self, rows) -> set[str]:
+        out: set[str] = set()
+        for part in self._fan_rows("fqdns_for_rows", rows):
+            out |= part
+        return out
+
+    # -- grouped aggregations ----------------------------------------------
+
+    def _merged_triples(self, op: str, rows) -> list[tuple]:
+        """Sharded analogue of ``_StoreReadMixin._merged_pairs``:
+        remap shard-local fqdn ids, then the same dict-sum merge."""
+        parts = self._fan_rows(op, rows)
+        merged: dict[tuple[int, int], int] = {}
+        for index, part in enumerate(parts):
+            fqdn_map = self._fqdn_maps[index]
+            for fqdn_id, value, count in part:
+                key = (fqdn_map[fqdn_id], value)
+                merged[key] = merged.get(key, 0) + count
+        return [
+            (fqdn_id, value, count)
+            for (fqdn_id, value), count in sorted(merged.items())
+        ]
+
+    def fqdn_server_counts(self, rows=None) -> list[tuple[int, int, int]]:
+        return self._merged_triples("fqdn_server_counts", rows)
+
+    def fqdn_client_counts(self, rows=None) -> list[tuple[int, int, int]]:
+        return self._merged_triples("fqdn_client_counts", rows)
+
+    def fqdn_flow_byte_totals(
+        self, rows=None
+    ) -> list[tuple[int, int, int, int]]:
+        parts = self._fan_rows("fqdn_flow_byte_totals", rows)
+        merged: dict[int, list[int]] = {}
+        for index, part in enumerate(parts):
+            fqdn_map = self._fqdn_maps[index]
+            for fqdn_id, flows, up, down in part:
+                global_id = fqdn_map[fqdn_id]
+                bucket = merged.get(global_id)
+                if bucket is None:
+                    merged[global_id] = [flows, up, down]
+                else:
+                    bucket[0] += flows
+                    bucket[1] += up
+                    bucket[2] += down
+        return [
+            (fqdn_id, flows, up, down)
+            for fqdn_id, (flows, up, down) in sorted(merged.items())
+        ]
+
+    def server_flow_counts(self, rows=None) -> dict[int, int]:
+        merged: dict[int, int] = {}
+        for part in self._fan_rows("server_flow_counts", rows):
+            for server, count in part.items():
+                merged[server] = merged.get(server, 0) + count
+        return dict(sorted(merged.items()))
+
+    def unique_servers_per_bin(
+        self, sld: str, bin_seconds: float
+    ) -> list[tuple[float, int]]:
+        pairs: set[tuple[int, int]] = set()
+        for part in self._fan("domain_bin_pairs", (sld, bin_seconds)):
+            pairs.update(part)
+        if not pairs:
+            return []
+        per_bin: dict[int, int] = {}
+        for bin_index, _server in pairs:
+            per_bin[bin_index] = per_bin.get(bin_index, 0) + 1
+        lo, hi = min(per_bin), max(per_bin)
+        return [
+            (index * bin_seconds, per_bin.get(index, 0))
+            for index in range(lo, hi + 1)
+        ]
+
+    def server_bins_for_fqdn(
+        self, fqdn: str, bin_seconds: float
+    ) -> list[tuple[int, int]]:
+        pairs: set[tuple[int, int]] = set()
+        for part in self._fan("server_bins_for_fqdn", (fqdn, bin_seconds)):
+            pairs.update(part)
+        return sorted(pairs)
+
+    def fqdn_bin_pairs(
+        self, bin_seconds: float, rows=None
+    ) -> list[tuple[int, int]]:
+        if rows is None:
+            parts = self._fan("fqdn_bin_pairs", (bin_seconds, None))
+        else:
+            split = self._split_global_rows(rows)
+            parts = self._fan("fqdn_bin_pairs", per_shard_args=[
+                (bin_seconds, split[k]) for k in range(self.shards)
+            ])
+        pairs: set[tuple[int, int]] = set()
+        for index, part in enumerate(parts):
+            fqdn_map = self._fqdn_maps[index]
+            pairs.update(
+                (fqdn_map[fqdn_id], bin_index) for fqdn_id, bin_index in part
+            )
+        return sorted(pairs)
+
+    def fqdn_first_seen(self, rows=None) -> dict[int, float]:
+        parts = self._fan_rows("fqdn_first_seen", rows)
+        merged: dict[int, float] = {}
+        for index, part in enumerate(parts):
+            fqdn_map = self._fqdn_maps[index]
+            for fqdn_id, start in part.items():
+                global_id = fqdn_map[fqdn_id]
+                if global_id not in merged or start < merged[global_id]:
+                    merged[global_id] = start
+        return dict(sorted(merged.items()))
+
+    def server_fqdn_bin_triples(
+        self, bin_seconds: float, rows=None
+    ) -> list[tuple[int, int, int]]:
+        if rows is None:
+            parts = self._fan("server_fqdn_bin_triples", (bin_seconds, None))
+        else:
+            split = self._split_global_rows(rows)
+            parts = self._fan("server_fqdn_bin_triples", per_shard_args=[
+                (bin_seconds, split[k]) for k in range(self.shards)
+            ])
+        triples: set[tuple[int, int, int]] = set()
+        for index, part in enumerate(parts):
+            fqdn_map = self._fqdn_maps[index]
+            triples.update(
+                (server, fqdn_map[fqdn_id], bin_index)
+                for server, fqdn_id, bin_index in part
+            )
+        return sorted(triples)
+
+    def sld_flow_stats(self, rows) -> list[tuple[int, int, int]]:
+        parts = self._fan_rows("fqdn_flow_byte_totals", rows)
+        per_fqdn: dict[int, int] = {}
+        for index, part in enumerate(parts):
+            fqdn_map = self._fqdn_maps[index]
+            for fqdn_id, flows, _up, _down in part:
+                global_id = fqdn_map[fqdn_id]
+                per_fqdn[global_id] = per_fqdn.get(global_id, 0) + flows
+        sld_map = self._interns._fqdn_sld
+        flow_counts: dict[int, int] = {}
+        fqdn_counts: dict[int, int] = {}
+        for fqdn_id, flows in per_fqdn.items():
+            sld_id = sld_map[fqdn_id]
+            flow_counts[sld_id] = flow_counts.get(sld_id, 0) + flows
+            fqdn_counts[sld_id] = fqdn_counts.get(sld_id, 0) + 1
+        return [
+            (sld_id, count, fqdn_counts[sld_id])
+            for sld_id, count in sorted(flow_counts.items())
+        ]
+
+    # -- whole-store scans / summaries -------------------------------------
+
+    def __len__(self) -> int:
+        self._fan("ping")
+        return sum(self._rows)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        for part in self._fan("all_records"):
+            yield from part
+
+    @property
+    def tagged_count(self) -> int:
+        return sum(self._fan("tagged_count"))
+
+    def count_by_protocol(self) -> dict[Protocol, int]:
+        totals: dict[Protocol, int] = {}
+        for part in self._fan("count_by_protocol"):
+            for protocol, count in part.items():
+                totals[protocol] = totals.get(protocol, 0) + count
+        return {
+            protocol: totals[protocol]
+            for protocol in PROTOCOLS
+            if totals.get(protocol)
+        }
+
+    def time_span(self) -> tuple[float, float]:
+        parts = self._fan("time_span")
+        lo = float("inf")
+        hi = float("-inf")
+        total = 0
+        for index, span in enumerate(parts):
+            n_rows = self._rows[index]
+            total += n_rows
+            if n_rows:
+                if span[0] < lo:
+                    lo = span[0]
+                if span[1] > hi:
+                    hi = span[1]
+        if not total:
+            return (0.0, 0.0)
+        return (lo, hi)
+
+    # -- health / stats / prune reporting ----------------------------------
+
+    def _merge_wal(self, reports: Sequence[dict]) -> dict:
+        """Key-wise sum of the numeric journal-recovery counters (bools
+        OR together; non-numeric detail stays per-shard)."""
+        wal: dict = {"enabled": self._store_kwargs["wal"],
+                     "epoch": 0, "shards": self.shards}
+        for report in reports:
+            for key, value in report.items():
+                if key == "enabled":
+                    continue
+                if key == "epoch":
+                    wal["epoch"] = max(wal["epoch"], value)
+                elif isinstance(value, bool):
+                    wal[key] = bool(wal.get(key)) or value
+                elif isinstance(value, (int, float)):
+                    wal[key] = wal.get(key, 0) + value
+        return wal
+
+    def _refresh_gauges(self, *, tail_rows=None, segments=None,
+                        quarantined=None, retired=None, generation=None,
+                        wal_epoch=None, scan_stats=None, wal=None) -> None:
+        if tail_rows is not None:
+            self._tail.n = tail_rows
+        if segments is not None:
+            self._segments.n = segments
+        if quarantined is not None:
+            self._quarantined.n = quarantined
+        if retired is not None:
+            self._retired.n = retired
+        if generation is not None:
+            self._generation = generation
+        if wal_epoch is not None:
+            self._wal_epoch = wal_epoch
+        if scan_stats is not None:
+            self._scan_stats.clear()
+            self._scan_stats.update(scan_stats)
+        if wal is not None:
+            self._wal_report.clear()
+            self._wal_report.update(wal)
+
+    def health(self) -> dict:
+        """Aggregated self-diagnosis: degraded if *any* shard is."""
+        parts = self._fan("health")
+        quarantined = []
+        for index, part in enumerate(parts):
+            for entry in part["quarantined_segments"]:
+                quarantined.append(dict(entry, shard=index))
+        wal = self._merge_wal([part["wal"] for part in parts])
+        degraded = any(part["status"] != "ok" for part in parts)
+        self._refresh_gauges(
+            quarantined=len(quarantined), wal_epoch=wal["epoch"], wal=wal,
+        )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "sharded": True,
+            "shards": self.shards,
+            "strict": self._store_kwargs["strict"],
+            "quarantined_segments": quarantined,
+            "wal": wal,
+            "tmp_files_swept": sum(p["tmp_files_swept"] for p in parts),
+            "per_shard": [part["status"] for part in parts],
+        }
+
+    def stats(self) -> dict:
+        """Aggregate inspection summary plus the full per-shard
+        payloads (``repro-flowstore stats`` on a sharded root)."""
+        parts = self._fan("stats")
+        segments = []
+        versions: dict[str, int] = {}
+        for index, part in enumerate(parts):
+            for entry in part["segments"]:
+                segments.append(dict(entry, shard=index))
+            for version, count in part["segment_versions"].items():
+                versions[version] = versions.get(version, 0) + count
+        scan_stats = {
+            key: sum(part["scan_stats"].get(key, 0) for part in parts)
+            for key in ("queries", "segments_scanned", "segments_pruned")
+        }
+        quarantined_entries = []
+        for index, part in enumerate(parts):
+            for entry in part["health"]["quarantined_segments"]:
+                quarantined_entries.append(dict(entry, shard=index))
+        quarantined = len(quarantined_entries)
+        wal = self._merge_wal([part["health"]["wal"] for part in parts])
+        degraded = any(part["health"]["status"] != "ok" for part in parts)
+        sealed_rows = sum(part["sealed_rows"] for part in parts)
+        tail_rows = sum(part["tail_rows"] for part in parts)
+        generation = sum(part["generation"] for part in parts)
+        wal_epoch = max(part["wal_epoch"] for part in parts)
+        self._refresh_gauges(
+            tail_rows=tail_rows, segments=len(segments),
+            quarantined=quarantined,
+            retired=sum(part["retired_pending"] for part in parts),
+            generation=generation, wal_epoch=wal_epoch,
+            scan_stats=scan_stats, wal=wal,
+        )
+        with self._lock:
+            fqdns = len(self._interns._fqdn_names)
+            slds = len(self._interns._sld_names)
+        return {
+            "directory": str(self.directory),
+            "format": FORMAT_VERSION,
+            "sharded": True,
+            "shards": self.shards,
+            "by": self.router.by,
+            "backend": self.backend_kind,
+            "segment_versions": versions,
+            "parallel": self._store_kwargs["parallel"],
+            "prune": self.prune,
+            "health": {
+                "status": "degraded" if degraded else "ok",
+                "strict": self._store_kwargs["strict"],
+                "quarantined_segments": quarantined_entries,
+                "wal": wal,
+                "tmp_files_swept": sum(
+                    part["health"]["tmp_files_swept"] for part in parts
+                ),
+            },
+            "segments": segments,
+            "sealed_rows": sealed_rows,
+            "tail_rows": tail_rows,
+            "rows": sealed_rows + tail_rows,
+            "fqdns": fqdns,
+            "slds": slds,
+            "bytes_on_disk": sum(part["bytes_on_disk"] for part in parts),
+            "wal_epoch": wal_epoch,
+            "generation": generation,
+            "pinned_generations": [],
+            "retired_pending": sum(
+                part["retired_pending"] for part in parts
+            ),
+            "scan_stats": scan_stats,
+            "per_shard": parts,
+        }
+
+    def prune_report(self, hint: QueryHint) -> dict:
+        """Which sealed segments (across all shards) a query carrying
+        ``hint`` would scan — decided from manifest bytes alone.
+
+        Unlike every other coordinator read this never starts the
+        backend: the v2 manifest's verified footer copy
+        (:meth:`SegmentMeta.from_manifest`) feeds ``hint.admits``
+        directly, so no segment file — not even a header — is opened.
+        ``tail_rows`` is therefore ``None``: unsealed rows live in the
+        journal, which the report never replays.
+        """
+        per_shard = []
+        segments_flat = []
+        scanned_rows = pruned_rows = 0
+        for index in range(self.shards):
+            entries = _manifest_entries(self.shard_directory(index))
+            segments = []
+            for name, n_rows, meta in entries:
+                admitted = not self.prune or hint.admits(meta)
+                segments.append({
+                    "name": name, "rows": n_rows,
+                    "scan": admitted, "shard": index,
+                })
+                if admitted:
+                    scanned_rows += n_rows
+                else:
+                    pruned_rows += n_rows
+            per_shard.append({
+                "directory": str(self.shard_directory(index)),
+                "shard": index,
+                "segments": segments,
+                "scanned_segments": sum(1 for s in segments if s["scan"]),
+                "pruned_segments": sum(
+                    1 for s in segments if not s["scan"]
+                ),
+            })
+            segments_flat.extend(segments)
+        return {
+            "directory": str(self.directory),
+            "sharded": True,
+            "shards": self.shards,
+            "prune": self.prune,
+            "segments": segments_flat,
+            "scanned_segments": sum(1 for s in segments_flat if s["scan"]),
+            "pruned_segments": sum(
+                1 for s in segments_flat if not s["scan"]
+            ),
+            "scanned_rows": scanned_rows,
+            "pruned_rows": pruned_rows,
+            "tail_rows": None,
+            "per_shard": per_shard,
+        }
+
+
+def _manifest_entries(directory: Path) -> list[tuple[str, int, object]]:
+    """``(name, rows, SegmentMeta|None)`` per sealed segment, straight
+    from one shard's ``MANIFEST.json`` (no store, no segment I/O).
+
+    A missing manifest is an empty (or never-started) shard.  v1
+    manifests list bare names — no row counts, no metadata — so their
+    segments report zero rows and never prune.
+    """
+    path = directory / MANIFEST_NAME
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return []
+    except OSError as exc:
+        raise StorageError(f"cannot read {path}: {exc}") from exc
+    try:
+        manifest = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"malformed manifest {path}: {exc}") from exc
+    if not isinstance(manifest, dict) or not isinstance(
+        manifest.get("segments"), list
+    ):
+        raise StorageError(f"unsupported manifest {path}")
+    entries: list[tuple[str, int, object]] = []
+    for entry in manifest["segments"]:
+        if isinstance(entry, str):
+            entries.append((entry, 0, None))
+            continue
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("name"), str
+        ):
+            raise StorageError(f"bad segment entry {entry!r} in {path}")
+        rows = entry.get("rows", 0)
+        entries.append((
+            entry["name"],
+            rows if isinstance(rows, int) else 0,
+            SegmentMeta.from_manifest(entry.get("meta")),
+        ))
+    return entries

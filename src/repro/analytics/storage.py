@@ -85,10 +85,14 @@ metadata lies (e.g. after a buggy external rewrite).
 A torn write can never corrupt the store: segments are written to a
 temp file, fsynced and atomically renamed, and only then recorded in
 ``MANIFEST.json`` (itself replaced atomically).  The manifest carries
-a summary of each segment's pruning metadata (ranges, protocol mask,
-filter sizes) for out-of-band inspection; the filter bitmaps live
-only in the footer — covered by the segment CRC — which stays
-authoritative for every pruning decision.
+a full promoted copy of each segment's pruning metadata — ranges,
+protocol mask **and** the presence-filter bitmaps (base64) — so the
+shard coordinator (:mod:`repro.analytics.shard`) can evaluate
+``QueryHint.admits`` against a shard from manifest bytes alone,
+without opening any segment file.  The CRC-covered footer stays
+authoritative for the store's own per-segment pruning decisions, and
+``repro-flowstore verify`` cross-checks the promoted copy against a
+recomputed footer exactly as it checks the footer itself.
 A segment file not in the manifest is an uncommitted orphan and is
 ignored on open; a truncated or bit-flipped segment (or metadata
 block) fails the size/CRC validation in :meth:`SegmentReader.open`.
@@ -118,6 +122,8 @@ the two layers always agree on which path is active.
 
 from __future__ import annotations
 
+import base64
+import binascii
 import errno
 import json
 import logging
@@ -420,11 +426,15 @@ class SegmentMeta:
         return meta
 
     def to_manifest(self) -> dict:
-        """JSON-safe summary for ``MANIFEST.json`` / ``stats`` —
-        ranges, mask and filter *sizes* only.  The bitmaps stay in the
-        CRC-covered footer (the authoritative copy, and the only one
-        any pruning decision reads); duplicating them as hex would
-        bloat every manifest rewrite for data no consumer parses."""
+        """JSON-safe copy of the full footer for ``MANIFEST.json`` /
+        ``stats`` — ranges, mask, **and** the presence-filter bitmaps
+        (base64).  The CRC-covered footer remains the authoritative
+        copy for the store's own pruning; the manifest copy exists so
+        the shard coordinator can evaluate :meth:`QueryHint.admits`
+        from manifest bytes alone, without opening a single segment
+        file.  ``repro-flowstore verify`` recomputes this promoted
+        copy against the data exactly as it recomputes footers, so a
+        manifest that lies about its segment goes degraded."""
 
         def _f(value: float):
             return value if math.isfinite(value) else None
@@ -441,7 +451,56 @@ class SegmentMeta:
             "protocol_mask": self.protocol_mask,
             "fqdn_filter_bits": len(self.fqdn_filter.data) * 8,
             "sld_filter_bits": len(self.sld_filter.data) * 8,
+            "fqdn_filter": base64.b64encode(
+                self.fqdn_filter.data
+            ).decode("ascii"),
+            "sld_filter": base64.b64encode(
+                self.sld_filter.data
+            ).decode("ascii"),
         }
+
+    @classmethod
+    def from_manifest(cls, entry) -> Optional["SegmentMeta"]:
+        """Rebuild full pruning metadata from a manifest ``meta`` dict.
+
+        Returns ``None`` when the entry is absent, predates the
+        filter promotion, or is malformed in any way — the caller
+        must then treat the segment as unprunable (conservative
+        scan), mirroring how a version-1 segment without a footer is
+        never pruned.  A round trip through :meth:`to_manifest` is
+        lossless: the rebuilt metadata compares equal to the footer
+        it was promoted from.
+        """
+        if not isinstance(entry, dict):
+            return None
+        meta = cls()
+        try:
+            for name, default in (
+                ("min_start", math.inf), ("max_start", -math.inf),
+                ("min_end", math.inf), ("max_end", -math.inf),
+            ):
+                value = entry[name]
+                if value is None:
+                    value = default
+                elif not isinstance(value, (int, float)):
+                    return None
+                setattr(meta, name, float(value))
+            for name in ("min_client", "max_client",
+                         "min_server", "max_server", "protocol_mask"):
+                value = entry[name]
+                if not isinstance(value, int):
+                    return None
+                setattr(meta, name, value)
+            meta.fqdn_filter = PresenceFilter(
+                base64.b64decode(entry["fqdn_filter"], validate=True)
+            )
+            meta.sld_filter = PresenceFilter(
+                base64.b64decode(entry["sld_filter"], validate=True)
+            )
+        except (KeyError, TypeError, ValueError, StorageError,
+                binascii.Error):
+            return None
+        return meta
 
     def __eq__(self, other) -> bool:
         return isinstance(other, SegmentMeta) and all(
@@ -652,8 +711,25 @@ class _OsIO:
     counting layer that crashes (or injects an ``OSError``) at any
     single operation and prove crash consistency at *every* injection
     point — without monkeypatching :mod:`os` for unrelated code.
-    Reads and opens stay direct: they cannot lose data.
+
+    Segment *reads* also route through the seam (:meth:`read_bytes` /
+    :meth:`read_block`) — not because they can lose data, but so the
+    shard coordinator's manifest-only pruning claim is falsifiable: a
+    test can swap in a counting layer and assert that a prune decision
+    touched **zero** segment files.  Reads are observable, never
+    crash-injected by the crash sweep (they hold no durability state).
+    Manifest/journal reads stay direct: they are not segment payloads.
     """
+
+    @staticmethod
+    def read_bytes(path) -> bytes:
+        return Path(path).read_bytes()
+
+    @staticmethod
+    def read_block(path, offset: int, length: int) -> bytes:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            return handle.read(length)
 
     @staticmethod
     def write(handle, data) -> None:
@@ -682,17 +758,14 @@ class _OsIO:
 
 _io = _OsIO()
 
-#: Transient, retryable I/O failures: interrupted syscalls and
-#: out-of-space/quota probes that an operator (or a log rotation) can
-#: clear while the ingest loop is still alive.
-_TRANSIENT_ERRNOS = frozenset({
-    errno.EINTR, errno.EAGAIN, errno.ENOSPC, errno.EDQUOT,
-})
-#: Capacity exhaustion: the subset of transient errnos that means the
-#: *volume* is full rather than the call unlucky.  When one of these
-#: survives the bounded retry below, the condition will not clear on
-#: its own — the serve layer's degradation governor trips straight to
-#: read-only on it instead of waiting out a failure streak.
+#: Transient, retryable I/O failures: interrupted or momentarily
+#: starved syscalls that genuinely can succeed on the next attempt.
+_TRANSIENT_ERRNOS = frozenset({errno.EINTR, errno.EAGAIN})
+#: Capacity exhaustion: the volume is full (or the quota is), and no
+#: 10 ms backoff will un-fill it.  These escalate on *first*
+#: occurrence — retrying just delays the serve layer's degradation
+#: governor from tripping to read-only, and every half-open recovery
+#: probe would pay the full backoff ladder again.
 CAPACITY_ERRNOS = frozenset({errno.ENOSPC, errno.EDQUOT})
 #: Bounded backoff: 4 attempts, 10 ms doubling (70 ms worst case).
 _IO_ATTEMPTS = 4
@@ -713,9 +786,11 @@ _DIRSYNC_BENIGN_ERRNOS = frozenset({
 def _retry_io(operation, what: str):
     """Run one filesystem operation, retrying transient ``OSError``s
     (:data:`_TRANSIENT_ERRNOS`) with bounded exponential backoff before
-    escalating.  Callers whose operation may partially apply (payload
-    writes) must make ``operation`` rewind first — the retry re-runs it
-    from scratch."""
+    escalating.  Capacity errnos (:data:`CAPACITY_ERRNOS`) escalate on
+    the first occurrence — a full volume does not clear in 70 ms, and
+    the caller's governor needs to see it *now*.  Callers whose
+    operation may partially apply (payload writes) must make
+    ``operation`` rewind first — the retry re-runs it from scratch."""
     for attempt in range(_IO_ATTEMPTS):
         try:
             return operation()
@@ -923,7 +998,7 @@ class SegmentReader:
         on any truncation, corruption or version mismatch."""
         path = Path(path)
         try:
-            data = path.read_bytes()
+            data = _io.read_bytes(path)
         except OSError as exc:
             raise StorageError(f"cannot read segment {path}: {exc}") from exc
         if len(data) < _HEADER.size:
@@ -1018,7 +1093,7 @@ class SegmentReader:
 
     def _read_validated(self) -> bytes:
         try:
-            data = Path(self.path).read_bytes()
+            data = _io.read_bytes(self.path)
         except OSError as exc:
             raise StorageError(
                 f"cannot read segment {self.path}: {exc}"
@@ -1033,9 +1108,9 @@ class SegmentReader:
 
     def _read_block(self, index: int) -> bytes:
         """One payload block by seek+read (sizes/CRC validated at open)."""
-        with open(self.path, "rb") as handle:
-            handle.seek(self._offsets[index])
-            data = handle.read(self._lengths[index])
+        data = _io.read_block(
+            self.path, self._offsets[index], self._lengths[index]
+        )
         if len(data) != self._lengths[index]:
             raise StorageError(f"segment {self.name} truncated since open")
         return data
@@ -3053,8 +3128,28 @@ class FlowStore(_StoreReadMixin):
         """Inspection summary (the ``repro-flowstore inspect``/``stats``
         payload) — per-segment format version and pruning metadata
         included, so the store is fully introspectable without reading
-        any column block."""
-        self._sync_tail_map()  # fqdns/slds counts must include the tail
+        any column block.
+
+        The member set is the :meth:`_view` capture plus one pass of
+        the bookkeeping counters under the store mutex — a concurrent
+        seal or compaction can therefore never tear the payload (the
+        segment listing, ``sealed_rows`` and ``bytes_on_disk`` always
+        describe the same instant; the pre-fix code iterated the live
+        ``self._segments`` list lock-free and could disagree with
+        itself mid-splice)."""
+        segments_view, tail, _tail_map = self._view()
+        with self._mutex:
+            tail_rows = len(tail)
+            fqdns = len(self._interns._fqdn_names)
+            slds = len(self._interns._sld_names)
+            pinned = [
+                {"generation": generation, "readers": readers}
+                for generation, readers in sorted(self._pins.items())
+            ]
+            retired_pending = len(self._retired)
+            scan_stats = dict(self._scan_stats)
+            generation = self._generation
+            wal_epoch = self._wal_epoch
         segments = [
             {
                 "name": reader.name,
@@ -3068,20 +3163,13 @@ class FlowStore(_StoreReadMixin):
                     if reader.meta is not None else None
                 ),
             }
-            for reader in self._segments
+            for reader in segments_view
         ]
         versions: dict[str, int] = {}
-        for reader in self._segments:
+        for reader in segments_view:
             key = str(reader.version)
             versions[key] = versions.get(key, 0) + 1
-        with self._mutex:
-            pinned = [
-                {"generation": generation, "readers": readers}
-                for generation, readers in sorted(self._pins.items())
-            ]
-            retired_pending = len(self._retired)
-            scan_stats = dict(self._scan_stats)
-            generation = self._generation
+        sealed_rows = sum(reader.n_rows for reader in segments_view)
         return {
             "directory": str(self.directory),
             "format": FORMAT_VERSION,
@@ -3090,15 +3178,15 @@ class FlowStore(_StoreReadMixin):
             "prune": self.prune,
             "health": self.health(),
             "segments": segments,
-            "sealed_rows": sum(reader.n_rows for reader in self._segments),
-            "tail_rows": len(self._tail),
-            "rows": len(self),
-            "fqdns": len(self._interns._fqdn_names),
-            "slds": len(self._interns._sld_names),
+            "sealed_rows": sealed_rows,
+            "tail_rows": tail_rows,
+            "rows": sealed_rows + tail_rows,
+            "fqdns": fqdns,
+            "slds": slds,
             "bytes_on_disk": sum(
-                reader.file_size for reader in self._segments
+                reader.file_size for reader in segments_view
             ),
-            "wal_epoch": self._wal_epoch,
+            "wal_epoch": wal_epoch,
             "generation": generation,
             "pinned_generations": pinned,
             "retired_pending": retired_pending,
@@ -3110,11 +3198,16 @@ class FlowStore(_StoreReadMixin):
 
         Pure metadata arithmetic — no segment is opened beyond what
         :class:`FlowStore` already validated, nothing is materialized.
-        The ``repro-flowstore prune-report`` payload.
+        The ``repro-flowstore prune-report`` payload.  Works over the
+        :meth:`_view` capture, so a concurrent seal or compaction
+        cannot shift the segment list mid-report.
         """
+        segments_view, tail, _tail_map = self._view()
+        with self._mutex:
+            tail_rows = len(tail)
         segments = []
         pruned_rows = scanned_rows = 0
-        for reader in self._segments:
+        for reader in segments_view:
             admitted = not self.prune or hint.admits(reader.meta)
             segments.append({
                 "name": reader.name,
@@ -3134,7 +3227,7 @@ class FlowStore(_StoreReadMixin):
             "pruned_segments": sum(1 for s in segments if not s["scan"]),
             "scanned_rows": scanned_rows,
             "pruned_rows": pruned_rows,
-            "tail_rows": len(self._tail),
+            "tail_rows": tail_rows,
         }
 
 

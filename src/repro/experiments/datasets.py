@@ -34,10 +34,12 @@ DEFAULT_CLIST = 200_000
 
 _STORED_ROOT: Optional[Path] = None
 _STORED_PARALLEL: Optional[int] = None
+_STORED_SHARD_BACKEND: Optional[str] = None
 _OPEN_STORES: list = []
 
 
-def set_stored_root(path, parallel: Optional[int] = None) -> None:
+def set_stored_root(path, parallel: Optional[int] = None,
+                    shard_backend: Optional[str] = None) -> None:
     """Serve experiment databases from stored flow-store directories.
 
     ``path`` is a root directory holding one flow store per trace name
@@ -47,10 +49,18 @@ def set_stored_root(path, parallel: Optional[int] = None) -> None:
     opens each store with an ``N``-thread per-segment query pool (the
     ``repro-exp --flow-store DIR --parallel N`` path); results are
     bit-identical to serial.
+
+    A per-trace directory carrying ``SHARDS.json`` (built with
+    ``repro-flowstore ingest-trace --shards N``) opens as a
+    :class:`repro.analytics.shard.ShardCoordinator`;
+    ``shard_backend="process"`` (the ``repro-exp --shards process``
+    path) runs one worker process per shard — the process-pool rescue
+    for deployments where the thread pool is GIL-bound.
     """
-    global _STORED_ROOT, _STORED_PARALLEL
+    global _STORED_ROOT, _STORED_PARALLEL, _STORED_SHARD_BACKEND
     _STORED_ROOT = Path(path) if path is not None else None
     _STORED_PARALLEL = parallel
+    _STORED_SHARD_BACKEND = shard_backend
     # The cached results being invalidated below hold the previously
     # opened stores; close them so their lazily-built query thread
     # pools don't idle for the rest of the process.
@@ -74,7 +84,10 @@ def stored_database(name: str, seed: int = DEFAULT_SEED):
     if _STORED_ROOT is None:
         return None
     directory = _STORED_ROOT / name
-    if not (directory / "MANIFEST.json").exists():
+    from repro.analytics.shard import SHARDS_NAME
+
+    sharded = (directory / SHARDS_NAME).exists()
+    if not sharded and not (directory / "MANIFEST.json").exists():
         return None
     sidecar = directory / "DATASET.json"
     if sidecar.exists():
@@ -86,9 +99,17 @@ def stored_database(name: str, seed: int = DEFAULT_SEED):
             return None
         if meta.get("seed") != seed or meta.get("building"):
             return None
-    from repro.analytics.storage import FlowStore
+    if sharded:
+        from repro.analytics.shard import ShardCoordinator
 
-    store = FlowStore(directory, parallel=_STORED_PARALLEL)
+        store = ShardCoordinator(
+            directory, parallel=_STORED_PARALLEL,
+            backend=_STORED_SHARD_BACKEND or "inprocess",
+        )
+    else:
+        from repro.analytics.storage import FlowStore
+
+        store = FlowStore(directory, parallel=_STORED_PARALLEL)
     _OPEN_STORES.append(store)
     return store
 

@@ -101,12 +101,24 @@ def main(argv: list[str] | None = None) -> int:
              "an N-thread pool per store (answers are bit-identical "
              "to serial)",
     )
+    parser.add_argument(
+        "--shards", metavar="BACKEND", default=None,
+        choices=("inprocess", "process"),
+        help="with --flow-store: open sharded stored datasets "
+             "(directories built by repro-flowstore ingest-trace "
+             "--shards N) with the given backend — 'inprocess' keeps "
+             "all shards in this process, 'process' runs one worker "
+             "process per shard (the GIL-free rescue when --parallel "
+             "cannot help)",
+    )
     args = parser.parse_args(argv)
     if args.parallel is not None:
         if args.flow_store is None:
             parser.error("--parallel requires --flow-store")
         if args.parallel <= 0:
             parser.error("--parallel must be positive")
+    if args.shards is not None and args.flow_store is None:
+        parser.error("--shards requires --flow-store")
     if args.experiment == "list":
         # Before the stored root is set: listing reads no dataset, and
         # an early return here must not leak the global root past the
@@ -117,7 +129,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.flow_store is not None:
         from repro.experiments.datasets import set_stored_root
 
-        set_stored_root(args.flow_store, parallel=args.parallel)
+        set_stored_root(
+            args.flow_store, parallel=args.parallel,
+            shard_backend=args.shards,
+        )
     targets = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     try:
         return _run_targets(targets, args)

@@ -25,6 +25,9 @@ import argparse
 import sys
 import threading
 
+from pathlib import Path
+
+from repro.analytics.shard import SHARDS_NAME, ShardCoordinator
 from repro.analytics.storage import FlowStore
 from repro.serve.admission import AdmissionController, RouteClassLimits
 from repro.serve.governor import DegradationGovernor
@@ -177,7 +180,16 @@ def main(argv=None) -> int:
             "--compact-small and --compact-interval go together"
         )
 
-    store = FlowStore(
+    # A directory carrying SHARDS.json is a sharded store: front the
+    # scatter-gather coordinator instead of a flat FlowStore.  The
+    # serve layer is agnostic — both expose the same ingest/query/
+    # stats surface.
+    store_cls = (
+        ShardCoordinator
+        if (Path(args.store) / SHARDS_NAME).exists()
+        else FlowStore
+    )
+    store = store_cls(
         args.store,
         spill_rows=args.spill_rows,
         spill_bytes=args.spill_bytes,

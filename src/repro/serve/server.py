@@ -127,6 +127,12 @@ def _hint_from_params(params: dict) -> QueryHint:
     t1 = _one(params, "t1", convert=float)
     if (t0 is None) != (t1 is None):
         raise BadRequest("t0 and t1 must be given together")
+    if t0 is not None and t0 > t1:
+        # An inverted window is always a caller bug: every segment's
+        # metadata "proves" no row can match, so /prune-report would
+        # happily report a 100% prune while the query routes scan and
+        # return empty — answer 400 on both instead (the CLI agrees).
+        raise BadRequest("t0 must be <= t1")
     return QueryHint(
         fqdn=fqdn.lower() if fqdn else None,
         sld=sld.lower() if sld else None,
@@ -386,6 +392,8 @@ class ServeApp:
     def _q_rows_in_window(self, snap, params):
         t0 = _one(params, "t0", required=True, convert=float)
         t1 = _one(params, "t1", required=True, convert=float)
+        if t0 > t1:
+            raise BadRequest("t0 must be <= t1")
         return {"rows": list(snap.rows_in_window(t0, t1))}
 
     def _q_rows_for_fqdn(self, snap, params):

@@ -64,6 +64,10 @@ class FaultFS:
         self.ops = 0
         self.counts: Counter = Counter()
         self.log: list[tuple[int, str, str]] = []
+        #: Segment reads observed (separate from the crash-sweep op
+        #: index; see the read methods below).
+        self.reads = 0
+        self.read_log: list[str] = []
         self.crash_at = crash_at
         self.torn = torn
         #: op index -> errno: raise a one-shot OSError at that index.
@@ -144,6 +148,31 @@ class FaultFS:
         if self._tick("unlink", str(path)):
             raise CrashError(f"crash at unlink (op {self.ops - 1})")
         os.unlink(path)
+
+    # -- segment reads (observed, never crash-swept) -----------------------
+    #
+    # Reads hold no durability state, so they are deliberately *not*
+    # ticked into the crash-sweep op index (which must stay stable for
+    # the write-path sweeps).  They are counted separately so a test
+    # can assert that a manifest-only code path — the shard
+    # coordinator's prune planner — opened zero segment files, and
+    # they honor ``persistent={"read": errno}`` for error injection.
+
+    def _read_fault(self, detail: str) -> None:
+        self.reads += 1
+        self.read_log.append(detail)
+        if self.only is not None and self.only not in detail:
+            return
+        if "read" in self.persistent:
+            raise OSError(self.persistent["read"], "injected read error")
+
+    def read_bytes(self, path) -> bytes:
+        self._read_fault(str(path))
+        return storage._OsIO.read_bytes(path)
+
+    def read_block(self, path, offset: int, length: int) -> bytes:
+        self._read_fault(str(path))
+        return storage._OsIO.read_block(path, offset, length)
 
 
 @contextmanager

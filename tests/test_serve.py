@@ -177,6 +177,23 @@ class TestHttpBitIdentical:
             daemon.post("/ingest", b"garbage-not-a-batch")
         assert excinfo.value.code == 400
 
+    def test_inverted_window_is_a_400_not_an_empty_answer(self, daemon):
+        # Regression: t0 > t1 used to slip through _hint_from_params,
+        # silently "pruning" everything (prune-report) or returning an
+        # empty row set (rows-in-window).  Both now fail loudly, the
+        # way the flowstore CLI always has.
+        daemon.post("/ingest", _batch([_flow(i) for i in range(50)]))
+        for path in ("/query/rows-in-window?t0=5&t1=1",
+                     "/prune-report?t0=5&t1=1"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                daemon.get(path)
+            assert excinfo.value.code == 400
+            assert "t0 must be <= t1" in excinfo.value.read().decode()
+        # The boundary case t0 == t1 stays valid: an empty half-open
+        # window [t, t), not an error.
+        got = daemon.get("/query/rows-in-window?t0=100&t1=100")
+        assert got["rows"] == []
+
     def test_prune_report_over_http(self, daemon):
         daemon.post("/ingest", _batch([_flow(i) for i in range(200)]))
         report = daemon.get("/prune-report?fqdn=cdn1.example.com")
@@ -570,3 +587,96 @@ class TestServeCliSigterm:
         assert len(store) == 50
         assert store.health()["wal"]["recovered_rows"] == 0
         store.close()
+
+
+class TestServeSharded:
+    """The daemon fronts a sharded store through the same HTTP surface.
+
+    ``repro-serve`` auto-detects ``SHARDS.json`` and opens the
+    scatter-gather coordinator; every endpoint must keep working, and
+    the answers must equal the in-memory database over the
+    coordinator's shard-major row order.
+    """
+
+    def test_endpoints_work_against_a_coordinator(self, tmp_path):
+        from repro.analytics.shard import ShardCoordinator
+
+        store = ShardCoordinator(tmp_path / "store", shards=2,
+                                 spill_rows=64)
+        server = _Daemon(store)
+        try:
+            flows = [_flow(i) for i in range(150)]
+            assert server.post("/ingest", _batch(flows))["rows"] == 150
+            shard_major = [
+                flow for part in store.router.split_flows(flows)
+                for flow in part
+            ]
+            reference = FlowDatabase.from_flows(shard_major)
+            assert server.get("/query/len")["rows"] == 150
+            got = server.get("/query/rows-in-window?t0=120&t1=200")
+            assert got["rows"] == list(
+                reference.rows_in_window(120.0, 200.0)
+            )
+            got = server.get("/query/fqdn-server-counts")
+            assert [tuple(g) for g in got["groups"]] == (
+                reference.fqdn_server_counts()
+            )
+            got = server.get("/query/time-span")
+            assert (got["t0"], got["t1"]) == reference.time_span()
+            stats = server.get("/stats")
+            assert stats["sharded"] is True
+            assert stats["shards"] == 2
+            assert stats["rows"] == 150
+            health = server.get("/health")
+            assert health["status"] == "ok"
+            assert health["shards"] == 2
+            metrics = server.get_text("/metrics")
+            assert "flowstore_rows 150" in metrics
+        finally:
+            server.close()
+            store.close()
+
+    def test_cli_detects_shards_json(self, tmp_path):
+        from repro.analytics.shard import ShardCoordinator
+
+        directory = tmp_path / "store"
+        seed = ShardCoordinator(directory, shards=2)
+        seed.add_all([_flow(i) for i in range(20)])
+        seed.close()
+        port = _free_port()
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        child = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve.cli", str(directory),
+             "--host", "127.0.0.1", "--port", str(port)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, text=True,
+        )
+        try:
+            line = child.stdout.readline()
+            assert "listening" in line, line
+            base = f"http://127.0.0.1:{port}"
+            with urllib.request.urlopen(
+                f"{base}/stats", timeout=30
+            ) as rsp:
+                stats = json.load(rsp)
+            assert stats["sharded"] is True
+            assert stats["rows"] == 20
+            request = urllib.request.Request(
+                f"{base}/ingest",
+                data=_batch([_flow(i) for i in range(20, 40)]),
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as rsp:
+                assert json.load(rsp)["rows"] == 20
+            child.send_signal(signal.SIGTERM)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+        assert child.returncode == -signal.SIGTERM, child.stderr.read()
+        reopened = ShardCoordinator(directory)
+        assert len(reopened) == 40
+        reopened.close()

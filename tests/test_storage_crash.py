@@ -555,10 +555,10 @@ class TestHygieneAndRetry:
         assert len(reopened) == 6
         reopened.close()
 
-    def test_transient_enospc_retries_then_succeeds(
+    def test_transient_eintr_retries_then_succeeds(
         self, tmp_path, no_sleep
     ):
-        fs = FaultFS(flaky={"fsync": [2, errno.ENOSPC]})
+        fs = FaultFS(flaky={"fsync": [2, errno.EINTR]})
         with inject(fs):
             store = FlowStore(tmp_path / "store", spill_rows=100)
             store.add(_flow(0))
@@ -567,6 +567,36 @@ class TestHygieneAndRetry:
         reopened = FlowStore(tmp_path / "store")
         assert len(reopened) == 1
         reopened.close()
+
+    def test_enospc_escalates_on_first_attempt(self, tmp_path, no_sleep):
+        """A full volume is not transient: the write must fail once —
+        no 4-attempt/70 ms backoff ladder in front of the governor —
+        and every later recovery probe must fail just as fast."""
+        fs = FaultFS(persistent={"write": errno.ENOSPC})
+        with inject(fs):
+            store = FlowStore(tmp_path / "store", spill_rows=100)
+            before = fs.counts["write"]
+            with pytest.raises(OSError) as excinfo:
+                store.add(_flow(0))
+            assert excinfo.value.errno == errno.ENOSPC
+            assert fs.counts["write"] == before + 1   # one attempt
+            with pytest.raises(OSError):
+                store.add(_flow(1))    # the half-open probe equivalent
+            assert fs.counts["write"] == before + 2   # still one each
+        assert no_sleep == []          # zero backoff
+        store._wal.close()
+
+    def test_edquot_escalates_on_first_attempt(self, tmp_path, no_sleep):
+        fs = FaultFS(persistent={"fsync": errno.EDQUOT})
+        with inject(fs):
+            store = FlowStore(tmp_path / "store", spill_rows=100)
+            before = fs.counts["fsync"]
+            with pytest.raises(OSError) as excinfo:
+                store.add(_flow(0))
+            assert excinfo.value.errno == errno.EDQUOT
+            assert fs.counts["fsync"] == before + 1    # one attempt
+        assert no_sleep == []
+        store._wal.close()
 
     def test_persistent_enospc_escalates_without_data_loss(
         self, tmp_path, no_sleep

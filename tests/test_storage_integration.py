@@ -333,6 +333,12 @@ class TestFlowstoreCli:
             "prune-report", str(directory), "--t0", "5",
         ]) == 1
         assert "together" in capsys.readouterr().err
+        # Regression: an inverted window is a usage error too, not a
+        # report that happily "prunes" 100% of the store.
+        assert flowstore_main([
+            "prune-report", str(directory), "--t0", "5", "--t1", "1",
+        ]) == 1
+        assert "--t0 must be <= --t1" in capsys.readouterr().err
 
     def test_verify_parallel_matches_serial(self, tmp_path, capsys):
         directory = self._seed_store(tmp_path)
@@ -644,3 +650,93 @@ def test_manifest_is_human_readable(tmp_path):
         assert meta["min_start"] <= meta["max_start"]
         assert meta["protocol_mask"] > 0
         assert meta["fqdn_filter_bits"] >= 64
+
+
+def test_manifest_meta_round_trips_the_footer(tmp_path):
+    """The promoted manifest copy must decode back to the exact
+    footer — this is what lets the shard coordinator prune from
+    manifest bytes alone."""
+    from repro.analytics.storage import SegmentMeta
+
+    store = FlowStore(tmp_path / "store", spill_rows=4)
+    store.add_all(
+        FlowRecord(
+            fid=FiveTuple(i, 2 + i, 3, 443, TransportProto.TCP),
+            start=float(i), end=float(i), protocol=Protocol.TLS,
+            bytes_up=1, bytes_down=1, packets=1,
+            fqdn=f"h{i}.example{i % 2}.org",
+        )
+        for i in range(9)
+    )
+    store.close()
+    manifest = json.loads(
+        (tmp_path / "store" / "MANIFEST.json").read_text()
+    )
+    store = FlowStore(tmp_path / "store")
+    by_name = {reader.name: reader for reader in store._segments}
+    for entry in manifest["segments"]:
+        rebuilt = SegmentMeta.from_manifest(entry["meta"])
+        assert rebuilt is not None
+        assert rebuilt == by_name[entry["name"]].meta
+    store.close()
+    # Malformed/legacy entries degrade to "unprunable", never crash.
+    assert SegmentMeta.from_manifest(None) is None
+    assert SegmentMeta.from_manifest({"min_start": 0.0}) is None
+    legacy = dict(manifest["segments"][0]["meta"])
+    del legacy["fqdn_filter"]
+    assert SegmentMeta.from_manifest(legacy) is None
+    tampered = dict(manifest["segments"][0]["meta"])
+    tampered["sld_filter"] = "!!!not base64!!!"
+    assert SegmentMeta.from_manifest(tampered) is None
+
+
+class TestStatsSealRace:
+    """Regression: ``stats()``/``prune_report()`` used to walk the
+    live ``self._segments`` list without the store mutex — a
+    concurrent seal could tear the payload (segment listing computed
+    at one instant, ``sealed_rows`` summed at another)."""
+
+    def _spin_writer(self, store, n_rows):
+        import threading
+
+        def writer():
+            for i in range(n_rows):
+                store.add(FlowRecord(
+                    fid=FiveTuple(i % 7, 10 + i % 5, 3, 443,
+                                  TransportProto.TCP),
+                    start=float(i), end=float(i) + 0.5,
+                    protocol=Protocol.TLS, bytes_up=1, bytes_down=1,
+                    packets=1, fqdn=f"h{i % 11}.example.com",
+                ))
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        return thread
+
+    def test_stats_never_tears_under_a_seal_loop(self, tmp_path):
+        from repro.analytics.storage import QueryHint
+
+        store = FlowStore(tmp_path / "store", spill_rows=1, wal=False)
+        thread = self._spin_writer(store, 400)
+        try:
+            while thread.is_alive():
+                payload = store.stats()
+                listed = sum(s["rows"] for s in payload["segments"])
+                assert payload["sealed_rows"] == listed
+                assert payload["rows"] == (
+                    payload["sealed_rows"] + payload["tail_rows"]
+                )
+                assert sum(payload["segment_versions"].values()) == len(
+                    payload["segments"]
+                )
+                report = store.prune_report(QueryHint(window=(0.0, 1e9)))
+                names = [s["name"] for s in report["segments"]]
+                assert len(names) == len(set(names))
+                assert report["scanned_rows"] + report["pruned_rows"] == sum(
+                    s["rows"] for s in report["segments"]
+                )
+        finally:
+            thread.join()
+        final = store.stats()
+        assert final["rows"] == 400
+        store.close()
